@@ -1,0 +1,69 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them; they are also asserted on).
+
+``REPRO_BENCH_SCALE`` (default 0.15) scales the synthetic databases;
+results below are deterministic for a fixed scale and seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import run_workload
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+_PIPELINES = ("original", "bqo", "original_nobv", "dp")
+
+
+@pytest.fixture(scope="session")
+def tpcds_workload():
+    from repro.workloads import tpcds_lite
+
+    return tpcds_lite.build(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def job_workload():
+    from repro.workloads import job_lite
+
+    return job_lite.build(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def customer_workload():
+    from repro.workloads import customer_lite
+
+    return customer_lite.build(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def tpcds_result(tpcds_workload):
+    db, queries = tpcds_workload
+    return run_workload("tpcds", db, queries, pipelines=_PIPELINES)
+
+
+@pytest.fixture(scope="session")
+def job_result(job_workload):
+    db, queries = job_workload
+    return run_workload("job", db, queries, pipelines=_PIPELINES)
+
+
+@pytest.fixture(scope="session")
+def customer_result(customer_workload):
+    db, queries = customer_workload
+    return run_workload("customer", db, queries, pipelines=_PIPELINES)
+
+
+@pytest.fixture(scope="session")
+def all_results(tpcds_result, job_result, customer_result):
+    return {
+        "tpcds": tpcds_result,
+        "job": job_result,
+        "customer": customer_result,
+    }

@@ -1,0 +1,56 @@
+"""Figure 8 — total workload CPU, Original vs BQO, by selectivity group.
+
+Paper result: BQO reduces total workload CPU to 0.36 (JOB), 0.78
+(TPC-DS) and 0.75 (CUSTOMER) of the original optimizer's plans, with the
+largest reductions for expensive / low-selectivity (group L) queries.
+
+Our reproduction asserts the same shape: BQO <= Original on every
+workload, and the absolute CPU reduction is concentrated in group L.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import figure8_rows, render_table
+
+_PAPER_TOTALS = {"job": 0.36, "tpcds": 0.78, "customer": 0.75}
+
+
+def test_fig08_workload_cpu(all_results, benchmark):
+    all_rows = []
+    for name, result in all_results.items():
+        rows = figure8_rows(result)
+        all_rows.extend(rows)
+        total = next(r for r in rows if r["group"] == "total")
+
+        # Shape: BQO wins at the workload level.
+        assert total["bqo"] <= 1.0 + 1e-9, f"{name}: BQO regressed overall"
+
+        # Shape: group L contributes the largest absolute reduction.
+        reductions = {
+            r["group"]: r["original"] - r["bqo"]
+            for r in rows
+            if r["group"] in ("S", "M", "L")
+        }
+        assert reductions["L"] >= reductions["S"] - 1e-9, (
+            f"{name}: expected the expensive group to benefit most"
+        )
+
+    print()
+    print(render_table(
+        all_rows,
+        "Figure 8 — normalized total CPU by selectivity group "
+        f"(paper totals: {_PAPER_TOTALS})",
+    ))
+
+    # Average reduction across workloads is material (paper avg 37%).
+    totals = [
+        next(r for r in figure8_rows(result) if r["group"] == "total")["bqo"]
+        for result in all_results.values()
+    ]
+    assert sum(totals) / len(totals) < 0.95
+
+    benchmark.pedantic(
+        lambda: [figure8_rows(result) for result in all_results.values()],
+        rounds=3,
+        iterations=1,
+    )

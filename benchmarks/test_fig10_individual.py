@@ -1,0 +1,49 @@
+"""Figure 10 — per-query CPU for the most expensive queries (log scale
+in the paper), Original vs BQO.
+
+Paper result: individual queries improve by up to two orders of
+magnitude; regressions exist but are small and rare (attributed to Cout
+inaccuracy, right-deep bias on highly selective queries, and heuristic
+extensions).
+
+We print the per-query table for every workload and assert:
+  * at least one query improves by >= 1.5x on each workload's top list,
+  * no query regresses by more than 2x,
+  * queries that regress are a minority.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import figure10_rows, render_table
+
+
+def test_fig10_individual_queries(all_results, benchmark):
+    for name, result in all_results.items():
+        rows = figure10_rows(result, top=15)
+        print()
+        print(render_table(
+            [
+                {
+                    "query": r["query"],
+                    "original": round(r["original"], 4),
+                    "bqo": round(r["bqo"], 4),
+                    "speedup": round(r["speedup"], 2),
+                }
+                for r in rows
+            ],
+            f"Figure 10 ({name}) — top queries by Original CPU "
+            "(paper: up to two orders of magnitude improvement)",
+        ))
+        speedups = [r["speedup"] for r in rows]
+        assert max(speedups) >= 1.5, f"{name}: expected a significant win"
+        assert min(speedups) >= 0.5, f"{name}: regression larger than 2x"
+        regressed = sum(1 for s in speedups if s < 0.99)
+        assert regressed <= len(speedups) // 2, (
+            f"{name}: regressions should be the minority"
+        )
+
+    benchmark.pedantic(
+        lambda: [figure10_rows(result) for result in all_results.values()],
+        rounds=3,
+        iterations=1,
+    )

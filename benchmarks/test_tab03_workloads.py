@@ -1,0 +1,46 @@
+"""Table 3 — workload statistics.
+
+Paper values for reference (their full-size datasets):
+
+    workload   tables  queries  joins avg/max
+    TPC-DS     25      99       7.9 / 48
+    JOB        21      113      7.7 / 16
+    CUSTOMER   475     100      30.3 / 80
+
+Our scaled-down analogues keep the *relative* shape: CUSTOMER has by far
+the highest join counts, JOB and TPC-DS sit near each other, and every
+workload has enough queries for the selectivity-group analysis.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_table, table3_rows
+
+
+def test_tab03_workload_statistics(
+    tpcds_workload, job_workload, customer_workload, benchmark
+):
+    workloads = [
+        ("tpcds", *tpcds_workload),
+        ("job", *job_workload),
+        ("customer", *customer_workload),
+    ]
+    rows = benchmark.pedantic(
+        table3_rows, args=(workloads,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, "Table 3 — workload statistics"))
+
+    by_name = {row["workload"]: row for row in rows}
+    assert by_name["tpcds"]["queries"] == 25
+    assert by_name["job"]["queries"] == 30
+    assert by_name["customer"]["queries"] == 20
+
+    # CUSTOMER dominates join counts, like the paper's Table 3.
+    assert by_name["customer"]["joins_avg"] > 2 * by_name["tpcds"]["joins_avg"]
+    assert by_name["customer"]["joins_max"] >= 20
+    # JOB and TPC-DS have comparable (moderate) average join counts.
+    assert 2.0 <= by_name["job"]["joins_avg"] <= 8.0
+    assert 2.0 <= by_name["tpcds"]["joins_avg"] <= 8.0
+    # CUSTOMER has the most tables.
+    assert by_name["customer"]["tables"] > by_name["tpcds"]["tables"]

@@ -1,0 +1,54 @@
+"""Table 4 (Appendix A) — the same plans with vs without bitvector
+filtering.
+
+Paper values:
+
+    workload   CPU ratio  queries w/ filters  improved  regressed
+    JOB        0.20       0.97                0.58      0.00
+    TPC-DS     0.53       0.98                0.88      0.00
+    CUSTOMER   0.90       1.00                0.42      0.00
+
+We execute the Original pipeline's plans with filters on
+(``original``) and off (``original_nobv``) and assert the same shape:
+large CPU reductions, filters used by nearly all queries, many queries
+improved by >20%, and no query regressed by >20%.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_table, table4_rows
+
+_PAPER = {
+    "job": {"cpu_ratio": 0.20},
+    "tpcds": {"cpu_ratio": 0.53},
+    "customer": {"cpu_ratio": 0.90},
+}
+
+
+def test_tab04_bitvector_effect(all_results, benchmark):
+    rows = []
+    for result in all_results.values():
+        rows.extend(table4_rows(result))
+    print()
+    print(render_table(
+        rows,
+        "Table 4 — bitvector filtering on vs off "
+        f"(paper CPU ratios: { {k: v['cpu_ratio'] for k, v in _PAPER.items()} })",
+    ))
+
+    for row in rows:
+        name = row["workload"]
+        # Filters reduce workload CPU substantially (paper 0.20-0.90).
+        assert row["cpu_ratio"] < 0.95, f"{name}: filters should pay off"
+        # Nearly all queries end up with at least one filter.
+        assert row["queries_with_filters"] >= 0.8, name
+        # A large share of queries improve by more than 20%...
+        assert row["improved"] >= 0.4, name
+        # ...and none regress by more than 20% (paper: 0.00 everywhere).
+        assert row["regressed"] == 0.0, name
+
+    benchmark.pedantic(
+        lambda: [table4_rows(result) for result in all_results.values()],
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""repro — Bitvector-aware Query Optimization for Decision Support Queries.
+
+A from-scratch reproduction of Ding, Chaudhuri & Narasayya (SIGMOD 2020):
+an in-memory columnar engine with hash joins and bitvector filters, a
+cost-based optimizer substrate, and the paper's bitvector-aware join
+ordering algorithms, workloads, and experiment harness.
+
+Typical usage::
+
+    from repro import Database, Table, optimize_query, Executor
+    from repro.workloads import tpcds_lite
+
+    db, queries = tpcds_lite.build(scale=0.1, seed=7)
+    optimized = optimize_query(db, queries[0], pipeline="bqo")
+    result = Executor(db).execute(optimized.plan)
+    print(result.metrics.metered_cpu())
+"""
+
+from repro.storage import Table, Database, ForeignKey, TableSchema, ColumnDef
+from repro.storage.types import ColumnType
+from repro.query.spec import QuerySpec, RelationRef, JoinPredicate, Aggregate
+from repro.query.joingraph import JoinGraph
+from repro.engine import Executor, ExecutionResult
+from repro.optimizer import optimize_query, OptimizedPlan, PIPELINES
+from repro.plan import format_plan
+from repro.sql import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Table",
+    "Database",
+    "ForeignKey",
+    "TableSchema",
+    "ColumnDef",
+    "ColumnType",
+    "QuerySpec",
+    "RelationRef",
+    "JoinPredicate",
+    "Aggregate",
+    "JoinGraph",
+    "Executor",
+    "ExecutionResult",
+    "optimize_query",
+    "OptimizedPlan",
+    "PIPELINES",
+    "format_plan",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Experiment harness: run workloads under optimizer pipelines and
+reproduce the paper's figures and tables."""
+
+from repro.bench.harness import QueryRun, WorkloadResult, run_workload
+from repro.bench.reporting import (
+    selectivity_groups,
+    figure8_rows,
+    figure9_rows,
+    figure10_rows,
+    table3_rows,
+    table4_rows,
+    render_table,
+)
+
+__all__ = [
+    "QueryRun",
+    "WorkloadResult",
+    "run_workload",
+    "selectivity_groups",
+    "figure8_rows",
+    "figure9_rows",
+    "figure10_rows",
+    "table3_rows",
+    "table4_rows",
+    "render_table",
+]

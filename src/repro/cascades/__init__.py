@@ -1,0 +1,41 @@
+"""Cascades-lite: a memo-based transformation-rule optimizer.
+
+The paper implements its algorithm *as a transformation rule* inside
+SQL Server's Volcano/Cascades optimizer and describes three integration
+options (Section 6.4).  This package provides a compact but real
+Cascades substrate — memo, groups, logical expressions, transformation
+rules — plus the BQO rule, and implements all three options:
+
+* ``full`` — bitvector-aware costing of complete plans extracted from
+  the explored memo.  Exact but exponential (this cost is precisely the
+  paper's motivation for the linear candidate analysis); plan
+  extraction is capped.
+* ``alternative`` — the bitvector-blind best plan and the BQO rule's
+  plan are both costed bitvector-aware; the cheaper wins.
+* ``shallow`` — the BQO rule's subplan is pinned (join reordering
+  disabled on it), matching the paper's deployed configuration.
+* ``blind`` — no bitvector awareness at all (the pre-paper baseline;
+  cross-checks :mod:`repro.optimizer.baseline`).
+"""
+
+from repro.cascades.memo import Memo, Group, LogicalGet, LogicalJoin
+from repro.cascades.rules import (
+    Rule,
+    JoinCommutativity,
+    JoinAssociativity,
+    DEFAULT_RULES,
+)
+from repro.cascades.engine import CascadesOptimizer, INTEGRATION_MODES
+
+__all__ = [
+    "Memo",
+    "Group",
+    "LogicalGet",
+    "LogicalJoin",
+    "Rule",
+    "JoinCommutativity",
+    "JoinAssociativity",
+    "DEFAULT_RULES",
+    "CascadesOptimizer",
+    "INTEGRATION_MODES",
+]

@@ -1,0 +1,112 @@
+"""Memo structure: groups of logically equivalent expressions.
+
+A *group* is identified by the set of relations it joins.  Each group
+holds logical expressions — ``Get(alias)`` leaves or ``Join(left_group,
+right_group)`` — deduplicated by their child groups.  Transformation
+rules add new expressions; duplicates are ignored, which is what makes
+exploration terminate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import OptimizerError
+
+
+@dataclasses.dataclass(frozen=True)
+class LogicalGet:
+    """Leaf: scan of a single relation instance."""
+
+    alias: str
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset({self.alias})
+
+
+@dataclasses.dataclass(frozen=True)
+class LogicalJoin:
+    """Inner join of two groups (identified by their relation sets)."""
+
+    left: frozenset[str]
+    right: frozenset[str]
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return self.left | self.right
+
+
+LogicalExpression = LogicalGet | LogicalJoin
+
+
+class Group:
+    """All known logically equivalent expressions over one relation set."""
+
+    def __init__(self, relations: frozenset[str]) -> None:
+        self.relations = relations
+        self.expressions: list[LogicalExpression] = []
+        self._seen: set[object] = set()
+        self.explored = False
+
+    def add(self, expression: LogicalExpression) -> bool:
+        """Add an expression; returns True if it was new."""
+        if expression.relations != self.relations:
+            raise OptimizerError(
+                f"expression {expression} does not belong to group "
+                f"{sorted(self.relations)}"
+            )
+        key = (
+            expression.alias
+            if isinstance(expression, LogicalGet)
+            else (expression.left, expression.right)
+        )
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self.expressions.append(expression)
+        return True
+
+
+class Memo:
+    """Group registry keyed by relation set."""
+
+    def __init__(self) -> None:
+        self._groups: dict[frozenset[str], Group] = {}
+
+    def group(self, relations: frozenset[str]) -> Group:
+        group = self._groups.get(relations)
+        if group is None:
+            group = Group(relations)
+            self._groups[relations] = group
+        return group
+
+    def has_group(self, relations: frozenset[str]) -> bool:
+        return relations in self._groups
+
+    @property
+    def groups(self) -> list[Group]:
+        return list(self._groups.values())
+
+    def num_expressions(self) -> int:
+        return sum(len(group.expressions) for group in self._groups.values())
+
+    def insert_expression(self, expression: LogicalExpression) -> bool:
+        """Insert into the owning group (creating it if needed)."""
+        return self.group(expression.relations).add(expression)
+
+    def seed_left_deep(self, order: list[str]) -> frozenset[str]:
+        """Seed the memo with a left-deep tree over ``order``.
+
+        Returns the root group's relation set.
+        """
+        if not order:
+            raise OptimizerError("cannot seed an empty memo")
+        self.insert_expression(LogicalGet(order[0]))
+        accumulated = frozenset({order[0]})
+        for alias in order[1:]:
+            self.insert_expression(LogicalGet(alias))
+            expression = LogicalJoin(accumulated, frozenset({alias}))
+            accumulated = accumulated | {alias}
+            self.insert_expression(expression)
+        return accumulated

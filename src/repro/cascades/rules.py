@@ -1,0 +1,81 @@
+"""Transformation rules.
+
+Rules rewrite logical expressions into equivalent ones.  Join
+commutativity plus (left) associativity — with cross products rejected —
+explore the full bushy space for connected graphs when run to fixpoint,
+the classic Cascades result.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cascades.memo import LogicalExpression, LogicalJoin, Memo
+from repro.query.joingraph import JoinGraph
+
+
+def _connected(graph: JoinGraph, left: frozenset[str], right: frozenset[str]) -> bool:
+    for alias in left:
+        if graph.neighbors(alias) & right:
+            return True
+    return False
+
+
+class Rule(abc.ABC):
+    """A transformation rule over logical expressions."""
+
+    name = "rule"
+
+    @abc.abstractmethod
+    def apply(
+        self, expression: LogicalExpression, memo: Memo, graph: JoinGraph
+    ) -> list[LogicalExpression]:
+        """Return new expressions equivalent to ``expression``.
+
+        Rules may also need to create *child* groups (associativity
+        produces joins over new relation subsets); they insert those
+        into the memo directly.
+        """
+
+
+class JoinCommutativity(Rule):
+    """Join(L, R) -> Join(R, L)."""
+
+    name = "join_commute"
+
+    def apply(self, expression, memo, graph):
+        if not isinstance(expression, LogicalJoin):
+            return []
+        return [LogicalJoin(expression.right, expression.left)]
+
+
+class JoinAssociativity(Rule):
+    """Join(Join(X, Y), R) -> Join(X, Join(Y, R)) (no cross products).
+
+    The inner ``Join(Y, R)`` is inserted into its own group so it can be
+    explored further.
+    """
+
+    name = "join_assoc"
+
+    def apply(self, expression, memo, graph):
+        if not isinstance(expression, LogicalJoin):
+            return []
+        results: list[LogicalExpression] = []
+        left_group = memo.group(expression.left)
+        for child in list(left_group.expressions):
+            if not isinstance(child, LogicalJoin):
+                continue
+            x, y = child.left, child.right
+            r = expression.right
+            if not _connected(graph, y, r):
+                continue
+            inner = LogicalJoin(y, r)
+            if not _connected(graph, x, y | r):
+                continue
+            memo.insert_expression(inner)
+            results.append(LogicalJoin(x, y | r))
+        return results
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (JoinCommutativity(), JoinAssociativity())

@@ -1,0 +1,25 @@
+"""Cost models.
+
+* :mod:`repro.cost.constants` — per-tuple CPU weights shared by the
+  executor's metered CPU and the optimizer's physical cost estimates.
+* :mod:`repro.cost.cout` — the paper's ``Cout`` (sum of intermediate
+  result sizes, Section 3.3) over a physical plan, parameterized by a
+  cardinality model (estimated or true).
+* :mod:`repro.cost.truecard` — exact cardinalities obtained by actually
+  executing the plan with exact filters; used to validate the theorems.
+* :mod:`repro.cost.physical` — expected CPU of a plan under the
+  Section 6.3 cost model.
+"""
+
+from repro.cost.constants import CostConstants, DEFAULT_COSTS
+from repro.cost.cout import CardinalityModel, EstimatedCardModel, cout
+from repro.cost.physical import estimated_cpu
+
+__all__ = [
+    "CostConstants",
+    "DEFAULT_COSTS",
+    "CardinalityModel",
+    "EstimatedCardModel",
+    "cout",
+    "estimated_cpu",
+]

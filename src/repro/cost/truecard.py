@@ -1,0 +1,39 @@
+"""True-cardinality cost model: execute the plan, read off exact sizes.
+
+The paper's theorems (4.1-5.4) are statements about ``Cout`` computed
+over *actual* cardinalities with no-false-positive bitvector filters.
+Validating them therefore requires exact intermediate sizes, which we
+obtain by running the real executor with :class:`ExactFilter` and using
+the recorded per-node output counts.
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import Executor
+from repro.engine.metrics import ExecutionMetrics
+from repro.plan.nodes import PlanNode
+from repro.storage.database import Database
+
+
+class TrueCardModel:
+    """Cardinality model backed by an actual execution's metrics."""
+
+    def __init__(self, metrics: ExecutionMetrics) -> None:
+        self._metrics = metrics
+
+    def rows_out(self, node: PlanNode) -> float:
+        return float(self._metrics.rows_out(node.node_id))
+
+
+def true_cout(plan: PlanNode, database: Database,
+              filter_kind: str = "exact") -> float:
+    """Execute ``plan`` and return its exact ``Cout``.
+
+    Uses exact bitvector filters by default so the no-false-positive
+    assumption of the analysis holds.
+    """
+    from repro.cost.cout import cout  # local import to avoid cycles
+
+    executor = Executor(database, filter_kind=filter_kind)
+    result = executor.execute(plan)
+    return cout(plan, TrueCardModel(result.metrics))

@@ -1,0 +1,13 @@
+"""Vectorized in-memory execution engine.
+
+Executes physical plans over :class:`repro.storage.Database` tables.
+Joins, predicate evaluation, and bitvector filtering are all vectorized
+with numpy, so the engine is fast enough to run workload-scale
+experiments while producing *exact* per-operator tuple counts — the
+quantity all of the paper's results are built on.
+"""
+
+from repro.engine.metrics import NodeMetrics, ExecutionMetrics
+from repro.engine.executor import Executor, ExecutionResult
+
+__all__ = ["NodeMetrics", "ExecutionMetrics", "Executor", "ExecutionResult"]

@@ -1,0 +1,389 @@
+"""Plan executor.
+
+Recursively evaluates a physical plan tree.  For every hash join the
+*build* child executes first; if the join creates a bitvector filter it
+is registered before the *probe* child runs, so every application site
+(which Algorithm 1 guarantees lies inside the probe subtree) finds its
+filter populated — the same scheduling property real engines rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.engine.metrics import (
+    ExecutionMetrics,
+    OPERATOR_KIND_JOIN,
+    OPERATOR_KIND_LEAF,
+    OPERATOR_KIND_OTHER,
+)
+from repro.engine.relation import Relation
+from repro.errors import ExecutionError
+from repro.expr.eval import evaluate_predicate
+from repro.expr.expressions import referenced_columns
+from repro.filters.base import BitvectorFilter
+from repro.filters.registry import create_filter
+from repro.plan.nodes import (
+    AggregateNode,
+    BitvectorDef,
+    FilterNode,
+    HashJoinNode,
+    PlanNode,
+    ScanNode,
+)
+from repro.storage.database import Database
+from repro.util.keycodes import joint_codes
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """Result of executing one plan: output + metrics."""
+
+    relation: Relation
+    aggregates: dict[str, np.ndarray] | None
+    metrics: ExecutionMetrics
+
+    @property
+    def num_rows(self) -> int:
+        if self.aggregates is not None:
+            first = next(iter(self.aggregates.values()), None)
+            return 0 if first is None else len(first)
+        return self.relation.num_rows
+
+    def scalar(self, label: str) -> object:
+        """Value of a single-row aggregate output column."""
+        if self.aggregates is None:
+            raise ExecutionError("plan has no aggregate output")
+        values = self.aggregates[label]
+        if len(values) != 1:
+            raise ExecutionError(f"aggregate {label!r} is not scalar")
+        return values[0]
+
+
+class Executor:
+    """Executes physical plans against a database.
+
+    Parameters
+    ----------
+    database:
+        Table source.
+    filter_kind:
+        Which bitvector implementation joins create: ``"exact"``
+        (default — the no-false-positives filter the theory assumes),
+        ``"bloom"``, or ``"blocked_bloom"``.
+    filter_options:
+        Extra keyword arguments for the filter constructor (e.g.
+        ``bits_per_key``).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        filter_kind: str = "exact",
+        filter_options: dict | None = None,
+        adaptive_filter_order: bool = False,
+    ) -> None:
+        self._database = database
+        self._filter_kind = filter_kind
+        self._filter_options = dict(filter_options or {})
+        # LIP-style runtime reordering of stacked filters (see
+        # repro.engine.lip); off by default to match the paper's engine.
+        self._adaptive_filter_order = adaptive_filter_order
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: PlanNode) -> ExecutionResult:
+        metrics = ExecutionMetrics()
+        filters: dict[int, BitvectorFilter] = {}
+        needed = _needed_columns(plan)
+        aggregates: dict[str, np.ndarray] | None = None
+        if isinstance(plan, AggregateNode):
+            relation = self._run(plan.child, metrics, filters, needed)
+            aggregates = self._aggregate(plan, relation, metrics)
+        else:
+            relation = self._run(plan, metrics, filters, needed)
+        return ExecutionResult(relation=relation, aggregates=aggregates,
+                               metrics=metrics)
+
+    # ------------------------------------------------------------------
+    # Node dispatch
+    # ------------------------------------------------------------------
+
+    def _run(
+        self,
+        node: PlanNode,
+        metrics: ExecutionMetrics,
+        filters: dict[int, BitvectorFilter],
+        needed: dict[str, set[str]],
+    ) -> Relation:
+        if isinstance(node, ScanNode):
+            return self._scan(node, metrics, filters, needed)
+        if isinstance(node, HashJoinNode):
+            return self._hash_join(node, metrics, filters, needed)
+        if isinstance(node, FilterNode):
+            return self._residual_filter(node, metrics, filters, needed)
+        if isinstance(node, AggregateNode):
+            raise ExecutionError("aggregate must be the plan root")
+        raise ExecutionError(f"cannot execute node {node.label}")
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def _scan(
+        self,
+        node: ScanNode,
+        metrics: ExecutionMetrics,
+        filters: dict[int, BitvectorFilter],
+        needed: dict[str, set[str]],
+    ) -> Relation:
+        record = metrics.node(node.node_id, node.label, OPERATOR_KIND_LEAF)
+        table = self._database.table(node.table_name)
+        columns = {
+            (node.alias, name): table.column(name)
+            for name in sorted(needed.get(node.alias, set()))
+        }
+        relation = Relation(columns, table.num_rows)
+        record.add("scan", table.num_rows)
+
+        if node.predicate is not None:
+            mask = evaluate_predicate(
+                node.predicate, relation.provider, relation.num_rows
+            )
+            relation = relation.mask(mask)
+
+        relation = self._apply_bitvectors(
+            node.applied_bitvectors, relation, record, filters
+        )
+        record.rows_out = relation.num_rows
+        return relation
+
+    def _hash_join(
+        self,
+        node: HashJoinNode,
+        metrics: ExecutionMetrics,
+        filters: dict[int, BitvectorFilter],
+        needed: dict[str, set[str]],
+    ) -> Relation:
+        record = metrics.node(node.node_id, node.label, OPERATOR_KIND_JOIN)
+
+        build_rel = self._run(node.build, metrics, filters, needed)
+        record.add("build", build_rel.num_rows)
+
+        if node.created_bitvector is not None:
+            definition = node.created_bitvector
+            key_columns = [
+                build_rel.column(alias, column)
+                for alias, column in definition.build_keys
+            ]
+            filters[definition.filter_id] = create_filter(
+                self._filter_kind, key_columns, **self._filter_options
+            )
+            record.add("filter_insert", build_rel.num_rows)
+
+        probe_rel = self._run(node.probe, metrics, filters, needed)
+        record.add("probe", probe_rel.num_rows)
+
+        build_keys = [
+            build_rel.column(alias, column) for alias, column in node.build_keys
+        ]
+        probe_keys = [
+            probe_rel.column(alias, column) for alias, column in node.probe_keys
+        ]
+        build_idx, probe_idx = _match_keys(build_keys, probe_keys)
+        result = probe_rel.merged_with(build_rel, probe_idx, build_idx)
+        record.add("output", result.num_rows)
+        record.rows_out = result.num_rows
+        return result
+
+    def _residual_filter(
+        self,
+        node: FilterNode,
+        metrics: ExecutionMetrics,
+        filters: dict[int, BitvectorFilter],
+        needed: dict[str, set[str]],
+    ) -> Relation:
+        record = metrics.node(node.node_id, node.label, OPERATOR_KIND_OTHER)
+        relation = self._run(node.child, metrics, filters, needed)
+        relation = self._apply_bitvectors(
+            node.applied_bitvectors, relation, record, filters
+        )
+        record.rows_out = relation.num_rows
+        return relation
+
+    def _apply_bitvectors(
+        self,
+        definitions: list[BitvectorDef],
+        relation: Relation,
+        record,
+        filters: dict[int, BitvectorFilter],
+    ) -> Relation:
+        if self._adaptive_filter_order and len(definitions) > 1:
+            from repro.engine.lip import order_filters_adaptively
+
+            definitions = order_filters_adaptively(
+                definitions, filters, relation.column, relation.num_rows
+            )
+        for definition in definitions:
+            bitvector = filters.get(definition.filter_id)
+            if bitvector is None:
+                raise ExecutionError(
+                    f"bitvector {definition!r} applied before creation; "
+                    "plan scheduling is broken"
+                )
+            key_columns = [
+                relation.column(alias, column)
+                for alias, column in definition.probe_keys
+            ]
+            record.add("filter_check", relation.num_rows)
+            mask = bitvector.contains(key_columns)
+            relation = relation.mask(mask)
+        return relation
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def _aggregate(
+        self,
+        node: AggregateNode,
+        relation: Relation,
+        metrics: ExecutionMetrics,
+    ) -> dict[str, np.ndarray]:
+        record = metrics.node(node.node_id, node.label, OPERATOR_KIND_OTHER)
+        record.add("aggregate", relation.num_rows)
+
+        if node.group_by:
+            group_columns = [
+                relation.column(ref.alias, ref.column) for ref in node.group_by
+            ]
+            from repro.util.keycodes import single_table_codes
+
+            codes = (
+                single_table_codes(group_columns)
+                if relation.num_rows
+                else np.array([], dtype=np.int64)
+            )
+            unique_codes, group_index = np.unique(codes, return_inverse=True)
+            num_groups = len(unique_codes)
+            # First row index of each group, as a stable representative
+            # for emitting the grouping columns.
+            first_positions = np.full(num_groups, relation.num_rows, dtype=np.int64)
+            if num_groups:
+                np.minimum.at(
+                    first_positions, group_index, np.arange(relation.num_rows)
+                )
+            output: dict[str, np.ndarray] = {}
+            for ref, values in zip(node.group_by, group_columns):
+                output[f"{ref.alias}.{ref.column}"] = values[first_positions]
+        else:
+            num_groups = 1
+            group_index = np.zeros(relation.num_rows, dtype=np.int64)
+            output = {}
+
+        for aggregate in node.aggregates:
+            label = aggregate.label or str(aggregate)
+            if aggregate.function == "count":
+                counts = np.bincount(group_index, minlength=num_groups)
+                output[label] = counts.astype(np.int64)
+                continue
+            assert aggregate.argument is not None
+            values = relation.column(
+                aggregate.argument.alias, aggregate.argument.column
+            ).astype(np.float64)
+            if aggregate.function == "sum":
+                sums = np.bincount(
+                    group_index, weights=values, minlength=num_groups
+                )
+                output[label] = sums
+            elif aggregate.function == "avg":
+                sums = np.bincount(
+                    group_index, weights=values, minlength=num_groups
+                )
+                counts = np.bincount(group_index, minlength=num_groups)
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    output[label] = np.where(counts > 0, sums / counts, np.nan)
+            elif aggregate.function in ("min", "max"):
+                fill = np.inf if aggregate.function == "min" else -np.inf
+                folded = np.full(num_groups, fill)
+                ufunc = np.minimum if aggregate.function == "min" else np.maximum
+                if relation.num_rows:
+                    ufunc.at(folded, group_index, values)
+                output[label] = folded
+            else:
+                raise ExecutionError(
+                    f"unsupported aggregate {aggregate.function!r}"
+                )
+        record.rows_out = num_groups if relation.num_rows or node.group_by else 1
+        return output
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _match_keys(
+    build_keys: list[np.ndarray], probe_keys: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """All matching (build_row, probe_row) index pairs, vectorized.
+
+    Sort-based equi-join: encode both key sets over a shared domain,
+    sort the build side, binary-search each probe key, and expand the
+    per-probe match ranges.
+    """
+    if len(build_keys[0]) == 0 or len(probe_keys[0]) == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    build_codes, probe_codes = joint_codes(build_keys, probe_keys)
+    order = np.argsort(build_codes, kind="stable")
+    sorted_codes = build_codes[order]
+    lo = np.searchsorted(sorted_codes, probe_codes, side="left")
+    hi = np.searchsorted(sorted_codes, probe_codes, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    probe_idx = np.repeat(np.arange(len(probe_codes), dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    build_idx = order[starts + offsets]
+    return build_idx, probe_idx
+
+
+def _needed_columns(plan: PlanNode) -> dict[str, set[str]]:
+    """Columns each alias must materialize for this plan."""
+    needed: dict[str, set[str]] = {}
+
+    def want(alias: str, column: str) -> None:
+        needed.setdefault(alias, set()).add(column)
+
+    for node in plan.walk():
+        if isinstance(node, ScanNode) and node.predicate is not None:
+            for alias, column in referenced_columns(node.predicate):
+                want(alias, column)
+        if isinstance(node, HashJoinNode):
+            for alias, column in node.build_keys + node.probe_keys:
+                want(alias, column)
+        for definition in node.applied_bitvectors:
+            for alias, column in definition.probe_keys:
+                want(alias, column)
+        if isinstance(node, AggregateNode):
+            for aggregate in node.aggregates:
+                if aggregate.argument is not None:
+                    want(aggregate.argument.alias, aggregate.argument.column)
+            for ref in node.group_by:
+                want(ref.alias, ref.column)
+        if isinstance(node, ScanNode):
+            needed.setdefault(node.alias, set())
+            # guarantee at least one column so row counts are defined
+            if not needed[node.alias]:
+                pass
+    return needed

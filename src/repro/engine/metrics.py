@@ -1,0 +1,108 @@
+"""Per-operator execution metrics.
+
+Each executed plan node records the tuple counts of its cost-bearing
+components.  Metered CPU is the dot product of those counts with the
+:class:`~repro.cost.constants.CostConstants` weights — the same model
+the optimizer estimates against, evaluated on actual counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cost.constants import CostConstants, DEFAULT_COSTS
+
+_COMPONENTS = (
+    "scan",
+    "build",
+    "probe",
+    "output",
+    "filter_check",
+    "filter_insert",
+    "aggregate",
+)
+
+# Operator classes for the Figure 9 breakdown.
+OPERATOR_KIND_LEAF = "leaf"
+OPERATOR_KIND_JOIN = "join"
+OPERATOR_KIND_OTHER = "other"
+
+
+@dataclasses.dataclass
+class NodeMetrics:
+    """Metrics for one plan node."""
+
+    node_id: int
+    label: str
+    kind: str
+    rows_out: int = 0
+    components: dict[str, float] = dataclasses.field(
+        default_factory=lambda: {name: 0.0 for name in _COMPONENTS}
+    )
+
+    def add(self, component: str, count: float) -> None:
+        self.components[component] += count
+
+    def cpu(self, constants: CostConstants = DEFAULT_COSTS) -> float:
+        return (
+            self.components["scan"] * constants.scan
+            + self.components["build"] * constants.build
+            + self.components["probe"] * constants.probe
+            + self.components["output"] * constants.output
+            + self.components["filter_check"] * constants.filter_check
+            + self.components["filter_insert"] * constants.filter_insert
+            + self.components["aggregate"] * constants.aggregate
+        )
+
+
+class ExecutionMetrics:
+    """Aggregated metrics for one plan execution."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, NodeMetrics] = {}
+
+    def node(self, node_id: int, label: str, kind: str) -> NodeMetrics:
+        metrics = self._nodes.get(node_id)
+        if metrics is None:
+            metrics = NodeMetrics(node_id=node_id, label=label, kind=kind)
+            self._nodes[node_id] = metrics
+        return metrics
+
+    @property
+    def nodes(self) -> list[NodeMetrics]:
+        return list(self._nodes.values())
+
+    def rows_out(self, node_id: int) -> int:
+        return self._nodes[node_id].rows_out
+
+    def metered_cpu(self, constants: CostConstants = DEFAULT_COSTS) -> float:
+        """Total metered CPU across all operators."""
+        return sum(node.cpu(constants) for node in self._nodes.values())
+
+    def tuples_by_kind(self) -> dict[str, int]:
+        """Total tuples output per operator class (Figure 9's quantity)."""
+        totals = {
+            OPERATOR_KIND_LEAF: 0,
+            OPERATOR_KIND_JOIN: 0,
+            OPERATOR_KIND_OTHER: 0,
+        }
+        for node in self._nodes.values():
+            totals[node.kind] += node.rows_out
+        return totals
+
+    def total_tuples(self) -> int:
+        return sum(node.rows_out for node in self._nodes.values())
+
+    def component_totals(self) -> dict[str, float]:
+        totals = {name: 0.0 for name in _COMPONENTS}
+        for node in self._nodes.values():
+            for name, value in node.components.items():
+                totals[name] += value
+        return totals
+
+    def cardinality_annotations(self) -> dict[int, str]:
+        """Node annotations for :func:`repro.plan.display.format_plan`."""
+        return {
+            node.node_id: f"{node.rows_out} rows / cpu {node.cpu():.0f}"
+            for node in self._nodes.values()
+        }

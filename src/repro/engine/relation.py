@@ -1,0 +1,58 @@
+"""Runtime relation: a batch of alias-qualified columns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+class Relation:
+    """Columns keyed by ``(alias, column)``, all of equal length.
+
+    The intermediate data structure flowing between operators.  Gather
+    operations produce new relations; the originals stay untouched.
+    """
+
+    def __init__(self, columns: dict[tuple[str, str], np.ndarray], num_rows: int) -> None:
+        self.columns = columns
+        self.num_rows = num_rows
+
+    @classmethod
+    def empty(cls) -> "Relation":
+        return cls({}, 0)
+
+    def column(self, alias: str, name: str) -> np.ndarray:
+        try:
+            return self.columns[(alias, name)]
+        except KeyError:
+            raise ExecutionError(
+                f"column {alias}.{name} not present in relation "
+                f"(have {sorted(self.columns)})"
+            ) from None
+
+    def provider(self, alias: str, name: str) -> np.ndarray:
+        """Column provider signature for the expression evaluator."""
+        return self.column(alias, name)
+
+    def gather(self, indices: np.ndarray) -> "Relation":
+        return Relation(
+            {key: values[indices] for key, values in self.columns.items()},
+            int(len(indices)),
+        )
+
+    def mask(self, mask: np.ndarray) -> "Relation":
+        return self.gather(np.flatnonzero(mask))
+
+    def merged_with(self, other: "Relation", self_idx: np.ndarray,
+                    other_idx: np.ndarray) -> "Relation":
+        """Join-style merge: gather self by ``self_idx`` and other by
+        ``other_idx``, concatenating the column sets."""
+        columns: dict[tuple[str, str], np.ndarray] = {}
+        for key, values in self.columns.items():
+            columns[key] = values[self_idx]
+        for key, values in other.columns.items():
+            if key in columns:
+                raise ExecutionError(f"duplicate column {key} in join")
+            columns[key] = values[other_idx]
+        return Relation(columns, int(len(self_idx)))

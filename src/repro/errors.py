@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a schema definition or lookup is invalid.
+
+    Examples: duplicate table names, unknown columns, foreign keys that
+    reference columns that do not exist, or key column type mismatches.
+    """
+
+
+class DataError(ReproError):
+    """Raised when table data violates schema constraints.
+
+    Examples: ragged columns, duplicate primary-key values, foreign-key
+    values that do not appear in the referenced key.
+    """
+
+
+class QueryError(ReproError):
+    """Raised when a query specification is malformed.
+
+    Examples: predicates over unknown aliases, join edges with mismatched
+    column counts, disconnected join graphs where connectivity is required.
+    """
+
+
+class SqlError(QueryError):
+    """Raised for SQL lexing, parsing, or binding failures."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """Raised when a physical plan is structurally invalid.
+
+    Examples: a join whose key columns are not produced by its children,
+    or a bitvector filter applied at a node that lacks its columns.
+    """
+
+
+class OptimizerError(ReproError):
+    """Raised when the optimizer cannot produce a plan.
+
+    Examples: join graphs with no valid right-deep order, or plan spaces
+    that are empty after pruning.
+    """
+
+
+class ExecutionError(ReproError):
+    """Raised when the execution engine encounters an invalid state."""

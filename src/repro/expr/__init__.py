@@ -1,0 +1,38 @@
+"""Scalar predicate expressions with vectorized evaluation."""
+
+from repro.expr.expressions import (
+    Expression,
+    ColumnRef,
+    Literal,
+    Comparison,
+    Between,
+    InList,
+    Like,
+    And,
+    Or,
+    Not,
+    col,
+    lit,
+    conjuncts,
+    referenced_columns,
+)
+from repro.expr.eval import evaluate_predicate, like_to_regex
+
+__all__ = [
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "Between",
+    "InList",
+    "Like",
+    "And",
+    "Or",
+    "Not",
+    "col",
+    "lit",
+    "conjuncts",
+    "referenced_columns",
+    "evaluate_predicate",
+    "like_to_regex",
+]

@@ -1,0 +1,202 @@
+"""Predicate expression trees.
+
+Expressions reference columns as ``(alias, column)`` pairs, where the
+alias names a relation instance in the query (so self-joins work).  The
+workload queries only need conjunctions of simple predicates, but the
+tree supports OR/NOT so tests can exercise the general evaluator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class Expression:
+    """Base class for scalar boolean/value expressions."""
+
+    def children(self) -> tuple["Expression", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expression"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column of a relation instance: ``alias.column``."""
+
+    alias: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Literal(Expression):
+    """A constant (int, float, or str)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclasses.dataclass(frozen=True)
+class Comparison(Expression):
+    """Binary comparison: ``left op right``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Between(Expression):
+    """Range predicate: ``operand BETWEEN low AND high`` (inclusive)."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand, self.low, self.high)
+
+    def __str__(self) -> str:
+        return f"{self.operand} BETWEEN {self.low} AND {self.high}"
+
+
+@dataclasses.dataclass(frozen=True)
+class InList(Expression):
+    """Membership predicate: ``operand IN (v1, v2, ...)``."""
+
+    operand: Expression
+    values: tuple[object, ...]
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(Literal(v)) for v in self.values)
+        return f"{self.operand} IN ({rendered})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Like(Expression):
+    """SQL LIKE over text columns: ``%`` and ``_`` wildcards."""
+
+    operand: Expression
+    pattern: str
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"{self.operand} LIKE '{self.pattern}'"
+
+
+@dataclasses.dataclass(frozen=True)
+class And(Expression):
+    """Conjunction of two or more predicates."""
+
+    operands: tuple[Expression, ...]
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({operand})" for operand in self.operands)
+
+
+@dataclasses.dataclass(frozen=True)
+class Or(Expression):
+    """Disjunction of two or more predicates."""
+
+    operands: tuple[Expression, ...]
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({operand})" for operand in self.operands)
+
+
+@dataclasses.dataclass(frozen=True)
+class Not(Expression):
+    """Negation."""
+
+    operand: Expression
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors and analysis helpers
+# ----------------------------------------------------------------------
+
+
+def col(alias: str, column: str) -> ColumnRef:
+    """Shorthand for :class:`ColumnRef`."""
+    return ColumnRef(alias, column)
+
+
+def lit(value: object) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value)
+
+
+def conjuncts(expression: Expression | None) -> list[Expression]:
+    """Flatten nested ANDs into a list of conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, And):
+        result: list[Expression] = []
+        for operand in expression.operands:
+            result.extend(conjuncts(operand))
+        return result
+    return [expression]
+
+
+def combine_and(expressions: list[Expression]) -> Expression | None:
+    """Combine a list of predicates into one AND (or None if empty)."""
+    expressions = [e for e in expressions if e is not None]
+    if not expressions:
+        return None
+    if len(expressions) == 1:
+        return expressions[0]
+    return And(tuple(expressions))
+
+
+def referenced_columns(expression: Expression) -> set[tuple[str, str]]:
+    """All ``(alias, column)`` pairs referenced by an expression."""
+    return {
+        (node.alias, node.column)
+        for node in expression.walk()
+        if isinstance(node, ColumnRef)
+    }
+
+
+def referenced_aliases(expression: Expression) -> set[str]:
+    """All relation aliases referenced by an expression."""
+    return {alias for alias, _ in referenced_columns(expression)}

@@ -1,0 +1,33 @@
+"""Bitvector filter implementations.
+
+The paper's analysis assumes bitvector filters *without false positives*
+(its Property 4 / Lemma 1 equality conditions); real engines use hash
+bitmaps or Bloom filters that trade accuracy for space.  This package
+provides both:
+
+* :class:`ExactFilter` — set-exact semi-join semantics (zero false
+  positives), the filter the theory reasons about;
+* :class:`BloomFilter` — classic k-hash Bloom filter with configurable
+  bits-per-key;
+* :class:`BlockedBloomFilter` — cache-line-blocked variant (single
+  memory region per key, as in Putze et al. / modern engines).
+
+All filters share the :class:`BitvectorFilter` interface: build from a
+list of key-column arrays, then test membership of probe-side key
+columns, returning a boolean mask.  Filters never have false negatives.
+"""
+
+from repro.filters.base import BitvectorFilter
+from repro.filters.exact import ExactFilter
+from repro.filters.bloom import BloomFilter
+from repro.filters.blocked import BlockedBloomFilter
+from repro.filters.registry import create_filter, FILTER_KINDS
+
+__all__ = [
+    "BitvectorFilter",
+    "ExactFilter",
+    "BloomFilter",
+    "BlockedBloomFilter",
+    "create_filter",
+    "FILTER_KINDS",
+]

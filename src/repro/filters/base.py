@@ -1,0 +1,63 @@
+"""Abstract interface shared by all bitvector filter implementations."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class BitvectorFilter(abc.ABC):
+    """A probabilistic (or exact) set membership filter over key tuples.
+
+    Contract:
+
+    * built once from the build side's key columns,
+    * ``contains`` never returns ``False`` for a key that was inserted
+      (no false negatives),
+    * implementations may return ``True`` for keys that were *not*
+      inserted (false positives), except :class:`ExactFilter`.
+    """
+
+    @classmethod
+    @abc.abstractmethod
+    def build(cls, key_columns: list[np.ndarray], **options) -> "BitvectorFilter":
+        """Construct a filter containing every key tuple in the columns.
+
+        ``key_columns`` is a non-empty list of equal-length arrays; row
+        ``i`` across the arrays forms one key tuple.
+        """
+
+    @abc.abstractmethod
+    def contains(self, key_columns: list[np.ndarray]) -> np.ndarray:
+        """Boolean mask: which probe rows may match an inserted key."""
+
+    @property
+    @abc.abstractmethod
+    def size_bits(self) -> int:
+        """Memory footprint of the filter payload in bits."""
+
+    @property
+    @abc.abstractmethod
+    def num_keys(self) -> int:
+        """Number of key tuples inserted at build time."""
+
+    @property
+    def may_have_false_positives(self) -> bool:
+        """Whether this implementation can report spurious matches."""
+        return True
+
+    def false_positive_rate(self) -> float:
+        """Estimated probability a non-member passes the filter."""
+        return 0.0
+
+
+def validate_key_columns(key_columns: list[np.ndarray]) -> int:
+    """Validate shape constraints and return the row count."""
+    if not key_columns:
+        raise ValueError("filter requires at least one key column")
+    length = len(key_columns[0])
+    for column in key_columns[1:]:
+        if len(column) != length:
+            raise ValueError("key columns must have equal lengths")
+    return length

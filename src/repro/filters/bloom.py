@@ -1,0 +1,100 @@
+"""Classic Bloom filter with vectorized insert and probe."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.filters.base import BitvectorFilter, validate_key_columns
+from repro.util.hashing import hash_columns, hash_int64
+
+_DEFAULT_BITS_PER_KEY = 10
+
+
+def optimal_num_hashes(bits_per_key: float) -> int:
+    """The k minimizing false positives for a given bits/key budget."""
+    return max(1, round(bits_per_key * math.log(2.0)))
+
+
+class BloomFilter(BitvectorFilter):
+    """k-hash Bloom filter over key tuples.
+
+    Uses Kirsch-Mitzenmacher double hashing: positions are
+    ``h1 + i * h2 (mod m)``, which preserves the asymptotic false
+    positive rate with only two base hashes per key.
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int, num_keys: int,
+                 bits: np.ndarray) -> None:
+        self._num_bits = num_bits
+        self._num_hashes = num_hashes
+        self._num_keys = num_keys
+        self._bits = bits
+
+    @classmethod
+    def build(
+        cls,
+        key_columns: list[np.ndarray],
+        bits_per_key: float = _DEFAULT_BITS_PER_KEY,
+        num_hashes: int | None = None,
+        **options,
+    ) -> "BloomFilter":
+        num_keys = validate_key_columns(key_columns)
+        num_bits = max(64, int(math.ceil(bits_per_key * max(1, num_keys))))
+        if num_hashes is None:
+            num_hashes = optimal_num_hashes(bits_per_key)
+        bits = np.zeros(num_bits, dtype=bool)
+        if num_keys:
+            h1, h2 = _base_hashes(key_columns)
+            for i in range(num_hashes):
+                positions = (h1 + np.uint64(i) * h2) % np.uint64(num_bits)
+                bits[positions.astype(np.int64)] = True
+        return cls(num_bits, num_hashes, num_keys, bits)
+
+    def contains(self, key_columns: list[np.ndarray]) -> np.ndarray:
+        num_rows = validate_key_columns(key_columns)
+        if self._num_keys == 0:
+            return np.zeros(num_rows, dtype=bool)
+        h1, h2 = _base_hashes(key_columns)
+        result = np.ones(num_rows, dtype=bool)
+        for i in range(self._num_hashes):
+            positions = (h1 + np.uint64(i) * h2) % np.uint64(self._num_bits)
+            result &= self._bits[positions.astype(np.int64)]
+        return result
+
+    @property
+    def size_bits(self) -> int:
+        return self._num_bits
+
+    @property
+    def num_keys(self) -> int:
+        return self._num_keys
+
+    @property
+    def num_hashes(self) -> int:
+        return self._num_hashes
+
+    def fill_fraction(self) -> float:
+        """Fraction of bits set; drives the realized FP rate."""
+        if self._num_bits == 0:
+            return 0.0
+        return float(self._bits.sum()) / self._num_bits
+
+    def false_positive_rate(self) -> float:
+        """Realized FP estimate: ``fill_fraction ** k``."""
+        return self.fill_fraction() ** self._num_hashes
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(keys={self._num_keys}, bits={self._num_bits}, "
+            f"k={self._num_hashes})"
+        )
+
+
+def _base_hashes(key_columns: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Two independent 64-bit hash streams for double hashing."""
+    h1 = hash_columns(key_columns)
+    with np.errstate(over="ignore"):
+        h2 = hash_int64(h1.view(np.int64)) | np.uint64(1)  # odd => coprime stride
+    return h1, h2

@@ -1,0 +1,53 @@
+"""Exact bitvector filter: true semi-join semantics, no false positives.
+
+This is the filter the paper's theory assumes ("if the bitvector filters
+have no false positives", Property 4 and Lemmas 1/3).  It stores the raw
+build-side key columns and answers membership by *joint factorization*
+of build and probe values (see :mod:`repro.util.keycodes`), which makes
+it collision-free for any data type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.filters.base import BitvectorFilter, validate_key_columns
+from repro.util.keycodes import joint_codes
+
+
+class ExactFilter(BitvectorFilter):
+    """Collision-free membership filter (a hash table of key tuples)."""
+
+    def __init__(self, key_columns: list[np.ndarray]) -> None:
+        self._key_columns = [np.asarray(c) for c in key_columns]
+        self._num_keys = validate_key_columns(self._key_columns)
+
+    @classmethod
+    def build(cls, key_columns: list[np.ndarray], **options) -> "ExactFilter":
+        return cls(key_columns)
+
+    def contains(self, key_columns: list[np.ndarray]) -> np.ndarray:
+        validate_key_columns(key_columns)
+        if self._num_keys == 0:
+            return np.zeros(len(key_columns[0]), dtype=bool)
+        build_codes, probe_codes = joint_codes(self._key_columns, key_columns)
+        return np.isin(probe_codes, build_codes)
+
+    @property
+    def size_bits(self) -> int:
+        # Approximate: a dense hash set of 64-bit entries.
+        return self._num_keys * 64
+
+    @property
+    def num_keys(self) -> int:
+        return self._num_keys
+
+    @property
+    def may_have_false_positives(self) -> bool:
+        return False
+
+    def false_positive_rate(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"ExactFilter(keys={self._num_keys})"

@@ -1,0 +1,35 @@
+"""Filter kind registry so pipelines can select implementations by name."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.filters.base import BitvectorFilter
+from repro.filters.blocked import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+from repro.filters.exact import ExactFilter
+
+FILTER_KINDS: dict[str, type[BitvectorFilter]] = {
+    "exact": ExactFilter,
+    "bloom": BloomFilter,
+    "blocked_bloom": BlockedBloomFilter,
+}
+
+
+def create_filter(
+    kind: str, key_columns: list[np.ndarray], **options
+) -> BitvectorFilter:
+    """Build a bitvector filter of the named kind.
+
+    >>> import numpy as np
+    >>> f = create_filter("exact", [np.array([1, 2, 3])])
+    >>> f.contains([np.array([2, 9])]).tolist()
+    [True, False]
+    """
+    try:
+        filter_class = FILTER_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown filter kind {kind!r}; expected one of {sorted(FILTER_KINDS)}"
+        ) from None
+    return filter_class.build(key_columns, **options)

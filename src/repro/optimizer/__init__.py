@@ -1,0 +1,58 @@
+"""Join-order optimization.
+
+Baselines (what a bitvector-blind cost-based optimizer does):
+
+* :mod:`repro.optimizer.baseline` — exact dynamic programming over
+  connected subgraphs for small queries, greedy operator ordering for
+  large ones; both ignore bitvector filters during search, like the
+  paper's host optimizer before the new rule.
+* :mod:`repro.optimizer.enumerate` — exhaustive right-deep enumeration
+  (used to validate the paper's theorems).
+
+The paper's contribution:
+
+* :mod:`repro.optimizer.candidates` — the linear candidate plan sets of
+  Theorems 4.1 / 5.1 / 5.3.
+* :mod:`repro.optimizer.snowflake` — Algorithm 2 (single fact table,
+  priority groups P0-P3).
+* :mod:`repro.optimizer.multifact` — Algorithm 3 (iterative snowflake
+  extraction for arbitrary join graphs).
+* :mod:`repro.optimizer.filter_selection` — Section 6.3 cost-based
+  bitvector filter selection.
+* :mod:`repro.optimizer.pipelines` — end-to-end named pipelines
+  (original / BQO / no-bitvector) used by experiments.
+"""
+
+from repro.optimizer.baseline import optimize_baseline
+from repro.optimizer.enumerate import (
+    right_deep_orders,
+    count_right_deep_orders,
+)
+from repro.optimizer.candidates import (
+    star_candidate_orders,
+    branch_candidate_orders,
+    snowflake_candidate_orders,
+)
+from repro.optimizer.snowflake import optimize_snowflake
+from repro.optimizer.multifact import optimize_join_graph
+from repro.optimizer.filter_selection import apply_cost_based_filters
+from repro.optimizer.pipelines import (
+    OptimizedPlan,
+    optimize_query,
+    PIPELINES,
+)
+
+__all__ = [
+    "optimize_baseline",
+    "right_deep_orders",
+    "count_right_deep_orders",
+    "star_candidate_orders",
+    "branch_candidate_orders",
+    "snowflake_candidate_orders",
+    "optimize_snowflake",
+    "optimize_join_graph",
+    "apply_cost_based_filters",
+    "OptimizedPlan",
+    "optimize_query",
+    "PIPELINES",
+]

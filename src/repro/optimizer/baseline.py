@@ -1,0 +1,155 @@
+"""Baseline (bitvector-blind) join ordering.
+
+This is the stand-in for the paper's host optimizer *before* the new
+transformation rule: a cost-based search over bushy trees without cross
+products, minimizing bitvector-blind ``Cout``.
+
+* Queries with up to ``dp_relation_limit`` relations use exact dynamic
+  programming over connected subsets (DPsub).
+* Larger queries fall back to Greedy Operator Ordering (GOO): repeatedly
+  join the connected pair with the smallest estimated result.
+
+Build sides are chosen by estimated cardinality (smaller side builds),
+the conventional physical heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OptimizerError
+from repro.optimizer.blindcard import BlindCardModel
+from repro.plan.builder import join_nodes, scan_for
+from repro.plan.nodes import PlanNode
+from repro.query.joingraph import JoinGraph
+from repro.stats.estimator import CardinalityEstimator
+
+DEFAULT_DP_RELATION_LIMIT = 10
+
+
+def optimize_baseline(
+    graph: JoinGraph,
+    estimator: CardinalityEstimator,
+    dp_relation_limit: int = DEFAULT_DP_RELATION_LIMIT,
+) -> PlanNode:
+    """Bitvector-blind cost-based join ordering."""
+    if not graph.aliases:
+        raise OptimizerError("query has no relations")
+    if not graph.is_connected():
+        raise OptimizerError("join graph is disconnected (cross product)")
+    model = BlindCardModel(graph, estimator)
+    if len(graph.aliases) <= dp_relation_limit:
+        return _dp_optimize(graph, model)
+    return _goo_optimize(graph, model)
+
+
+# ----------------------------------------------------------------------
+# Exact DP over connected subsets (DPsub)
+# ----------------------------------------------------------------------
+
+
+def _dp_optimize(graph: JoinGraph, model: BlindCardModel) -> PlanNode:
+    aliases = list(graph.aliases)
+    index_of = {alias: i for i, alias in enumerate(aliases)}
+    n = len(aliases)
+    neighbor_bits = [0] * n
+    for alias in aliases:
+        bits = 0
+        for neighbor in graph.neighbors(alias):
+            bits |= 1 << index_of[neighbor]
+        neighbor_bits[index_of[alias]] = bits
+
+    def members(mask: int) -> frozenset[str]:
+        return frozenset(aliases[i] for i in range(n) if mask & (1 << i))
+
+    # best[mask] = (cost, plan, rows)
+    best: dict[int, tuple[float, PlanNode, float]] = {}
+    for i, alias in enumerate(aliases):
+        rows = model.base_rows(alias)
+        best[1 << i] = (rows, scan_for(graph.spec, alias), rows)
+
+    def mask_neighbors(mask: int) -> int:
+        bits = 0
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            bits |= neighbor_bits[low.bit_length() - 1]
+            remaining ^= low
+        return bits & ~mask
+
+    for mask in range(1, 1 << n):
+        if mask in best or mask & (mask - 1) == 0:
+            continue
+        rows = None
+        best_entry: tuple[float, PlanNode, float] | None = None
+        # Enumerate proper subsets containing the lowest set bit.
+        lowest = mask & -mask
+        sub = (mask - 1) & mask
+        while sub:
+            if sub & lowest:
+                other = mask ^ sub
+                left = best.get(sub)
+                right = best.get(other)
+                if left is not None and right is not None:
+                    # connectivity across the cut
+                    if mask_neighbors(sub) & other:
+                        if rows is None:
+                            rows = model.subset_rows(members(mask))
+                        cost = left[0] + right[0] + rows
+                        if best_entry is None or cost < best_entry[0]:
+                            build, probe = left, right
+                            if build[2] > probe[2]:
+                                build, probe = probe, build
+                            plan = join_nodes(
+                                graph, build=build[1], probe=probe[1]
+                            )
+                            best_entry = (cost, plan, rows)
+            sub = (sub - 1) & mask
+        if best_entry is not None:
+            best[mask] = best_entry
+
+    full = (1 << n) - 1
+    if full not in best:
+        raise OptimizerError("DP found no cross-product-free plan")
+    return best[full][1]
+
+
+# ----------------------------------------------------------------------
+# Greedy Operator Ordering (GOO) for large queries
+# ----------------------------------------------------------------------
+
+
+def _goo_optimize(graph: JoinGraph, model: BlindCardModel) -> PlanNode:
+    units: dict[int, tuple[frozenset[str], PlanNode, float]] = {}
+    for i, alias in enumerate(graph.aliases):
+        units[i] = (
+            frozenset({alias}),
+            scan_for(graph.spec, alias),
+            model.base_rows(alias),
+        )
+
+    def connected(a: frozenset[str], b: frozenset[str]) -> bool:
+        return any(graph.neighbors(x) & b for x in a)
+
+    while len(units) > 1:
+        best_pair: tuple[int, int] | None = None
+        best_rows = float("inf")
+        ids = sorted(units)
+        for i_pos, i in enumerate(ids):
+            set_i = units[i][0]
+            for j in ids[i_pos + 1:]:
+                set_j = units[j][0]
+                if not connected(set_i, set_j):
+                    continue
+                rows = model.joined_rows(set_i, set_j)
+                if rows < best_rows:
+                    best_rows = rows
+                    best_pair = (i, j)
+        if best_pair is None:
+            raise OptimizerError("join graph is disconnected (cross product)")
+        i, j = best_pair
+        set_i, plan_i, rows_i = units.pop(i)
+        set_j, plan_j, rows_j = units.pop(j)
+        build, probe = (plan_i, plan_j) if rows_i <= rows_j else (plan_j, plan_i)
+        plan = join_nodes(graph, build=build, probe=probe)
+        units[i] = (set_i | set_j, plan, best_rows)
+    (_, plan, _), = units.values()
+    return plan

@@ -1,0 +1,77 @@
+"""Bitvector-blind cardinality estimation for baseline join ordering.
+
+Classic System-R style: the cardinality of a join over a set of
+relations is the product of filtered base cardinalities times the
+selectivity of every join edge inside the set — independent of join
+order, which is what gives DP its substructure optimality.  This is
+exactly the model a bitvector-unaware optimizer plans with, and exactly
+what the paper shows goes wrong once filters enter the picture.
+"""
+
+from __future__ import annotations
+
+from repro.query.joingraph import JoinGraph
+from repro.stats.estimator import CardinalityEstimator
+
+
+class BlindCardModel:
+    """Order-independent subset cardinalities (no bitvector effects)."""
+
+    def __init__(self, graph: JoinGraph, estimator: CardinalityEstimator) -> None:
+        self._graph = graph
+        self._estimator = estimator
+        self._base_rows: dict[str, float] = {}
+        self._cache: dict[frozenset[str], float] = {}
+
+    def base_rows(self, alias: str) -> float:
+        rows = self._base_rows.get(alias)
+        if rows is None:
+            rows = self._estimator.base_cardinality(
+                alias, self._graph.spec.local_predicate(alias)
+            )
+            self._base_rows[alias] = rows
+        return rows
+
+    def edge_selectivity(self, a: str, b: str) -> float:
+        edge = self._graph.edge_between(a, b)
+        if edge is None:
+            return 1.0
+        return self._estimator.join_selectivity(
+            edge.left_alias,
+            edge.left_columns,
+            edge.right_alias,
+            edge.right_columns,
+        )
+
+    def subset_rows(self, subset: frozenset[str]) -> float:
+        """Estimated join cardinality of all relations in ``subset``."""
+        cached = self._cache.get(subset)
+        if cached is not None:
+            return cached
+        rows = 1.0
+        members = sorted(subset)
+        for alias in members:
+            rows *= self.base_rows(alias)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                rows *= self.edge_selectivity(a, b)
+        rows = max(1.0, rows)
+        self._cache[subset] = rows
+        return rows
+
+    def cross_selectivity(self, left: frozenset[str], right: frozenset[str]) -> float:
+        """Combined selectivity of all edges crossing the two sets."""
+        selectivity = 1.0
+        for a in left:
+            for b in self._graph.neighbors(a):
+                if b in right:
+                    selectivity *= self.edge_selectivity(a, b)
+        return selectivity
+
+    def joined_rows(self, left: frozenset[str], right: frozenset[str]) -> float:
+        return max(
+            1.0,
+            self.subset_rows(left)
+            * self.subset_rows(right)
+            * self.cross_selectivity(left, right),
+        )

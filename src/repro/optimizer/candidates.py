@@ -1,0 +1,166 @@
+"""Linear candidate plan sets from the paper's analysis.
+
+* **Star** (Theorem 4.1): the minimal-``Cout`` right-deep plan is among
+  ``T(R0, R1, ..., Rn)`` plus the n plans
+  ``T(Rk, R0, R1, ..., Rk-1, Rk+1, ..., Rn)`` — n+1 candidates.
+* **Branch/chain** (Theorem 5.3): ``T(Rn, ..., R0)`` plus, for each k,
+  ``T(Rk, Rk+1, ..., Rn, Rk-1, ..., R0)`` — "start somewhere, ride the
+  chain outward to the tip, then come back toward the fact".
+* **Snowflake** (Theorem 5.1): the fact-first plan (branches appended
+  in partial order) plus, for each branch and each starting position in
+  it, a branch-led plan.
+
+Dimension permutations within the equal-cost families are fixed to a
+deterministic order — the theorems prove any permutation has the same
+``Cout`` under no-false-positive filters, which the property tests
+verify directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import OptimizerError
+from repro.query.joingraph import JoinGraph
+
+
+def star_candidate_orders(graph: JoinGraph, fact: str) -> Iterator[list[str]]:
+    """The n+1 candidate orders of Theorem 4.1."""
+    dimensions = sorted(set(graph.aliases) - {fact})
+    yield [fact] + dimensions
+    for leading in dimensions:
+        rest = [d for d in dimensions if d != leading]
+        yield [leading, fact] + rest
+
+
+def branch_candidate_orders(chain: list[str]) -> Iterator[list[str]]:
+    """The n+1 candidate orders of Theorem 5.3.
+
+    ``chain`` is ordered from the fact side outward:
+    ``chain[0] = R0`` (joins the fact / is the fact of the branch
+    subproblem) ... ``chain[-1] = Rn`` (the tip).
+    """
+    tip_first = list(reversed(chain))
+    yield tip_first
+    for start in range(len(chain) - 1):
+        outward = chain[start:]
+        inward = list(reversed(chain[:start]))
+        yield outward + inward
+
+
+def snowflake_candidate_orders(graph: JoinGraph, fact: str) -> Iterator[list[str]]:
+    """The n+1 candidate orders of Theorem 5.1.
+
+    Requires the graph to be a snowflake around ``fact`` (chains of key
+    joins); raises :class:`OptimizerError` otherwise.
+    """
+    if not graph.is_snowflake(fact):
+        raise OptimizerError(f"graph is not a snowflake around {fact!r}")
+    components = graph.branch_components(fact)
+    chains = [graph.chain_order(fact, component) for component in components]
+    chains.sort(key=lambda chain: chain[0])  # deterministic
+
+    def other_chains_flat(skip_index: int) -> list[str]:
+        flat: list[str] = []
+        for index, chain in enumerate(chains):
+            if index != skip_index:
+                flat.extend(chain)  # root -> tip is partially ordered
+        return flat
+
+    # Case 1: fact is the right-most leaf.
+    yield [fact] + other_chains_flat(skip_index=-1)
+
+    # Case 2: a branch leads.  For branch i of length ni there are ni
+    # candidates (one per starting relation), mirroring Theorem 5.3.
+    for index, chain in enumerate(chains):
+        for start in range(len(chain)):
+            outward = chain[start:]
+            inward = list(reversed(chain[:start]))
+            yield outward + inward + [fact] + other_chains_flat(index)
+
+
+def leading_order(
+    component: set[str],
+    start: str,
+    roots: list[str],
+    neighbors: "callable",
+) -> list[str]:
+    """Generalized Theorem 5.3 order for an arbitrary (tree) branch.
+
+    From ``start``, first take the subtree pointing *away* from the
+    fact (DFS), then walk back along the path toward the fact's
+    neighbor (a *root*), emitting each node and its side subtrees.  For
+    chain branches this reproduces the theorem's candidates exactly.
+    Every prefix is connected, so the order never introduces a cross
+    product.
+
+    ``neighbors`` is a callable ``node -> iterable of neighbor nodes``
+    so the same logic serves alias-level and unit-level graphs.
+    """
+    if start not in component:
+        raise OptimizerError(f"{start!r} is not in the branch component")
+    if not roots:
+        raise OptimizerError("component does not touch the fact table")
+
+    def component_neighbors(node: str) -> list[str]:
+        return sorted(n for n in neighbors(node) if n in component)
+
+    # Path from start back to a root (BFS parents toward any root).
+    parents: dict[str, str | None] = {start: None}
+    frontier = [start]
+    reached_root = start if start in roots else None
+    while frontier and reached_root is None:
+        next_frontier: list[str] = []
+        for node in frontier:
+            for neighbor in component_neighbors(node):
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    if neighbor in roots:
+                        reached_root = neighbor
+                        break
+                    next_frontier.append(neighbor)
+            if reached_root is not None:
+                break
+        frontier = next_frontier
+    if reached_root is None:
+        raise OptimizerError("branch component is not connected to a root")
+    path: list[str] = [reached_root]
+    while parents[path[-1]] is not None:
+        path.append(parents[path[-1]])  # type: ignore[arg-type]
+    path.reverse()  # start ... root
+
+    order: list[str] = []
+    emitted: set[str] = set()
+    path_set = set(path)
+
+    def emit_subtree(node: str) -> None:
+        """DFS away from the path."""
+        order.append(node)
+        emitted.add(node)
+        for neighbor in component_neighbors(node):
+            if neighbor not in emitted and neighbor not in path_set:
+                emit_subtree(neighbor)
+
+    for node in path:
+        emit_subtree(node)
+    # Any remaining component members hang off subtrees that were
+    # blocked by path membership; sweep until fixpoint.
+    remaining = [n for n in sorted(component) if n not in emitted]
+    while remaining:
+        progressed = False
+        for node in remaining:
+            if set(neighbors(node)) & emitted:
+                emit_subtree(node)
+                progressed = True
+        remaining = [n for n in sorted(component) if n not in emitted]
+        if remaining and not progressed:
+            raise OptimizerError("branch component is disconnected")
+    return order
+
+
+def branch_leading_order(
+    graph: JoinGraph, fact: str, component: set[str], start: str
+) -> list[str]:
+    """Alias-level :func:`leading_order` for a branch of ``graph``."""
+    roots = graph.branch_roots(fact, component)
+    return leading_order(component, start, roots, graph.neighbors)

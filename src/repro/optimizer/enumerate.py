@@ -1,0 +1,58 @@
+"""Exhaustive enumeration of right-deep trees without cross products.
+
+A right-deep order ``[X0, X1, ..., Xn]`` is valid when every prefix
+``{X0, ..., Xk}`` induces a connected subgraph — otherwise some join
+would be a cross product.  The count of such orders is the "original
+complexity" column of the paper's Table 2: exponential in n for stars
+and snowflakes.  Theorem validation compares the minimum true ``Cout``
+over *all* of these orders with the minimum over the linear candidate
+sets of :mod:`repro.optimizer.candidates`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.query.joingraph import JoinGraph
+
+
+def right_deep_orders(
+    graph: JoinGraph, limit: int | None = None
+) -> Iterator[list[str]]:
+    """Yield every cross-product-free right-deep order of the graph.
+
+    ``limit`` caps the number of yielded orders (safety for tests on
+    larger graphs).
+    """
+    aliases = list(graph.aliases)
+    yielded = 0
+
+    def extend(prefix: list[str], used: set[str]) -> Iterator[list[str]]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        if len(prefix) == len(aliases):
+            yielded += 1
+            yield list(prefix)
+            return
+        for alias in aliases:
+            if alias in used:
+                continue
+            if prefix and not (graph.neighbors(alias) & used):
+                continue  # would be a cross product
+            prefix.append(alias)
+            used.add(alias)
+            yield from extend(prefix, used)
+            prefix.pop()
+            used.remove(alias)
+
+    yield from extend([], set())
+
+
+def count_right_deep_orders(graph: JoinGraph) -> int:
+    """Number of cross-product-free right-deep orders (Table 2's
+    "original complexity")."""
+    total = 0
+    for _ in right_deep_orders(graph):
+        total += 1
+    return total

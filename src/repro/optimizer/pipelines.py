@@ -1,0 +1,151 @@
+"""End-to-end optimization pipelines.
+
+Every experiment compares named pipelines:
+
+* ``original`` — the paper's baseline: the host optimizer's snowflake
+  transformation heuristics with *bitvector-blind* costing (the paper,
+  Section 7.2: "the heuristics used in its snowflake transformation
+  rules neglect the impact of bitvector filters"), with bitvector
+  filters added as a post-processing step (Algorithm 1) under the same
+  cost-based creation threshold the engine deploys.
+* ``original_nobv`` — the ``original`` join order executed with
+  bitvector filtering disabled (the Table 4 comparison).
+* ``bqo`` — the paper's contribution: bitvector-aware Algorithm 3 join
+  ordering with cost-based filter selection and push-down.
+* ``bqo_allfilters`` — ablation: BQO ordering with every join creating
+  a filter (no Section 6.3 selection).
+* ``original_allfilters`` — ablation: baseline ordering, every join
+  filtering.
+* ``dp`` / ``dp_nobv`` — an *extra* reference point beyond the paper:
+  exact bushy dynamic programming (greedy beyond 10 relations) with
+  blind costing and post-hoc filters.  This is a stronger baseline
+  than the paper's host optimizer; EXPERIMENTS.md reports how close it
+  gets to BQO.
+
+Each pipeline returns an :class:`OptimizedPlan` carrying the executable
+plan (aggregates attached, push-down applied where relevant) plus
+planning metadata.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.cost.constants import DEFAULT_LAMBDA_THRESH
+from repro.cost.cout import EstimatedCardModel, cout
+from repro.errors import OptimizerError
+from repro.optimizer.baseline import optimize_baseline
+from repro.optimizer.filter_selection import apply_cost_based_filters
+from repro.optimizer.multifact import optimize_join_graph
+from repro.plan.builder import attach_aggregate
+from repro.plan.nodes import HashJoinNode, PlanNode
+from repro.plan.properties import plan_signature
+from repro.plan.pushdown import push_down_bitvectors
+from repro.query.joingraph import JoinGraph
+from repro.query.spec import QuerySpec
+from repro.stats.estimator import CardinalityEstimator
+from repro.storage.database import Database
+
+
+@dataclasses.dataclass
+class OptimizedPlan:
+    """Result of one optimization pipeline for one query."""
+
+    pipeline: str
+    spec: QuerySpec
+    plan: PlanNode
+    estimated_cout: float
+    signature: str
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name}/{self.pipeline}"
+
+
+def _finalize(
+    pipeline: str,
+    spec: QuerySpec,
+    plan: PlanNode,
+    estimator: CardinalityEstimator,
+    use_bitvectors: bool,
+    cost_based: bool,
+    lambda_thresh: float,
+) -> OptimizedPlan:
+    if use_bitvectors:
+        if cost_based:
+            plan = apply_cost_based_filters(plan, estimator, lambda_thresh)
+        plan = push_down_bitvectors(plan)
+    else:
+        for node in plan.walk():
+            if isinstance(node, HashJoinNode):
+                node.creates_bitvector = False
+        plan = push_down_bitvectors(plan)  # no-op creation, resets state
+    estimated = cout(plan, EstimatedCardModel(estimator))
+    plan = attach_aggregate(plan, spec)
+    return OptimizedPlan(
+        pipeline=pipeline,
+        spec=spec,
+        plan=plan,
+        estimated_cout=estimated,
+        signature=plan_signature(plan),
+    )
+
+
+def _run_pipeline(
+    pipeline: str,
+    database: Database,
+    spec: QuerySpec,
+    lambda_thresh: float,
+) -> OptimizedPlan:
+    spec.validate_against(database)
+    graph = JoinGraph(spec, database.catalog)
+    estimator = CardinalityEstimator(database, spec.alias_tables)
+
+    if pipeline in ("original", "original_nobv", "original_allfilters"):
+        plan = optimize_join_graph(graph, estimator, bitvector_aware=False)
+    elif pipeline in ("bqo", "bqo_allfilters"):
+        plan = optimize_join_graph(graph, estimator, bitvector_aware=True)
+    elif pipeline in ("dp", "dp_nobv"):
+        plan = optimize_baseline(graph, estimator)
+    else:
+        raise OptimizerError(f"unknown pipeline {pipeline!r}")
+
+    use_bitvectors = pipeline not in ("original_nobv", "dp_nobv")
+    cost_based = pipeline in ("original", "bqo", "dp")
+    return _finalize(
+        pipeline, spec, plan, estimator, use_bitvectors, cost_based, lambda_thresh
+    )
+
+
+PIPELINES: dict[str, Callable[[Database, QuerySpec, float], OptimizedPlan]] = {
+    name: (lambda db, spec, lt, _n=name: _run_pipeline(_n, db, spec, lt))
+    for name in (
+        "original",
+        "original_nobv",
+        "original_allfilters",
+        "bqo",
+        "bqo_allfilters",
+        "dp",
+        "dp_nobv",
+    )
+}
+
+
+def optimize_query(
+    database: Database,
+    spec: QuerySpec,
+    pipeline: str = "bqo",
+    lambda_thresh: float = DEFAULT_LAMBDA_THRESH,
+) -> OptimizedPlan:
+    """Optimize ``spec`` with a named pipeline.
+
+    >>> # doctest-style sketch; see examples/quickstart.py for a runnable one
+    """
+    try:
+        runner = PIPELINES[pipeline]
+    except KeyError:
+        raise OptimizerError(
+            f"unknown pipeline {pipeline!r}; expected one of {sorted(PIPELINES)}"
+        ) from None
+    return runner(database, spec, lambda_thresh)

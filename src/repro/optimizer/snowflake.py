@@ -1,0 +1,367 @@
+"""Algorithm 2: join-order construction for a single-fact snowflake.
+
+Branches (connected components of the graph minus the fact table) are
+assigned priorities following Section 6.1:
+
+* **P3** (joined earliest): branches larger than the fact table — they
+  should be probed, not built, and joining them early lets the fact
+  table's bitvector prune them.
+* **P2**: sets of branches that join each other — kept consecutive so
+  their mutual bitvector filters can push down; bigger sets first.
+* **P1**: ordinary dimension branches smaller than the fact table.
+* **P0** (joined last): branches whose join with the fact is not a key
+  join (e.g. other collapsed fact tables) — their filters cannot
+  semi-join-reduce the fact, so they go on top.
+
+Within a priority group, branches go most-fact-reducing first ("by
+descending selectivity on the fact table").
+
+Two candidate families are then costed with bitvector-aware estimated
+``Cout`` (paper Section 5's linear candidate result): the fact-first
+plan, and for each single-root branch, one plan per starting relation
+in which that branch leads (Theorem 5.3 orders).  The cheapest wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cost.cout import EstimatedCardModel
+from repro.cost.physical import estimated_cpu
+from repro.errors import OptimizerError
+from repro.optimizer.candidates import leading_order
+from repro.optimizer.units import UnitGraph
+from repro.plan.builder import join_nodes
+from repro.plan.clone import clone_plan
+from repro.plan.nodes import PlanNode
+from repro.plan.pushdown import push_down_bitvectors
+
+
+@dataclasses.dataclass
+class _Branch:
+    """One branch: a root unit adjacent to the fact plus its subtree."""
+
+    root: str
+    units: list[str]          # root-first, prefix-connected order
+    survival: float           # est. fraction of fact rows surviving
+    group_size: int           # #branches in its connected component
+    priority: float = 0.0
+
+    @property
+    def unit_set(self) -> set[str]:
+        return set(self.units)
+
+
+def optimize_snowflake(
+    ugraph: UnitGraph,
+    fact_id: str,
+    scope: set[str] | None = None,
+    bitvector_aware: bool = True,
+) -> PlanNode:
+    """Construct the join order for a single-fact (general) snowflake.
+
+    ``scope`` restricts the optimization to a subset of units
+    (Algorithm 3 passes extracted subgraphs); default is every unit.
+    Returns a plan *without* bitvector push-down applied — the caller
+    runs filter selection and push-down on the final assembled plan.
+
+    With ``bitvector_aware=False`` the same plan space is searched with
+    a *blind* cost model and raw-cardinality build/probe decisions —
+    this reproduces the paper's baseline: the host optimizer's
+    snowflake heuristics, which "neglect the impact of bitvector
+    filters" (Section 7.2).
+    """
+    scope = set(ugraph.unit_ids) if scope is None else set(scope)
+    if fact_id not in scope:
+        raise OptimizerError(f"fact {fact_id!r} not in scope")
+    if len(scope) == 1:
+        return ugraph.unit_plan(fact_id)
+
+    branches = _sorted_branches(ugraph, fact_id, scope)
+    if bitvector_aware:
+        spine_rows = _reduced_spine_estimate(ugraph, fact_id, branches)
+    else:
+        # A blind optimizer sees the raw (predicate-filtered) fact size.
+        spine_rows = ugraph.unit(fact_id).rows
+
+    candidates: list[PlanNode] = [
+        _join_branches(ugraph, fact_id, branches, prefix=None,
+                       spine_rows=spine_rows)
+    ]
+    for index, branch in enumerate(branches):
+        if branch.group_size != 1:
+            continue  # interconnected branches cannot cleanly lead
+        rest = branches[:index] + branches[index + 1:]
+        for start in branch.units:
+            order = leading_order(
+                branch.unit_set,
+                start,
+                roots=[branch.root],
+                neighbors=lambda uid: ugraph.neighbors(uid, scope - {fact_id}),
+            )
+            prefix = ugraph.unit_plan(order[0])
+            for unit_id in order[1:]:
+                prefix = join_nodes(
+                    ugraph.graph, build=ugraph.unit_plan(unit_id), probe=prefix
+                )
+            prefix = join_nodes(
+                ugraph.graph, build=ugraph.unit_plan(fact_id), probe=prefix
+            )
+            candidates.append(
+                _join_branches(ugraph, fact_id, rest, prefix=prefix,
+                               spine_rows=spine_rows)
+            )
+
+    return _cheapest(candidates, ugraph, bitvector_aware)
+
+
+# ----------------------------------------------------------------------
+# Branch discovery, classification, ordering (SortBranches)
+# ----------------------------------------------------------------------
+
+
+def _sorted_branches(
+    ugraph: UnitGraph, fact_id: str, scope: set[str]
+) -> list[_Branch]:
+    others = scope - {fact_id}
+    fact_rows = ugraph.unit(fact_id).rows
+    total_units = len(scope)
+
+    groups: list[list[_Branch]] = []
+    for component in ugraph.connected_components(others):
+        roots = sorted(
+            uid for uid in component if fact_id in ugraph.neighbors(uid, scope)
+        )
+        if not roots:
+            raise OptimizerError(
+                f"units {sorted(component)} do not join the fact table "
+                "(cross product)"
+            )
+        members = _assign_members(ugraph, component, roots)
+        group = []
+        for root in roots:
+            units = _bfs_order(ugraph, members[root], root)
+            group.append(
+                _Branch(
+                    root=root,
+                    units=units,
+                    survival=_branch_survival(ugraph, fact_id, root, members[root]),
+                    group_size=len(roots),
+                )
+            )
+        groups.append(group)
+
+    # Priorities (Algorithm 2, SortBranches lines 20-27).
+    for group in groups:
+        for branch in group:
+            if branch.group_size > 1:
+                branch.priority = float(branch.group_size)          # P2
+            elif not ugraph.is_key_join_into(fact_id, branch.root):
+                branch.priority = 0.0                               # P0
+            elif ugraph.unit(branch.root).rows < fact_rows:
+                branch.priority = 1.0                               # P1
+            else:
+                branch.priority = float(total_units + 1)            # P3
+
+    # Sort groups by (priority desc, most-reducing first); flatten with
+    # branches inside a group ordered most-reducing first.
+    def group_key(group: list[_Branch]) -> tuple:
+        best_priority = max(branch.priority for branch in group)
+        best_survival = min(branch.survival for branch in group)
+        return (-best_priority, best_survival, group[0].root)
+
+    ordered: list[_Branch] = []
+    for group in sorted(groups, key=group_key):
+        ordered.extend(
+            sorted(group, key=lambda b: (b.survival, b.root))
+        )
+    return ordered
+
+
+def _assign_members(
+    ugraph: UnitGraph, component: set[str], roots: list[str]
+) -> dict[str, set[str]]:
+    """Partition a (possibly multi-root) component among its roots via
+    simultaneous BFS; ties go to the lexicographically first root."""
+    owner: dict[str, str] = {root: root for root in roots}
+    frontier = list(roots)
+    while frontier:
+        next_frontier: list[str] = []
+        for node in sorted(frontier):
+            for neighbor in sorted(ugraph.neighbors(node, component)):
+                if neighbor not in owner:
+                    owner[neighbor] = owner[node]
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    members: dict[str, set[str]] = {root: set() for root in roots}
+    for node, root in owner.items():
+        members[root].add(node)
+    return members
+
+
+def _bfs_order(ugraph: UnitGraph, members: set[str], root: str) -> list[str]:
+    """Prefix-connected order of a branch, root first."""
+    order = [root]
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        next_frontier: list[str] = []
+        for node in frontier:
+            for neighbor in sorted(ugraph.neighbors(node, members)):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    order.append(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    if len(order) != len(members):
+        # members assigned to another root connect through it; append in
+        # any adjacency-respecting order
+        for node in sorted(members - seen):
+            order.append(node)
+    return order
+
+
+def _branch_survival(
+    ugraph: UnitGraph, fact_id: str, root: str, members: set[str]
+) -> float:
+    """Estimated fraction of fact rows surviving this branch's filters.
+
+    The branch is reduced bottom-up: each unit keeps the fraction of
+    its rows implied by its own predicates and its children's key
+    containment, then the root's remaining distinct keys bound the fact
+    survival ("selectivity on the fact table").
+    """
+    def effective_rows(unit_id: str, parent: str | None) -> float:
+        unit = ugraph.unit(unit_id)
+        rows = unit.rows
+        for child in sorted(ugraph.neighbors(unit_id, members)):
+            if child == parent:
+                continue
+            child_rows = effective_rows(child, unit_id)
+            rows *= _containment(ugraph, unit_id, child, child_rows)
+        return max(1.0, rows)
+
+    root_rows = effective_rows(root, None)
+    return _containment(ugraph, fact_id, root, root_rows)
+
+
+def _containment(
+    ugraph: UnitGraph, probe_id: str, build_id: str, build_rows: float
+) -> float:
+    """Survival fraction of ``probe`` rows against ``build``'s keys."""
+    estimator = ugraph.estimator
+    survival = 1.0
+    for (probe_alias, probe_col), (build_alias, build_col) in ugraph.join_column_pairs(
+        probe_id, build_id
+    ):
+        ndv_build = min(
+            estimator.column_distinct(build_alias, build_col), max(build_rows, 1.0)
+        )
+        ndv_probe = estimator.column_distinct(probe_alias, probe_col)
+        survival *= min(1.0, ndv_build / max(ndv_probe, 1.0))
+    return max(1e-9, survival)
+
+
+# ----------------------------------------------------------------------
+# Plan assembly (JoinBranches)
+# ----------------------------------------------------------------------
+
+
+_REDUCER_SURVIVAL = 0.5
+
+
+def _reduced_spine_estimate(
+    ugraph: UnitGraph, fact_id: str, branches: list[_Branch]
+) -> float:
+    """Estimated fact-spine cardinality after bitvector reduction.
+
+    With Algorithm 1, every *build-side* key-join branch's filter lands
+    on the fact scan, so at execution time the spine carries the
+    reduced fact cardinality from the very first join.  Only branches
+    that stay builds contribute (a probed branch creates no fact-side
+    filter); we count the branches whose estimated semi-join survival
+    is below :data:`_REDUCER_SURVIVAL` — those are kept as builds by
+    :func:`_join_branches` precisely because their reduction pays for
+    the hash table.
+    """
+    rows = ugraph.unit(fact_id).rows
+    for branch in branches:
+        if (
+            branch.survival < _REDUCER_SURVIVAL
+            and ugraph.is_key_join_into(fact_id, branch.root)
+        ):
+            rows *= branch.survival
+    return max(1.0, rows)
+
+
+def _join_branches(
+    ugraph: UnitGraph,
+    fact_id: str,
+    branches: list[_Branch],
+    prefix: PlanNode | None,
+    spine_rows: float,
+) -> PlanNode:
+    """Algorithm 2's JoinBranches: stack branches onto the spine.
+
+    ``prefix`` is the already-built right-most subplan (fact scan for
+    the fact-first family; branch+fact spine for branch-led plans).
+
+    The build/probe decision is the paper's group-P3 rule ("branches
+    larger than the fact table ... reorder the build and probe sides")
+    evaluated against the bitvector-reduced spine estimate:
+
+    * branches that meaningfully semi-join-reduce the fact
+      (survival < 0.5) always build — their filter shrinks every
+      operator above;
+    * any other unit larger than the reduced spine is probed instead:
+      the spine becomes the build and its bitvector prunes the unit's
+      scan, which is how a 600-row unfiltered dimension avoids a full
+      hash-table build against a 30-row spine.
+    """
+    plan = prefix if prefix is not None else ugraph.unit_plan(fact_id)
+    for branch in branches:
+        branch_reduces = branch.survival < _REDUCER_SURVIVAL and (
+            ugraph.is_key_join_into(fact_id, branch.root)
+        )
+        for unit_id in branch.units:
+            unit_plan = ugraph.unit_plan(unit_id)
+            if not branch_reduces and ugraph.unit(unit_id).rows > spine_rows:
+                plan = join_nodes(ugraph.graph, build=plan, probe=unit_plan)
+            else:
+                plan = join_nodes(ugraph.graph, build=unit_plan, probe=plan)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Candidate costing
+# ----------------------------------------------------------------------
+
+
+def _cheapest(
+    candidates: list[PlanNode], ugraph: UnitGraph, bitvector_aware: bool
+) -> PlanNode:
+    """Pick the candidate with the cheapest estimated physical cost.
+
+    Candidates are scored with the physical CPU model rather than raw
+    ``Cout`` — matching the paper's implementation, which plugs its
+    candidates into the host optimizer's "original cost modeling"
+    (Section 7.1).  ``Cout`` ignores hash-table build costs, which is
+    exactly what distinguishes the candidate families once bitvector
+    filters have equalized their intermediate sizes.
+
+    In blind mode the filters' cardinality effects are ignored during
+    scoring (the paper's Figure 2: the blind optimizer prefers P1, the
+    aware one P2).
+    """
+    best_plan: PlanNode | None = None
+    best_cost = float("inf")
+    for candidate in candidates:
+        copy, _ = clone_plan(candidate)
+        pushed = push_down_bitvectors(copy)
+        model = EstimatedCardModel(ugraph.estimator, bitvector_aware)
+        cost = estimated_cpu(pushed, model, ugraph.estimator)
+        if cost < best_cost:
+            best_cost = cost
+            best_plan = candidate
+    assert best_plan is not None
+    return best_plan

@@ -1,0 +1,45 @@
+"""Physical plans: nodes, construction, bitvector push-down, display."""
+
+from repro.plan.nodes import (
+    BitvectorDef,
+    PlanNode,
+    ScanNode,
+    HashJoinNode,
+    FilterNode,
+    AggregateNode,
+)
+from repro.plan.builder import (
+    join_nodes,
+    build_right_deep,
+    attach_aggregate,
+    scan_for,
+)
+from repro.plan.pushdown import push_down_bitvectors
+from repro.plan.properties import (
+    is_right_deep,
+    join_count,
+    plan_signature,
+    collect_nodes,
+    base_aliases,
+)
+from repro.plan.display import format_plan
+
+__all__ = [
+    "BitvectorDef",
+    "PlanNode",
+    "ScanNode",
+    "HashJoinNode",
+    "FilterNode",
+    "AggregateNode",
+    "join_nodes",
+    "build_right_deep",
+    "attach_aggregate",
+    "scan_for",
+    "push_down_bitvectors",
+    "is_right_deep",
+    "join_count",
+    "plan_signature",
+    "collect_nodes",
+    "base_aliases",
+    "format_plan",
+]

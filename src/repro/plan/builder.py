@@ -1,0 +1,103 @@
+"""Plan construction helpers.
+
+``build_right_deep`` turns a join order ``[X0, X1, ..., Xn]`` (the
+paper's ``T(X0, X1, ..., Xn)``: X0 the right-most leaf, Xn the left-most)
+into a physical tree: X0 is the bottom of the probe spine and each Xk
+joins in as the build side of the k-th join.
+
+``join_nodes`` is the general composition primitive — both children can
+be arbitrary subplans, which Algorithm 3 uses when it stitches optimized
+snowflake subplans together.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OptimizerError, PlanError
+from repro.plan.nodes import AggregateNode, HashJoinNode, PlanNode, ScanNode
+from repro.query.joingraph import JoinGraph
+from repro.query.spec import QuerySpec
+
+
+def scan_for(spec: QuerySpec, alias: str) -> ScanNode:
+    """Create the scan leaf for one relation instance of ``spec``."""
+    return ScanNode(
+        alias=alias,
+        table_name=spec.table_of(alias),
+        predicate=spec.local_predicate(alias),
+    )
+
+
+def join_nodes(
+    graph: JoinGraph,
+    build: PlanNode,
+    probe: PlanNode,
+    creates_bitvector: bool = True,
+    allow_cross_product: bool = False,
+) -> HashJoinNode:
+    """Join two subplans on every graph edge connecting them.
+
+    The equi-join key is the concatenation of all join-column pairs
+    between any build-side alias and any probe-side alias (a join such
+    as HJ1 in the paper's Figure 1, where the build relation joins two
+    probe-side relations, yields a composite key spanning both).
+    """
+    build_aliases = build.output_aliases
+    probe_aliases = probe.output_aliases
+    build_keys: list[tuple[str, str]] = []
+    probe_keys: list[tuple[str, str]] = []
+    for build_alias in sorted(build_aliases):
+        for probe_alias in sorted(probe_aliases):
+            edge = graph.edge_between(build_alias, probe_alias)
+            if edge is None:
+                continue
+            for build_col, probe_col in zip(
+                edge.columns_of(build_alias), edge.columns_of(probe_alias)
+            ):
+                build_keys.append((build_alias, build_col))
+                probe_keys.append((probe_alias, probe_col))
+    if not build_keys:
+        if not allow_cross_product:
+            raise OptimizerError(
+                f"cross product between {sorted(build_aliases)} and "
+                f"{sorted(probe_aliases)}"
+            )
+        raise PlanError("cross products are not executable by hash join")
+    return HashJoinNode(
+        build=build,
+        probe=probe,
+        build_keys=tuple(build_keys),
+        probe_keys=tuple(probe_keys),
+    )
+
+
+def build_right_deep(
+    graph: JoinGraph,
+    order: list[str],
+    leaf_plans: dict[str, PlanNode] | None = None,
+) -> PlanNode:
+    """Build the right-deep tree ``T(order[0], order[1], ..., order[n])``.
+
+    ``leaf_plans`` optionally substitutes a subplan for an alias (used
+    by Algorithm 3 to embed already-optimized snowflakes).  Raises
+    :class:`OptimizerError` if any prefix is disconnected (cross
+    product), matching the paper's plan space.
+    """
+    if not order:
+        raise OptimizerError("empty join order")
+    spec = graph.spec
+    leaf_plans = leaf_plans or {}
+
+    def leaf(alias: str) -> PlanNode:
+        return leaf_plans.get(alias) or scan_for(spec, alias)
+
+    plan = leaf(order[0])
+    for alias in order[1:]:
+        plan = join_nodes(graph, build=leaf(alias), probe=plan)
+    return plan
+
+
+def attach_aggregate(plan: PlanNode, spec: QuerySpec) -> PlanNode:
+    """Wrap the plan with the query's aggregate output, if any."""
+    if not spec.aggregates:
+        return plan
+    return AggregateNode(plan, spec.aggregates, spec.group_by)

@@ -1,0 +1,51 @@
+"""Structural plan cloning.
+
+Candidate plans are costed by running bitvector push-down and a
+cardinality model over them; push-down mutates the tree, so costing
+works on a clone.  ``clone_plan`` copies Scan/HashJoin/Aggregate nodes
+(fresh node ids, no bitvector state) and returns a mapping from original
+node ids to clones so per-join decisions (e.g. the Section 6.3
+``creates_bitvector`` switch) can be transferred back.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.plan.nodes import (
+    AggregateNode,
+    FilterNode,
+    HashJoinNode,
+    PlanNode,
+    ScanNode,
+)
+
+
+def clone_plan(plan: PlanNode) -> tuple[PlanNode, dict[int, PlanNode]]:
+    """Deep-copy a plan that has not been through push-down.
+
+    Returns ``(copy, mapping)`` where ``mapping[original_node_id]`` is
+    the corresponding clone.
+    """
+    mapping: dict[int, PlanNode] = {}
+
+    def visit(node: PlanNode) -> PlanNode:
+        if isinstance(node, ScanNode):
+            copy: PlanNode = ScanNode(node.alias, node.table_name, node.predicate)
+        elif isinstance(node, HashJoinNode):
+            copy = HashJoinNode(
+                build=visit(node.build),
+                probe=visit(node.probe),
+                build_keys=node.build_keys,
+                probe_keys=node.probe_keys,
+                creates_bitvector=node.creates_bitvector,
+            )
+        elif isinstance(node, AggregateNode):
+            copy = AggregateNode(visit(node.child), node.aggregates, node.group_by)
+        elif isinstance(node, FilterNode):
+            raise PlanError("clone_plan expects a plan without FilterNodes")
+        else:
+            raise PlanError(f"cannot clone node {node.label}")
+        mapping[node.node_id] = copy
+        return copy
+
+    return visit(plan), mapping

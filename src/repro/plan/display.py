@@ -1,0 +1,48 @@
+"""Human-readable plan rendering.
+
+Produces indented trees like::
+
+    Aggregate[COUNT(*)]
+      HashJoin[k.id=mk.keyword_id]
+        Scan(k:keyword) σ  <- creates BV#2
+        HashJoin[t.id=mk.movie_id]
+          Scan(t:title) σ  <- creates BV#1
+          Scan(mk:movie_keyword)  [BV#1, BV#2]
+
+mirroring the annotated plans in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.plan.nodes import HashJoinNode, PlanNode
+
+
+def format_plan(
+    plan: PlanNode,
+    annotations: dict[int, str] | None = None,
+    indent: str = "  ",
+) -> str:
+    """Render a plan tree.
+
+    ``annotations`` maps ``node_id`` to extra text (e.g. cardinalities
+    or costs) appended to the node's line.
+    """
+    annotations = annotations or {}
+    lines: list[str] = []
+
+    def visit(node: PlanNode, depth: int) -> None:
+        parts = [node.label]
+        if isinstance(node, HashJoinNode) and node.created_bitvector is not None:
+            parts.append(f"<- creates {node.created_bitvector!r}")
+        if node.applied_bitvectors and not node.label.startswith("Filter"):
+            applied = ", ".join(repr(b) for b in node.applied_bitvectors)
+            parts.append(f"[{applied}]")
+        extra = annotations.get(node.node_id)
+        if extra:
+            parts.append(f"-- {extra}")
+        lines.append(indent * depth + "  ".join(parts))
+        for child in node.children():
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return "\n".join(lines)

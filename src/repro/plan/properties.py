@@ -1,0 +1,85 @@
+"""Structural plan properties used by tests and the optimizer."""
+
+from __future__ import annotations
+
+from repro.plan.nodes import (
+    AggregateNode,
+    FilterNode,
+    HashJoinNode,
+    PlanNode,
+    ScanNode,
+)
+
+
+def collect_nodes(plan: PlanNode, node_type: type | None = None) -> list[PlanNode]:
+    """All nodes in pre-order, optionally filtered by type."""
+    nodes = list(plan.walk())
+    if node_type is None:
+        return nodes
+    return [node for node in nodes if isinstance(node, node_type)]
+
+
+def join_count(plan: PlanNode) -> int:
+    return len(collect_nodes(plan, HashJoinNode))
+
+
+def base_aliases(plan: PlanNode) -> frozenset[str]:
+    return plan.output_aliases
+
+
+def _strip_wrappers(node: PlanNode) -> PlanNode:
+    while isinstance(node, (FilterNode, AggregateNode)):
+        node = node.children()[0]
+    return node
+
+
+def is_right_deep(plan: PlanNode) -> bool:
+    """True when every hash join's build side is a single base relation.
+
+    Residual filter nodes and the final aggregate are transparent for
+    the shape test (they do not change the join tree's silhouette).
+    """
+    node = _strip_wrappers(plan)
+    while isinstance(node, HashJoinNode):
+        build = _strip_wrappers(node.build)
+        if not isinstance(build, ScanNode):
+            return False
+        node = _strip_wrappers(node.probe)
+    return isinstance(node, ScanNode)
+
+
+def right_deep_order(plan: PlanNode) -> list[str]:
+    """Recover ``[X0, X1, ..., Xn]`` from a right-deep plan.
+
+    ``X0`` is the right-most leaf (bottom of the probe spine).
+    Raises ``ValueError`` if the plan is not right-deep.
+    """
+    if not is_right_deep(plan):
+        raise ValueError("plan is not right-deep")
+    builds: list[str] = []
+    node = _strip_wrappers(plan)
+    while isinstance(node, HashJoinNode):
+        build = _strip_wrappers(node.build)
+        assert isinstance(build, ScanNode)
+        builds.append(build.alias)
+        node = _strip_wrappers(node.probe)
+    assert isinstance(node, ScanNode)
+    return [node.alias] + list(reversed(builds))
+
+
+def plan_signature(plan: PlanNode) -> str:
+    """Deterministic structural signature (for dedup and test asserts)."""
+    node = plan
+    if isinstance(node, AggregateNode):
+        return f"Agg({plan_signature(node.child)})"
+    if isinstance(node, FilterNode):
+        filters = ",".join(
+            "+".join(f"{a}.{c}" for a, c in bv.probe_keys)
+            for bv in node.applied_bitvectors
+        )
+        return f"Flt[{filters}]({plan_signature(node.child)})"
+    if isinstance(node, HashJoinNode):
+        return f"HJ({plan_signature(node.build)},{plan_signature(node.probe)})"
+    if isinstance(node, ScanNode):
+        return node.alias
+    return node.label

@@ -1,0 +1,18 @@
+"""Query representation: specs and join graphs."""
+
+from repro.query.spec import (
+    RelationRef,
+    JoinPredicate,
+    Aggregate,
+    QuerySpec,
+)
+from repro.query.joingraph import JoinGraph, JoinEdge
+
+__all__ = [
+    "RelationRef",
+    "JoinPredicate",
+    "Aggregate",
+    "QuerySpec",
+    "JoinGraph",
+    "JoinEdge",
+]

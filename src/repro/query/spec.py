@@ -1,0 +1,175 @@
+"""Declarative query specification.
+
+A :class:`QuerySpec` captures exactly what the paper's optimizer works
+with: a set of relation instances (aliases), per-relation local filter
+predicates, equi-join predicates between pairs of relations, and an
+aggregate output.  SQL text is parsed/bound into this form
+(:mod:`repro.sql`), and workload generators construct it directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import QueryError
+from repro.expr.expressions import ColumnRef, Expression, referenced_aliases
+from repro.storage.database import Database
+
+_AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclasses.dataclass(frozen=True)
+class RelationRef:
+    """A relation instance in a query: table ``table`` bound to ``alias``."""
+
+    alias: str
+    table: str
+
+    def __str__(self) -> str:
+        return f"{self.table} AS {self.alias}"
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinPredicate:
+    """Equi-join predicate between two relation instances.
+
+    ``left_columns[i] = right_columns[i]`` for every i; multi-column
+    joins keep the pairing aligned.
+    """
+
+    left_alias: str
+    left_columns: tuple[str, ...]
+    right_alias: str
+    right_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.left_columns) != len(self.right_columns):
+            raise QueryError("join predicate column count mismatch")
+        if not self.left_columns:
+            raise QueryError("join predicate requires at least one column pair")
+        if self.left_alias == self.right_alias:
+            raise QueryError("join predicate must span two relations")
+
+    def reversed(self) -> "JoinPredicate":
+        return JoinPredicate(
+            self.right_alias, self.right_columns, self.left_alias, self.left_columns
+        )
+
+    def __str__(self) -> str:
+        pairs = " AND ".join(
+            f"{self.left_alias}.{lc} = {self.right_alias}.{rc}"
+            for lc, rc in zip(self.left_columns, self.right_columns)
+        )
+        return pairs
+
+
+@dataclasses.dataclass(frozen=True)
+class Aggregate:
+    """Aggregate output item, e.g. ``COUNT(*)`` or ``SUM(ss.net_paid)``."""
+
+    function: str
+    argument: ColumnRef | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.function not in _AGGREGATE_FUNCTIONS:
+            raise QueryError(f"unknown aggregate function {self.function!r}")
+        if self.function != "count" and self.argument is None:
+            raise QueryError(f"{self.function}() requires an argument")
+
+    def __str__(self) -> str:
+        argument = "*" if self.argument is None else str(self.argument)
+        return f"{self.function.upper()}({argument})"
+
+
+@dataclasses.dataclass(frozen=True)
+class QuerySpec:
+    """Complete logical query: relations, predicates, joins, output."""
+
+    name: str
+    relations: tuple[RelationRef, ...]
+    join_predicates: tuple[JoinPredicate, ...]
+    local_predicates: dict[str, Expression] = dataclasses.field(default_factory=dict)
+    aggregates: tuple[Aggregate, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+
+    def __post_init__(self) -> None:
+        aliases = [relation.alias for relation in self.relations]
+        if len(set(aliases)) != len(aliases):
+            raise QueryError(f"duplicate aliases in query {self.name!r}")
+        alias_set = set(aliases)
+        for join in self.join_predicates:
+            if join.left_alias not in alias_set or join.right_alias not in alias_set:
+                raise QueryError(
+                    f"join predicate {join} references unknown alias"
+                )
+        for alias, predicate in self.local_predicates.items():
+            if alias not in alias_set:
+                raise QueryError(f"local predicate on unknown alias {alias!r}")
+            refs = referenced_aliases(predicate)
+            if not refs.issubset({alias}):
+                raise QueryError(
+                    f"local predicate for {alias!r} references other "
+                    f"relations: {sorted(refs - {alias})}"
+                )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        return tuple(relation.alias for relation in self.relations)
+
+    @property
+    def alias_tables(self) -> dict[str, str]:
+        return {relation.alias: relation.table for relation in self.relations}
+
+    def table_of(self, alias: str) -> str:
+        for relation in self.relations:
+            if relation.alias == alias:
+                return relation.table
+        raise QueryError(f"unknown alias {alias!r}")
+
+    def local_predicate(self, alias: str) -> Expression | None:
+        return self.local_predicates.get(alias)
+
+    def validate_against(self, database: Database) -> None:
+        """Check that every table/column reference exists in the catalog."""
+        for relation in self.relations:
+            if not database.catalog.has_table(relation.table):
+                raise QueryError(f"unknown table {relation.table!r}")
+        alias_tables = self.alias_tables
+        for join in self.join_predicates:
+            for alias, columns in (
+                (join.left_alias, join.left_columns),
+                (join.right_alias, join.right_columns),
+            ):
+                schema = database.catalog.schema(alias_tables[alias])
+                for column in columns:
+                    if not schema.has_column(column):
+                        raise QueryError(
+                            f"unknown column {alias}.{column} "
+                            f"(table {schema.name!r})"
+                        )
+        for alias, predicate in self.local_predicates.items():
+            schema = database.catalog.schema(alias_tables[alias])
+            for ref_alias, column in _predicate_columns(predicate):
+                if ref_alias == alias and not schema.has_column(column):
+                    raise QueryError(
+                        f"unknown column {alias}.{column} in predicate"
+                    )
+
+    def __str__(self) -> str:
+        parts = [f"QUERY {self.name}: FROM " + ", ".join(map(str, self.relations))]
+        if self.join_predicates:
+            parts.append("JOIN " + " AND ".join(map(str, self.join_predicates)))
+        for alias, predicate in sorted(self.local_predicates.items()):
+            parts.append(f"WHERE[{alias}] {predicate}")
+        return "\n".join(parts)
+
+
+def _predicate_columns(predicate: Expression):
+    from repro.expr.expressions import referenced_columns
+
+    return referenced_columns(predicate)

@@ -1,0 +1,220 @@
+"""Bind a parsed SELECT against a database catalog → :class:`QuerySpec`.
+
+Binding resolves unqualified column names (unique owner wins), splits
+the WHERE conjunction into equi-join predicates (column = column across
+two relations) and per-relation local predicates, and validates that
+every reference exists.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.expr.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    combine_and,
+    referenced_aliases,
+)
+from repro.query.spec import Aggregate, JoinPredicate, QuerySpec, RelationRef
+from repro.sql.parser import (
+    RawAnd,
+    RawBetween,
+    RawColumn,
+    RawComparison,
+    RawIn,
+    RawLike,
+    RawLiteral,
+    RawNot,
+    RawOr,
+    SelectStatement,
+    parse_select,
+)
+from repro.storage.database import Database
+
+
+def parse_query(database: Database, sql: str, name: str = "query") -> QuerySpec:
+    """Parse and bind SQL text into a validated :class:`QuerySpec`."""
+    statement = parse_select(sql)
+    return bind_select(database, statement, name)
+
+
+def bind_select(
+    database: Database, statement: SelectStatement, name: str = "query"
+) -> QuerySpec:
+    binder = _Binder(database, statement)
+    spec = binder.bind(name)
+    spec.validate_against(database)
+    return spec
+
+
+class _Binder:
+    def __init__(self, database: Database, statement: SelectStatement) -> None:
+        self._database = database
+        self._statement = statement
+        self._alias_tables: dict[str, str] = {}
+        for ref in statement.tables:
+            if ref.alias in self._alias_tables:
+                raise SqlError(f"duplicate alias {ref.alias!r}")
+            if not database.catalog.has_table(ref.table):
+                raise SqlError(f"unknown table {ref.table!r}")
+            self._alias_tables[ref.alias] = ref.table
+
+    # ------------------------------------------------------------------
+    # Column resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(self, column: RawColumn) -> ColumnRef:
+        if column.qualifier is not None:
+            if column.qualifier not in self._alias_tables:
+                raise SqlError(f"unknown alias {column.qualifier!r}")
+            table = self._alias_tables[column.qualifier]
+            schema = self._database.catalog.schema(table)
+            if not schema.has_column(column.name):
+                raise SqlError(
+                    f"unknown column {column.qualifier}.{column.name}"
+                )
+            return ColumnRef(column.qualifier, column.name)
+        owners = [
+            alias
+            for alias, table in self._alias_tables.items()
+            if self._database.catalog.schema(table).has_column(column.name)
+        ]
+        if not owners:
+            raise SqlError(f"unknown column {column.name!r}")
+        if len(owners) > 1:
+            raise SqlError(
+                f"ambiguous column {column.name!r} (in {sorted(owners)})"
+            )
+        return ColumnRef(owners[0], column.name)
+
+    # ------------------------------------------------------------------
+    # Expression conversion
+    # ------------------------------------------------------------------
+
+    def _convert(self, raw: object) -> Expression:
+        if isinstance(raw, RawComparison):
+            left = self._convert_operand(raw.left)
+            right = self._convert_operand(raw.right)
+            return Comparison(raw.op, left, right)
+        if isinstance(raw, RawBetween):
+            expr: Expression = Between(
+                self._resolve(raw.operand),
+                Literal(raw.low.value),
+                Literal(raw.high.value),
+            )
+            return Not(expr) if raw.negated else expr
+        if isinstance(raw, RawIn):
+            expr = InList(self._resolve(raw.operand), raw.values)
+            return Not(expr) if raw.negated else expr
+        if isinstance(raw, RawLike):
+            expr = Like(self._resolve(raw.operand), raw.pattern)
+            return Not(expr) if raw.negated else expr
+        if isinstance(raw, RawAnd):
+            return And(tuple(self._convert(operand) for operand in raw.operands))
+        if isinstance(raw, RawOr):
+            return Or(tuple(self._convert(operand) for operand in raw.operands))
+        if isinstance(raw, RawNot):
+            return Not(self._convert(raw.operand))
+        raise SqlError(f"unsupported expression {raw!r}")
+
+    def _convert_operand(self, raw: object) -> Expression:
+        if isinstance(raw, RawColumn):
+            return self._resolve(raw)
+        if isinstance(raw, RawLiteral):
+            return Literal(raw.value)
+        raise SqlError(f"unsupported operand {raw!r}")
+
+    # ------------------------------------------------------------------
+    # WHERE decomposition
+    # ------------------------------------------------------------------
+
+    def _flatten_conjuncts(self, raw: object) -> list[object]:
+        if isinstance(raw, RawAnd):
+            flattened: list[object] = []
+            for operand in raw.operands:
+                flattened.extend(self._flatten_conjuncts(operand))
+            return flattened
+        return [raw]
+
+    @staticmethod
+    def _is_join_conjunct(raw: object) -> bool:
+        return (
+            isinstance(raw, RawComparison)
+            and raw.op == "="
+            and isinstance(raw.left, RawColumn)
+            and isinstance(raw.right, RawColumn)
+        )
+
+    def bind(self, name: str) -> QuerySpec:
+        statement = self._statement
+        joins: list[JoinPredicate] = []
+        locals_by_alias: dict[str, list[Expression]] = {}
+
+        if statement.where is not None:
+            for conjunct in self._flatten_conjuncts(statement.where):
+                if self._is_join_conjunct(conjunct):
+                    assert isinstance(conjunct, RawComparison)
+                    left = self._resolve(conjunct.left)   # type: ignore[arg-type]
+                    right = self._resolve(conjunct.right) # type: ignore[arg-type]
+                    if left.alias != right.alias:
+                        joins.append(
+                            JoinPredicate(
+                                left.alias, (left.column,),
+                                right.alias, (right.column,),
+                            )
+                        )
+                        continue
+                expression = self._convert(conjunct)
+                aliases = referenced_aliases(expression)
+                if len(aliases) != 1:
+                    raise SqlError(
+                        "non-equi-join predicate spans multiple relations: "
+                        f"{expression}"
+                    )
+                locals_by_alias.setdefault(next(iter(aliases)), []).append(
+                    expression
+                )
+
+        aggregates: list[Aggregate] = []
+        group_by = tuple(self._resolve(column) for column in statement.group_by)
+        group_set = set(group_by)
+        for item in statement.items:
+            if item.function is not None:
+                argument = (
+                    self._resolve(item.argument) if item.argument is not None else None
+                )
+                label = item.alias or None
+                aggregates.append(
+                    Aggregate(function=item.function, argument=argument, label=label)
+                )
+            else:
+                assert item.argument is not None
+                resolved = self._resolve(item.argument)
+                if resolved not in group_set:
+                    raise SqlError(
+                        f"bare column {resolved} must appear in GROUP BY"
+                    )
+
+        local_predicates = {
+            alias: combined
+            for alias, expressions in locals_by_alias.items()
+            if (combined := combine_and(expressions)) is not None
+        }
+        return QuerySpec(
+            name=name,
+            relations=tuple(
+                RelationRef(ref.alias, ref.table) for ref in statement.tables
+            ),
+            join_predicates=tuple(joins),
+            local_predicates=local_predicates,
+            aggregates=tuple(aggregates),
+            group_by=group_by,
+        )

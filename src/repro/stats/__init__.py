@@ -1,0 +1,18 @@
+"""Statistics substrate: histograms, column/table stats, estimation.
+
+A real cost-based optimizer (the paper uses SQL Server's) needs
+cardinality estimation.  This package provides equi-depth histograms,
+distinct counts, row samples for LIKE estimation, and the selectivity /
+join-cardinality estimator used by all planning components.
+"""
+
+from repro.stats.histogram import EquiDepthHistogram
+from repro.stats.statistics import ColumnStatistics, TableStatistics
+from repro.stats.estimator import CardinalityEstimator
+
+__all__ = [
+    "EquiDepthHistogram",
+    "ColumnStatistics",
+    "TableStatistics",
+    "CardinalityEstimator",
+]

@@ -1,0 +1,97 @@
+"""Catalog: the set of table schemas plus declared foreign keys."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.storage.schema import ForeignKey, TableSchema
+
+
+class Catalog:
+    """Registry of table schemas and foreign keys.
+
+    The catalog answers the two questions the optimizer keeps asking:
+
+    * is this equi-join a *key join* into table ``T`` (``R -> T``)?
+    * is there a declared foreign key backing that join (a PKFK join)?
+    """
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, TableSchema] = {}
+        self._foreign_keys: list[ForeignKey] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add_schema(self, schema: TableSchema) -> None:
+        if schema.name in self._schemas:
+            raise SchemaError(f"duplicate table {schema.name!r}")
+        self._schemas[schema.name] = schema
+
+    def add_foreign_key(self, foreign_key: ForeignKey) -> None:
+        child = self.schema(foreign_key.child_table)
+        parent = self.schema(foreign_key.parent_table)
+        for column in foreign_key.child_columns:
+            if not child.has_column(column):
+                raise SchemaError(
+                    f"foreign key column {column!r} not in {child.name!r}"
+                )
+        for column in foreign_key.parent_columns:
+            if not parent.has_column(column):
+                raise SchemaError(
+                    f"foreign key column {column!r} not in {parent.name!r}"
+                )
+        if not parent.is_key(foreign_key.parent_columns):
+            raise SchemaError(
+                f"foreign key target {foreign_key.parent_columns} is not "
+                f"the unique key of {parent.name!r}"
+            )
+        self._foreign_keys.append(foreign_key)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def schema(self, table_name: str) -> TableSchema:
+        try:
+            return self._schemas[table_name]
+        except KeyError:
+            raise SchemaError(f"unknown table {table_name!r}") from None
+
+    def has_table(self, table_name: str) -> bool:
+        return table_name in self._schemas
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    @property
+    def foreign_keys(self) -> tuple[ForeignKey, ...]:
+        return tuple(self._foreign_keys)
+
+    # ------------------------------------------------------------------
+    # Join classification
+    # ------------------------------------------------------------------
+
+    def is_key_join(self, target_table: str, target_columns: tuple[str, ...]) -> bool:
+        """True when joining on ``target_columns`` hits a unique key of
+        ``target_table`` (the paper's ``R -> target`` relationship)."""
+        return self.schema(target_table).is_key(target_columns)
+
+    def has_foreign_key(
+        self,
+        child_table: str,
+        child_columns: tuple[str, ...],
+        parent_table: str,
+        parent_columns: tuple[str, ...],
+    ) -> bool:
+        """True when a declared FK backs the join (full PKFK join)."""
+        want_child = tuple(child_columns)
+        want_parent = tuple(parent_columns)
+        for fk in self._foreign_keys:
+            if fk.child_table != child_table or fk.parent_table != parent_table:
+                continue
+            pairs = set(zip(fk.child_columns, fk.parent_columns))
+            if pairs == set(zip(want_child, want_parent)):
+                return True
+        return False

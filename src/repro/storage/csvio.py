@@ -1,0 +1,64 @@
+"""CSV import/export for tables.
+
+Round-tripping through CSV lets examples persist generated workloads and
+lets users load their own data into the engine.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+from repro.storage.types import ColumnType
+
+
+def table_to_csv(table: Table, path: str | pathlib.Path) -> None:
+    """Write ``table`` to ``path`` with a header row."""
+    path = pathlib.Path(path)
+    names = table.column_names
+    columns = [table.column(n) for n in names]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(table.num_rows):
+            writer.writerow([columns[j][i] for j in range(len(names))])
+
+
+def table_from_csv(schema: TableSchema, path: str | pathlib.Path) -> Table:
+    """Read a table matching ``schema`` from a CSV file with header."""
+    path = pathlib.Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"empty CSV file: {path}") from None
+        if tuple(header) != schema.column_names:
+            raise DataError(
+                f"CSV header {header} does not match schema "
+                f"{list(schema.column_names)}"
+            )
+        raw_rows = list(reader)
+
+    columns: dict[str, np.ndarray] = {}
+    for index, column_def in enumerate(schema.columns):
+        raw = [row[index] for row in raw_rows]
+        if column_def.column_type is ColumnType.INT64:
+            columns[column_def.name] = np.array([int(v) for v in raw], dtype=np.int64)
+        elif column_def.column_type is ColumnType.FLOAT64:
+            columns[column_def.name] = np.array(
+                [float(v) for v in raw], dtype=np.float64
+            )
+        else:
+            columns[column_def.name] = np.array(raw, dtype=object)
+    if not raw_rows:
+        for column_def in schema.columns:
+            columns[column_def.name] = np.array(
+                [], dtype=column_def.column_type.numpy_dtype
+            )
+    return Table(schema, columns)

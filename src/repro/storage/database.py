@@ -1,0 +1,109 @@
+"""Database: catalog + table data + (lazily computed) statistics."""
+
+from __future__ import annotations
+
+from repro.errors import DataError, SchemaError
+from repro.storage.catalog import Catalog
+from repro.storage.schema import ForeignKey
+from repro.storage.table import Table
+
+
+class Database:
+    """A named collection of tables with a shared catalog.
+
+    This is the single object the SQL binder, optimizer, and executor
+    all take as their view of the world.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self._tables: dict[str, Table] = {}
+        self._stats_cache: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add_table(self, table: Table, validate_key: bool = True) -> None:
+        self.catalog.add_schema(table.schema)
+        if validate_key:
+            table.validate_key()
+        self._tables[table.name] = table
+
+    def add_foreign_key(self, foreign_key: ForeignKey) -> None:
+        self.catalog.add_foreign_key(foreign_key)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def total_rows(self) -> int:
+        return sum(t.num_rows for t in self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self, table_name: str):
+        """Return (building on first use) statistics for a table.
+
+        Import is deferred to avoid a circular dependency between the
+        storage and stats packages.
+        """
+        if table_name not in self._stats_cache:
+            from repro.stats.statistics import TableStatistics
+
+            self._stats_cache[table_name] = TableStatistics.collect(
+                self.table(table_name)
+            )
+        return self._stats_cache[table_name]
+
+    def invalidate_stats(self, table_name: str | None = None) -> None:
+        if table_name is None:
+            self._stats_cache.clear()
+        else:
+            self._stats_cache.pop(table_name, None)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def validate_foreign_keys(self) -> None:
+        """Check that every FK value appears in the referenced key.
+
+        Raises :class:`DataError` on the first violation found.  Used by
+        workload-generator tests to guarantee referential integrity.
+        """
+        import numpy as np
+
+        from repro.util.keycodes import joint_codes
+
+        for fk in self.catalog.foreign_keys:
+            child = self.table(fk.child_table)
+            parent = self.table(fk.parent_table)
+            if child.num_rows == 0:
+                continue
+            child_cols = [child.column(c) for c in fk.child_columns]
+            parent_cols = [parent.column(c) for c in fk.parent_columns]
+            child_codes, parent_codes = joint_codes(child_cols, parent_cols)
+            missing = ~np.isin(child_codes, parent_codes)
+            if missing.any():
+                raise DataError(
+                    f"foreign key violation: {fk.child_table}{fk.child_columns} "
+                    f"-> {fk.parent_table}{fk.parent_columns}: "
+                    f"{int(missing.sum())} dangling rows"
+                )
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={len(self._tables)})"

@@ -1,0 +1,100 @@
+"""Schema objects: column definitions, table schemas, foreign keys.
+
+The optimizer's star/snowflake analysis (paper Sections 4-6) hinges on
+knowing which joins are *key joins*: ``R1 -> R2`` holds when the join
+columns form a unique key of ``R2`` (Table 1 in the paper).  Schemas
+therefore carry unique-key declarations, and the catalog carries foreign
+keys so PKFK joins can be recognized without guessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SchemaError
+from repro.storage.types import ColumnType
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnDef:
+    """A named, typed column."""
+
+    name: str
+    column_type: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class TableSchema:
+    """Schema of one table: ordered columns plus an optional unique key.
+
+    ``key`` lists the columns of the table's primary (unique) key; an
+    empty tuple means the table has no declared key.  Multi-column keys
+    are supported.
+    """
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+    key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid table name: {self.name!r}")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        for key_col in self.key:
+            if key_col not in names:
+                raise SchemaError(
+                    f"key column {key_col!r} not in table {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def column_type(self, name: str) -> ColumnType:
+        for column in self.columns:
+            if column.name == name:
+                return column.column_type
+        raise SchemaError(f"unknown column {name!r} in table {self.name!r}")
+
+    def is_key(self, columns: tuple[str, ...]) -> bool:
+        """True when ``columns`` is a superset of the declared unique key.
+
+        If the join columns include the full unique key, the join output
+        is still at most one row per probe tuple, so key-join reasoning
+        (the paper's ``R1 -> R2``) applies.
+        """
+        if not self.key:
+            return False
+        return set(self.key).issubset(set(columns))
+
+
+@dataclasses.dataclass(frozen=True)
+class ForeignKey:
+    """A declared foreign key ``child(child_columns) -> parent(parent_columns)``.
+
+    ``parent_columns`` must be the parent's unique key for the reference
+    to constitute a PKFK relationship.
+    """
+
+    child_table: str
+    child_columns: tuple[str, ...]
+    parent_table: str
+    parent_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.child_columns) != len(self.parent_columns):
+            raise SchemaError(
+                "foreign key column count mismatch: "
+                f"{self.child_columns} vs {self.parent_columns}"
+            )
+        if not self.child_columns:
+            raise SchemaError("foreign key requires at least one column")

@@ -1,0 +1,59 @@
+"""Column type model.
+
+Types are deliberately small: decision-support benchmark schemas are
+dominated by integer surrogate keys, numeric measures, dates (stored as
+integer day numbers, as TPC-DS does with ``d_date_sk``) and short
+strings used in predicates.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the storage engine."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    TEXT = "text"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store this logical type."""
+        if self is ColumnType.INT64:
+            return np.dtype(np.int64)
+        if self is ColumnType.FLOAT64:
+            return np.dtype(np.float64)
+        return np.dtype(object)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INT64, ColumnType.FLOAT64)
+
+
+def infer_column_type(values: np.ndarray) -> ColumnType:
+    """Infer the logical type of an array of values."""
+    kind = values.dtype.kind
+    if kind in ("i", "u", "b"):
+        return ColumnType.INT64
+    if kind == "f":
+        return ColumnType.FLOAT64
+    if kind in ("U", "S", "O"):
+        return ColumnType.TEXT
+    raise TypeError(f"unsupported dtype for storage: {values.dtype}")
+
+
+def coerce_to_type(values: np.ndarray, column_type: ColumnType) -> np.ndarray:
+    """Coerce ``values`` to the storage dtype of ``column_type``.
+
+    Text columns are stored as object arrays of Python strings so that
+    variable-length values do not pay fixed-width ``<U`` storage costs.
+    """
+    if column_type is ColumnType.TEXT:
+        if values.dtype == object:
+            return values
+        return values.astype(object)
+    return values.astype(column_type.numpy_dtype, copy=False)

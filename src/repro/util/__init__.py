@@ -1,0 +1,17 @@
+"""Shared low-level utilities: RNG, hashing, key encoding, timing."""
+
+from repro.util.rng import derive_rng, spawn_seeds
+from repro.util.hashing import hash_int64, hash_columns, stable_text_hash
+from repro.util.keycodes import joint_codes, single_table_codes
+from repro.util.timer import CpuTimer
+
+__all__ = [
+    "derive_rng",
+    "spawn_seeds",
+    "hash_int64",
+    "hash_columns",
+    "stable_text_hash",
+    "joint_codes",
+    "single_table_codes",
+    "CpuTimer",
+]

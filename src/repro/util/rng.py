@@ -1,0 +1,39 @@
+"""Deterministic random number generation helpers.
+
+All synthetic data in the reproduction is generated from
+:class:`numpy.random.Generator` objects derived from explicit integer
+seeds, so every experiment is reproducible run-to-run.  Seeds for
+sub-components are *derived* (never reused) so that changing the number
+of draws in one component does not perturb another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def _mix(seed: int, label: str) -> int:
+    """Mix ``seed`` and ``label`` into a stable 64-bit integer."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def derive_rng(seed: int, label: str) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``(seed, label)``.
+
+    The same pair always yields the same stream; distinct labels yield
+    statistically independent streams.
+
+    >>> a = derive_rng(7, "customers")
+    >>> b = derive_rng(7, "customers")
+    >>> int(a.integers(0, 1000)) == int(b.integers(0, 1000))
+    True
+    """
+    return np.random.default_rng(_mix(seed, label))
+
+
+def spawn_seeds(seed: int, labels: list[str]) -> dict[str, int]:
+    """Derive one integer seed per label from a root seed."""
+    return {label: _mix(seed, label) for label in labels}

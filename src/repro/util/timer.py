@@ -1,0 +1,40 @@
+"""Lightweight CPU timing helper.
+
+Benchmarks report a deterministic *metered* CPU cost computed from tuple
+counts (see :mod:`repro.cost.constants`), but the harness also records
+wall-clock process time for sanity.  :class:`CpuTimer` wraps
+``time.process_time`` with a context-manager interface.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class CpuTimer:
+    """Accumulating process-CPU timer.
+
+    >>> timer = CpuTimer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "CpuTimer":
+        self._started_at = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._started_at is not None:
+            self.seconds += time.process_time() - self._started_at
+            self._started_at = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.seconds = 0.0
+        self._started_at = None

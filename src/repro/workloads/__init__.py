@@ -1,0 +1,45 @@
+"""Synthetic benchmark workloads.
+
+Stand-ins for the paper's three evaluation workloads (Section 7.2,
+Table 3), shaped to reproduce the topological and statistical properties
+that drive its results:
+
+* :mod:`repro.workloads.tpcds_lite` — TPC-DS-shaped: one dominant fact
+  table (``store_sales``), a second fact (``catalog_sales``), snowflake
+  dimension paths, 25 queries.
+* :mod:`repro.workloads.job_lite` — JOB/IMDB-shaped: several fact-like
+  tables joined through shared dimensions, dimension-dimension joins,
+  non-PKFK joins, 30 queries (including the paper's Figure 2 query).
+* :mod:`repro.workloads.customer_lite` — CUSTOMER-shaped: deep
+  snowflake with many branches and high join counts per query.
+* :mod:`repro.workloads.star` — SSB-style star schema used by the
+  micro-benchmarks and examples.
+* :mod:`repro.workloads.synthetic` — parametric random star/snowflake
+  instances for theorem validation and property-based tests.
+
+Every ``build(scale, seed)`` returns ``(Database, list[QuerySpec])``
+with declared PK/FK constraints and referential integrity.
+"""
+
+from repro.workloads import (  # noqa: F401
+    customer_lite,
+    job_lite,
+    star,
+    synthetic,
+    tpcds_lite,
+)
+
+WORKLOADS = {
+    "tpcds": tpcds_lite,
+    "job": job_lite,
+    "customer": customer_lite,
+}
+
+__all__ = [
+    "customer_lite",
+    "job_lite",
+    "star",
+    "synthetic",
+    "tpcds_lite",
+    "WORKLOADS",
+]

@@ -1,0 +1,202 @@
+"""SSB-style star schema workload.
+
+A classic star: a ``lineorder`` fact table with customer, supplier,
+part, and date dimensions.  Used by the micro-benchmarks (Figure 7's
+two-table profile), the quickstart example, and star-query tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.spec import QuerySpec
+from repro.sql.binder import parse_query
+from repro.storage.database import Database
+from repro.storage.schema import ForeignKey
+from repro.storage.table import Table
+from repro.util.rng import derive_rng
+from repro.workloads.generator import (
+    categorical,
+    numeric,
+    scaled,
+    skewed_fk,
+    surrogate_keys,
+)
+
+DEFAULT_SEED = 2020
+
+_REGIONS = ["AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDDLE EAST"]
+_NATIONS = [f"NATION{i:02d}" for i in range(25)]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_CATEGORIES = [f"MFGR#{i}" for i in range(1, 6)]
+_BRANDS = [f"BRAND#{i:02d}" for i in range(1, 41)]
+_COLORS = ["red", "green", "blue", "ivory", "salmon", "peach", "orchid", "navy"]
+
+
+def build(scale: float = 1.0, seed: int = DEFAULT_SEED) -> tuple[Database, list[QuerySpec]]:
+    """Build the SSB-like database and its query set."""
+    database = build_database(scale, seed)
+    return database, queries(database)
+
+
+def build_database(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Database:
+    rng = derive_rng(seed, "ssb")
+    database = Database("ssb")
+
+    n_customer = scaled(3000, scale)
+    n_supplier = scaled(400, scale)
+    n_part = scaled(2000, scale)
+    n_date = 365 * 4  # calendar dimension: fixed regardless of scale
+    n_fact = scaled(120_000, scale)
+
+    customer = Table.from_arrays(
+        "customer",
+        {
+            "c_custkey": surrogate_keys(n_customer),
+            "c_region": categorical(rng, n_customer, _REGIONS),
+            "c_nation": categorical(rng, n_customer, _NATIONS),
+            "c_mktsegment": categorical(rng, n_customer, _SEGMENTS),
+        },
+        key=("c_custkey",),
+    )
+    supplier = Table.from_arrays(
+        "supplier",
+        {
+            "s_suppkey": surrogate_keys(n_supplier),
+            "s_region": categorical(rng, n_supplier, _REGIONS),
+            "s_nation": categorical(rng, n_supplier, _NATIONS),
+        },
+        key=("s_suppkey",),
+    )
+    part = Table.from_arrays(
+        "part",
+        {
+            "p_partkey": surrogate_keys(n_part),
+            "p_category": categorical(rng, n_part, _CATEGORIES),
+            "p_brand": categorical(rng, n_part, _BRANDS),
+            "p_color": categorical(rng, n_part, _COLORS),
+        },
+        key=("p_partkey",),
+    )
+    date_dim = Table.from_arrays(
+        "date_dim",
+        {
+            "d_datekey": surrogate_keys(n_date),
+            "d_year": 1992 + (np.arange(n_date) // 365),
+            "d_month": 1 + (np.arange(n_date) // 30) % 12,
+            "d_weeknum": 1 + (np.arange(n_date) // 7) % 52,
+        },
+        key=("d_datekey",),
+    )
+    lineorder = Table.from_arrays(
+        "lineorder",
+        {
+            "lo_custkey": skewed_fk(rng, n_fact, customer.column("c_custkey"), 0.4),
+            "lo_suppkey": skewed_fk(rng, n_fact, supplier.column("s_suppkey"), 0.3),
+            "lo_partkey": skewed_fk(rng, n_fact, part.column("p_partkey"), 0.6),
+            "lo_orderdate": skewed_fk(rng, n_fact, date_dim.column("d_datekey"), 0.2),
+            "lo_quantity": numeric(rng, n_fact, 1, 50, integer=True),
+            "lo_discount": numeric(rng, n_fact, 0, 10, integer=True),
+            "lo_revenue": numeric(rng, n_fact, 100.0, 10_000.0),
+        },
+    )
+
+    for table in (customer, supplier, part, date_dim, lineorder):
+        database.add_table(table)
+    database.add_foreign_key(ForeignKey("lineorder", ("lo_custkey",), "customer", ("c_custkey",)))
+    database.add_foreign_key(ForeignKey("lineorder", ("lo_suppkey",), "supplier", ("s_suppkey",)))
+    database.add_foreign_key(ForeignKey("lineorder", ("lo_partkey",), "part", ("p_partkey",)))
+    database.add_foreign_key(ForeignKey("lineorder", ("lo_orderdate",), "date_dim", ("d_datekey",)))
+    return database
+
+
+_QUERIES: list[tuple[str, str]] = [
+    (
+        "ssb_q1_1",
+        """
+        SELECT SUM(lo.lo_revenue) AS revenue
+        FROM lineorder lo, date_dim d
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND d.d_year = 1993 AND lo.lo_discount BETWEEN 1 AND 3
+          AND lo.lo_quantity < 25
+        """,
+    ),
+    (
+        "ssb_q1_2",
+        """
+        SELECT SUM(lo.lo_revenue) AS revenue
+        FROM lineorder lo, date_dim d
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND d.d_month = 1 AND lo.lo_discount BETWEEN 4 AND 6
+        """,
+    ),
+    (
+        "ssb_q2_1",
+        """
+        SELECT SUM(lo.lo_revenue) AS revenue, COUNT(*) AS orders
+        FROM lineorder lo, part p, supplier s, date_dim d
+        WHERE lo.lo_partkey = p.p_partkey AND lo.lo_suppkey = s.s_suppkey
+          AND lo.lo_orderdate = d.d_datekey
+          AND p.p_category = 'MFGR#1' AND s.s_region = 'AMERICA'
+        """,
+    ),
+    (
+        "ssb_q2_2",
+        """
+        SELECT SUM(lo.lo_revenue) AS revenue
+        FROM lineorder lo, part p, supplier s, date_dim d
+        WHERE lo.lo_partkey = p.p_partkey AND lo.lo_suppkey = s.s_suppkey
+          AND lo.lo_orderdate = d.d_datekey
+          AND p.p_brand IN ('BRAND#03', 'BRAND#04') AND s.s_region = 'ASIA'
+        """,
+    ),
+    (
+        "ssb_q3_1",
+        """
+        SELECT c.c_nation, SUM(lo.lo_revenue) AS revenue
+        FROM lineorder lo, customer c, supplier s, date_dim d
+        WHERE lo.lo_custkey = c.c_custkey AND lo.lo_suppkey = s.s_suppkey
+          AND lo.lo_orderdate = d.d_datekey
+          AND c.c_region = 'ASIA' AND s.s_region = 'ASIA'
+          AND d.d_year BETWEEN 1992 AND 1994
+        GROUP BY c.c_nation
+        """,
+    ),
+    (
+        "ssb_q3_2",
+        """
+        SELECT SUM(lo.lo_revenue) AS revenue
+        FROM lineorder lo, customer c, supplier s, date_dim d
+        WHERE lo.lo_custkey = c.c_custkey AND lo.lo_suppkey = s.s_suppkey
+          AND lo.lo_orderdate = d.d_datekey
+          AND c.c_nation = 'NATION03' AND s.s_nation = 'NATION03'
+        """,
+    ),
+    (
+        "ssb_q4_1",
+        """
+        SELECT SUM(lo.lo_revenue) AS profit
+        FROM lineorder lo, customer c, supplier s, part p, date_dim d
+        WHERE lo.lo_custkey = c.c_custkey AND lo.lo_suppkey = s.s_suppkey
+          AND lo.lo_partkey = p.p_partkey AND lo.lo_orderdate = d.d_datekey
+          AND c.c_region = 'AMERICA' AND s.s_region = 'AMERICA'
+          AND p.p_category = 'MFGR#2'
+        """,
+    ),
+    (
+        "ssb_q4_2",
+        """
+        SELECT COUNT(*) AS cnt
+        FROM lineorder lo, customer c, supplier s, part p, date_dim d
+        WHERE lo.lo_custkey = c.c_custkey AND lo.lo_suppkey = s.s_suppkey
+          AND lo.lo_partkey = p.p_partkey AND lo.lo_orderdate = d.d_datekey
+          AND c.c_mktsegment = 'MACHINERY' AND s.s_region = 'EUROPE'
+          AND p.p_color IN ('red', 'green') AND d.d_year = 1995
+        """,
+    ),
+]
+
+
+def queries(database: Database) -> list[QuerySpec]:
+    """Bind the SSB query set against a built database."""
+    return [parse_query(database, sql, name) for name, sql in _QUERIES]

@@ -1,0 +1,199 @@
+"""Parametric random star / snowflake / branch instances.
+
+Used by theorem validation (Table 2) and property-based tests: each
+builder returns a database with declared PKFK constraints plus the
+matching :class:`QuerySpec`, with randomized dimension predicates so
+``Cout`` landscapes differ run to run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.expr.expressions import Comparison, col, lit
+from repro.query.spec import Aggregate, JoinPredicate, QuerySpec, RelationRef
+from repro.storage.database import Database
+from repro.storage.schema import ForeignKey
+from repro.storage.table import Table
+from repro.util.rng import derive_rng
+from repro.workloads.generator import skewed_fk, surrogate_keys
+
+
+def _dimension(
+    name: str, rng: np.random.Generator, num_rows: int
+) -> Table:
+    return Table.from_arrays(
+        name,
+        {
+            "id": surrogate_keys(num_rows),
+            "attr": rng.integers(0, 100, num_rows),
+        },
+        key=("id",),
+    )
+
+
+def random_star(
+    seed: int,
+    num_dimensions: int = 4,
+    fact_rows: int = 4000,
+    dim_rows: int = 200,
+    predicate_rate: float = 0.7,
+    skew: float = 0.5,
+) -> tuple[Database, QuerySpec]:
+    """A star query with PKFK joins (paper Definition 1).
+
+    Each dimension gets a random range predicate with probability
+    ``predicate_rate`` so different dimensions reduce the fact table by
+    different amounts.
+    """
+    rng = derive_rng(seed, "star")
+    database = Database(f"star_{seed}")
+
+    fact_columns: dict[str, np.ndarray] = {}
+    relations = [RelationRef("f", "fact")]
+    joins: list[JoinPredicate] = []
+    local_predicates = {}
+    dims: list[Table] = []
+    for index in range(num_dimensions):
+        dim_name = f"dim{index}"
+        table = _dimension(dim_name, rng, dim_rows)
+        dims.append(table)
+        fact_columns[f"fk{index}"] = skewed_fk(
+            rng, fact_rows, table.column("id"), skew=skew
+        )
+        alias = f"d{index}"
+        relations.append(RelationRef(alias, dim_name))
+        joins.append(JoinPredicate("f", (f"fk{index}",), alias, ("id",)))
+        if rng.random() < predicate_rate:
+            threshold = int(rng.integers(5, 95))
+            local_predicates[alias] = Comparison(
+                "<", col(alias, "attr"), lit(threshold)
+            )
+    fact_columns["measure"] = rng.integers(0, 1000, fact_rows)
+    fact = Table.from_arrays("fact", fact_columns)
+
+    for table in dims:
+        database.add_table(table)
+    database.add_table(fact)
+    for index in range(num_dimensions):
+        database.add_foreign_key(
+            ForeignKey("fact", (f"fk{index}",), f"dim{index}", ("id",))
+        )
+
+    spec = QuerySpec(
+        name=f"star_{seed}",
+        relations=tuple(relations),
+        join_predicates=tuple(joins),
+        local_predicates=local_predicates,
+        aggregates=(Aggregate("count", label="cnt"),),
+    )
+    return database, spec
+
+
+def random_snowflake(
+    seed: int,
+    branch_lengths: tuple[int, ...] = (1, 2, 3),
+    fact_rows: int = 4000,
+    dim_rows: int = 200,
+    predicate_rate: float = 0.7,
+    skew: float = 0.5,
+) -> tuple[Database, QuerySpec]:
+    """A snowflake query with PKFK joins (paper Definition 2).
+
+    Branch ``i`` is a chain ``fact -> R_{i,1} -> ... -> R_{i,n_i}``
+    where each hop's join column is the child's unique key.  Chain
+    dimension tables shrink outward (realistic hierarchies).
+    """
+    rng = derive_rng(seed, "snowflake")
+    database = Database(f"snowflake_{seed}")
+
+    relations = [RelationRef("f", "fact")]
+    joins: list[JoinPredicate] = []
+    local_predicates = {}
+    fact_columns: dict[str, np.ndarray] = {}
+    tables: list[Table] = []
+    foreign_keys: list[ForeignKey] = []
+
+    for branch_index, length in enumerate(branch_lengths):
+        parent_rows = dim_rows
+        # Build from the tip of the chain inward so each table can
+        # reference its child's keys.
+        chain_tables: list[Table] = []
+        chain_sizes = [
+            max(10, int(dim_rows / (2 ** depth))) for depth in range(length)
+        ]
+        child_keys: np.ndarray | None = None
+        for depth in reversed(range(length)):
+            name = f"b{branch_index}_{depth}"
+            rows = chain_sizes[depth]
+            columns = {
+                "id": surrogate_keys(rows),
+                "attr": rng.integers(0, 100, rows),
+            }
+            if child_keys is not None:
+                columns["child_fk"] = skewed_fk(rng, rows, child_keys, skew=0.0)
+            table = Table.from_arrays(name, columns, key=("id",))
+            chain_tables.insert(0, table)
+            child_keys = table.column("id")
+        tables.extend(chain_tables)
+
+        for depth in range(length):
+            alias = f"b{branch_index}_{depth}"
+            relations.append(RelationRef(alias, alias))
+            if depth == 0:
+                fact_columns[f"fk{branch_index}"] = skewed_fk(
+                    rng, fact_rows, chain_tables[0].column("id"), skew=skew
+                )
+                joins.append(
+                    JoinPredicate("f", (f"fk{branch_index}",), alias, ("id",))
+                )
+                foreign_keys.append(
+                    ForeignKey("fact", (f"fk{branch_index}",), alias, ("id",))
+                )
+            else:
+                parent_alias = f"b{branch_index}_{depth - 1}"
+                joins.append(
+                    JoinPredicate(parent_alias, ("child_fk",), alias, ("id",))
+                )
+                foreign_keys.append(
+                    ForeignKey(parent_alias, ("child_fk",), alias, ("id",))
+                )
+            if rng.random() < predicate_rate:
+                threshold = int(rng.integers(5, 95))
+                local_predicates[alias] = Comparison(
+                    "<", col(alias, "attr"), lit(threshold)
+                )
+
+    fact_columns["measure"] = rng.integers(0, 1000, fact_rows)
+    fact = Table.from_arrays("fact", fact_columns)
+    for table in tables:
+        database.add_table(table)
+    database.add_table(fact)
+    for foreign_key in foreign_keys:
+        database.add_foreign_key(foreign_key)
+
+    spec = QuerySpec(
+        name=f"snowflake_{seed}",
+        relations=tuple(relations),
+        join_predicates=tuple(joins),
+        local_predicates=local_predicates,
+        aggregates=(Aggregate("count", label="cnt"),),
+    )
+    return database, spec
+
+
+def random_branch(
+    seed: int,
+    length: int = 4,
+    base_rows: int = 3000,
+    predicate_rate: float = 0.7,
+) -> tuple[Database, QuerySpec]:
+    """A pure branch/chain query (paper Definition 4):
+    ``R0 -> R1 -> ... -> Rn`` with R0 the largest relation."""
+    database, spec = random_snowflake(
+        seed,
+        branch_lengths=(length,),
+        fact_rows=base_rows,
+        predicate_rate=predicate_rate,
+    )
+    return database, spec

@@ -1,0 +1,190 @@
+"""Executor edge cases: empty inputs, self-joins, multi-column keys,
+residual filters, duplicate-heavy joins."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import Executor
+from repro.errors import ExecutionError
+from repro.expr.expressions import Comparison, col, lit
+from repro.plan.builder import attach_aggregate, build_right_deep, join_nodes, scan_for
+from repro.plan.nodes import FilterNode, ScanNode
+from repro.plan.pushdown import push_down_bitvectors
+from repro.query.joingraph import JoinGraph
+from repro.query.spec import Aggregate, JoinPredicate, QuerySpec, RelationRef
+from repro.storage.database import Database
+from repro.storage.schema import ForeignKey
+from repro.storage.table import Table
+
+
+@pytest.fixture(scope="module")
+def edge_db() -> Database:
+    db = Database("edge")
+    db.add_table(
+        Table.from_arrays(
+            "dim",
+            {
+                "id": np.arange(10),
+                "v": np.arange(10),
+                "tag": np.array([f"t{i % 3}" for i in range(10)], dtype=object),
+            },
+            key=("id",),
+        )
+    )
+    db.add_table(
+        Table.from_arrays(
+            "fact",
+            {
+                "a": np.array([0, 0, 1, 2, 2, 2, 9]),
+                "b": np.array([1, 1, 1, 3, 3, 4, 9]),
+                "m": np.arange(7).astype(np.float64),
+            },
+        )
+    )
+    db.add_table(Table.from_arrays("empty", {"id": np.array([], dtype=np.int64)},
+                                   key=("id",)))
+    db.add_foreign_key(ForeignKey("fact", ("a",), "dim", ("id",)))
+    db.add_foreign_key(ForeignKey("fact", ("b",), "dim", ("id",)))
+    return db
+
+
+def run_count(db, spec, order):
+    graph = JoinGraph(spec, db.catalog)
+    plan = attach_aggregate(
+        push_down_bitvectors(build_right_deep(graph, order)), spec
+    )
+    return Executor(db).execute(plan).scalar("cnt")
+
+
+class TestEmptyInputs:
+    def test_empty_dimension_yields_zero(self, edge_db):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("f", "fact"), RelationRef("e", "empty")),
+            join_predicates=(JoinPredicate("f", ("a",), "e", ("id",)),),
+            aggregates=(Aggregate("count", label="cnt"),),
+        )
+        assert run_count(edge_db, spec, ["f", "e"]) == 0
+
+    def test_predicate_selecting_nothing(self, edge_db):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("f", "fact"), RelationRef("d", "dim")),
+            join_predicates=(JoinPredicate("f", ("a",), "d", ("id",)),),
+            local_predicates={"d": Comparison(">", col("d", "v"), lit(999))},
+            aggregates=(Aggregate("count", label="cnt"),),
+        )
+        assert run_count(edge_db, spec, ["f", "d"]) == 0
+
+    def test_empty_probe_side(self, edge_db):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("e", "empty"), RelationRef("d", "dim")),
+            join_predicates=(JoinPredicate("e", ("id",), "d", ("id",)),),
+            aggregates=(Aggregate("count", label="cnt"),),
+        )
+        assert run_count(edge_db, spec, ["e", "d"]) == 0
+
+
+class TestSelfJoin:
+    def test_same_table_two_aliases(self, edge_db):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("x", "dim"), RelationRef("y", "dim")),
+            join_predicates=(JoinPredicate("x", ("id",), "y", ("id",)),),
+            aggregates=(Aggregate("count", label="cnt"),),
+        )
+        assert run_count(edge_db, spec, ["x", "y"]) == 10
+
+    def test_fact_self_join_on_shared_column(self, edge_db):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("p", "fact"), RelationRef("q", "fact")),
+            join_predicates=(JoinPredicate("p", ("a",), "q", ("a",)),),
+            aggregates=(Aggregate("count", label="cnt"),),
+        )
+        a = edge_db.table("fact").column("a")
+        expected = sum(int((a == v).sum()) ** 2 for v in np.unique(a))
+        assert run_count(edge_db, spec, ["p", "q"]) == expected
+
+
+class TestMultiColumnJoin:
+    def test_two_column_key_join(self, edge_db):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("p", "fact"), RelationRef("q", "fact")),
+            join_predicates=(
+                JoinPredicate("p", ("a",), "q", ("a",)),
+                JoinPredicate("p", ("b",), "q", ("b",)),
+            ),
+            aggregates=(Aggregate("count", label="cnt"),),
+        )
+        rows = list(zip(edge_db.table("fact").column("a"),
+                        edge_db.table("fact").column("b")))
+        expected = sum(rows.count(r) for r in rows)
+        assert run_count(edge_db, spec, ["p", "q"]) == expected
+
+
+class TestResidualFilterExecution:
+    def test_multi_alias_bitvector_applies_at_filter_node(self, edge_db):
+        # build side joins BOTH probe relations => residual FilterNode
+        spec = QuerySpec(
+            name="q",
+            relations=(
+                RelationRef("f", "fact"),
+                RelationRef("d", "dim"),
+                RelationRef("g", "fact"),
+            ),
+            join_predicates=(
+                JoinPredicate("f", ("a",), "d", ("id",)),
+                JoinPredicate("g", ("a",), "f", ("b",)),
+                JoinPredicate("g", ("b",), "d", ("id",)),
+            ),
+            aggregates=(Aggregate("count", label="cnt"),),
+        )
+        graph = JoinGraph(spec, edge_db.catalog)
+        plan = push_down_bitvectors(build_right_deep(graph, ["f", "d", "g"]))
+        assert any(isinstance(n, FilterNode) for n in plan.walk())
+        plan = attach_aggregate(plan, spec)
+        with_filters = Executor(edge_db).execute(plan).scalar("cnt")
+
+        plan2 = build_right_deep(graph, ["f", "d", "g"])
+        for node in plan2.walk():
+            if hasattr(node, "creates_bitvector"):
+                node.creates_bitvector = False
+        plan2 = attach_aggregate(push_down_bitvectors(plan2), spec)
+        without = Executor(edge_db).execute(plan2).scalar("cnt")
+        assert with_filters == without
+
+
+class TestExecutorErrors:
+    def test_aggregate_below_root_rejected(self, edge_db, star_spec=None):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("d", "dim"),),
+            join_predicates=(),
+            aggregates=(Aggregate("count", label="cnt"),),
+        )
+        inner = attach_aggregate(scan_for(spec, "d"), spec)
+        nested = attach_aggregate(inner, spec)
+        with pytest.raises(ExecutionError):
+            Executor(edge_db).execute(nested)
+
+    def test_scalar_on_non_aggregate_result(self, edge_db):
+        spec = QuerySpec(
+            name="q", relations=(RelationRef("d", "dim"),), join_predicates=()
+        )
+        result = Executor(edge_db).execute(scan_for(spec, "d"))
+        with pytest.raises(ExecutionError):
+            result.scalar("cnt")
+
+    def test_text_join_keys_supported(self, edge_db):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("x", "dim"), RelationRef("y", "dim")),
+            join_predicates=(JoinPredicate("x", ("tag",), "y", ("tag",)),),
+            aggregates=(Aggregate("count", label="cnt"),),
+        )
+        tags = edge_db.table("dim").column("tag").tolist()
+        expected = sum(tags.count(t) for t in tags)
+        assert run_count(edge_db, spec, ["x", "y"]) == expected

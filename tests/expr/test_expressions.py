@@ -1,0 +1,75 @@
+"""Tests for predicate expression trees."""
+
+import pytest
+
+from repro.expr.expressions import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Like,
+    Not,
+    Or,
+    col,
+    combine_and,
+    conjuncts,
+    lit,
+    referenced_aliases,
+    referenced_columns,
+)
+
+
+class TestConstruction:
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("=~", col("a", "x"), lit(1))
+
+    def test_str_rendering(self):
+        expr = Comparison("<", col("a", "x"), lit(5))
+        assert str(expr) == "a.x < 5"
+        assert str(Like(col("a", "s"), "%ge%")) == "a.s LIKE '%ge%'"
+        assert "BETWEEN" in str(Between(col("a", "x"), lit(1), lit(2)))
+        assert "IN" in str(InList(col("a", "x"), (1, 2)))
+
+    def test_string_literal_quoted(self):
+        assert str(lit("hi")) == "'hi'"
+
+
+class TestAnalysis:
+    def test_referenced_columns(self):
+        expr = And(
+            (
+                Comparison("=", col("a", "x"), col("b", "y")),
+                Like(col("a", "s"), "z%"),
+            )
+        )
+        assert referenced_columns(expr) == {("a", "x"), ("b", "y"), ("a", "s")}
+        assert referenced_aliases(expr) == {"a", "b"}
+
+    def test_conjuncts_flattens_nested_ands(self):
+        inner = And((Comparison("<", col("a", "x"), lit(1)),
+                     Comparison(">", col("a", "x"), lit(0))))
+        outer = And((inner, Like(col("a", "s"), "q%")))
+        assert len(conjuncts(outer)) == 3
+
+    def test_conjuncts_of_none(self):
+        assert conjuncts(None) == []
+
+    def test_conjuncts_of_or_is_opaque(self):
+        expr = Or((Comparison("<", col("a", "x"), lit(1)),
+                   Comparison(">", col("a", "x"), lit(5))))
+        assert conjuncts(expr) == [expr]
+
+    def test_combine_and(self):
+        a = Comparison("<", col("a", "x"), lit(1))
+        b = Comparison(">", col("a", "x"), lit(0))
+        assert combine_and([]) is None
+        assert combine_and([a]) is a
+        combined = combine_and([a, b])
+        assert isinstance(combined, And)
+        assert len(combined.operands) == 2
+
+    def test_walk_visits_all(self):
+        expr = Not(And((Comparison("=", col("a", "x"), lit(1)),)))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds == ["Not", "And", "Comparison", "ColumnRef", "Literal"]

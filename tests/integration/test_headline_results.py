@@ -1,0 +1,58 @@
+"""Regression tests pinning the paper's headline result shapes.
+
+The benchmarks print the full tables; these tests keep the key
+directional claims under ordinary ``pytest tests/`` so a planner change
+that silently inverts a result fails fast.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.reporting import figure8_rows, selectivity_groups, table4_rows
+
+
+@pytest.fixture(scope="module")
+def tpcds_runs(tpcds_tiny):
+    db, queries = tpcds_tiny
+    return run_workload(
+        "tpcds", db, queries, pipelines=("original", "bqo", "original_nobv")
+    )
+
+
+@pytest.fixture(scope="module")
+def customer_runs(customer_tiny):
+    db, queries = customer_tiny
+    return run_workload("customer", db, queries, pipelines=("original", "bqo"))
+
+
+class TestFigure8Shape:
+    def test_bqo_does_not_regress_workload_cpu(self, tpcds_runs):
+        assert tpcds_runs.total_cpu("bqo") <= tpcds_runs.total_cpu("original") * 1.001
+
+    def test_bqo_wins_on_customer(self, customer_runs):
+        assert (
+            customer_runs.total_cpu("bqo")
+            < customer_runs.total_cpu("original")
+        )
+
+    def test_selectivity_groups_stable(self, tpcds_runs):
+        groups = selectivity_groups(tpcds_runs)
+        assert len(groups) == 25
+        rows = figure8_rows(tpcds_runs)
+        total = next(r for r in rows if r["group"] == "total")
+        assert total["original"] == pytest.approx(1.0)
+
+
+class TestTable4Shape:
+    def test_filters_help_and_never_hurt_badly(self, tpcds_runs):
+        row = table4_rows(tpcds_runs)[0]
+        assert row["cpu_ratio"] < 1.0
+        assert row["regressed"] == 0.0
+        assert row["queries_with_filters"] > 0.8
+
+
+class TestOptimizerNeverBreaksAnswers:
+    def test_workload_consistency_was_enforced(self, tpcds_runs):
+        # run_workload raises on any cross-pipeline answer divergence;
+        # reaching this point with all runs recorded is the assertion.
+        assert len(tpcds_runs.runs) == 25 * 3

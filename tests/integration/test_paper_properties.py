@@ -1,0 +1,82 @@
+"""Integration tests for the paper's algebraic properties (Section 3.2)
+verified on real engine executions.
+
+Property 1 (commutativity), Property 2 (reduction), Property 3
+(redundancy), Property 4 (associativity), and Lemma 1/3 (absorption)
+are stated for semi-joins via bitvector filters; here they are checked
+against actual data rather than in the abstract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.filters.exact import ExactFilter
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def relations():
+    rng = derive_rng(0, "props")
+    r = rng.integers(0, 200, 5000)          # fact FK column
+    r1 = np.unique(rng.integers(0, 200, 120))   # dimension keys (unique)
+    r2 = np.unique(rng.integers(0, 200, 90))
+    return r, r1, r2
+
+
+def semijoin(values: np.ndarray, *key_sets: np.ndarray) -> np.ndarray:
+    """R / (B1, B2, ...) via exact bitvector filters."""
+    result = values
+    for keys in key_sets:
+        mask = ExactFilter.build([keys]).contains([result])
+        result = result[mask]
+    return result
+
+
+class TestProperty1Commutativity:
+    def test_filter_order_irrelevant(self, relations):
+        r, r1, r2 = relations
+        forward = semijoin(r, r1, r2)
+        backward = semijoin(r, r2, r1)
+        assert np.array_equal(np.sort(forward), np.sort(backward))
+
+
+class TestProperty2Reduction:
+    def test_semijoin_never_grows(self, relations):
+        r, r1, r2 = relations
+        assert len(semijoin(r, r1)) <= len(r)
+        assert len(semijoin(r, r1, r2)) <= len(semijoin(r, r1))
+
+
+class TestProperty3Redundancy:
+    def test_filter_after_join_is_noop(self, relations):
+        r, r1, _ = relations
+        joined = r[np.isin(r, r1)]  # R join R1 projected to R's columns
+        refiltered = semijoin(joined, r1)
+        assert np.array_equal(joined, refiltered)
+
+
+class TestProperty4Associativity:
+    def test_combined_equals_sequential(self, relations):
+        r, r1, r2 = relations
+        sequential = semijoin(r, r1, r2)
+        combined_keys = np.intersect1d(r1, r2)
+        combined = semijoin(r, combined_keys)
+        # R / (R1, R2) == (R / R1) / R2 for exact filters
+        assert np.array_equal(np.sort(sequential), np.sort(combined))
+
+
+class TestLemma1Absorption:
+    def test_semijoin_size_equals_key_join_size(self, relations):
+        r, r1, _ = relations
+        semi = semijoin(r, r1)
+        # r1 is a unique key set: each surviving r row matches exactly one
+        join_size = int(np.isin(r, r1).sum())
+        assert len(semi) == join_size
+
+
+class TestLemma3StarAbsorption:
+    def test_multiway(self, relations):
+        r, r1, r2 = relations
+        semi = semijoin(r, r1, r2)
+        join_size = int((np.isin(r, r1) & np.isin(r, r2)).sum())
+        assert len(semi) == join_size

@@ -1,0 +1,111 @@
+"""Tests for the bitvector-blind baseline optimizer (DP + GOO)."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.optimizer.baseline import optimize_baseline
+from repro.optimizer.blindcard import BlindCardModel
+from repro.plan.properties import base_aliases, join_count
+from repro.query.joingraph import JoinGraph
+from repro.query.spec import JoinPredicate, QuerySpec, RelationRef
+from repro.stats.estimator import CardinalityEstimator
+from repro.workloads.synthetic import random_snowflake, random_star
+
+
+def setup(db, spec):
+    graph = JoinGraph(spec, db.catalog)
+    estimator = CardinalityEstimator(db, spec.alias_tables)
+    return graph, estimator
+
+
+class TestDp:
+    def test_covers_all_relations(self, star_db, star_spec):
+        graph, estimator = setup(star_db, star_spec)
+        plan = optimize_baseline(graph, estimator)
+        assert base_aliases(plan) == frozenset(star_spec.aliases)
+        assert join_count(plan) == 2
+
+    def test_snowflake_plan_valid(self):
+        db, spec = random_snowflake(0, branch_lengths=(2, 2))
+        graph, estimator = setup(db, spec)
+        plan = optimize_baseline(graph, estimator)
+        assert base_aliases(plan) == frozenset(spec.aliases)
+
+    def test_dp_beats_or_ties_any_right_deep_order(self):
+        """The DP optimum cannot be worse than an arbitrary order under
+        its own (blind) cost model."""
+        from repro.optimizer.enumerate import right_deep_orders
+        from repro.plan.builder import build_right_deep
+
+        db, spec = random_star(9, num_dimensions=3, fact_rows=400, dim_rows=40)
+        graph, estimator = setup(db, spec)
+        model = BlindCardModel(graph, estimator)
+
+        def blind_cost(plan):
+            from repro.plan.nodes import HashJoinNode, ScanNode
+
+            total = 0.0
+            for node in plan.walk():
+                if isinstance(node, ScanNode):
+                    total += model.base_rows(node.alias)
+                elif isinstance(node, HashJoinNode):
+                    total += model.subset_rows(frozenset(node.output_aliases))
+            return total
+
+        best = blind_cost(optimize_baseline(graph, estimator))
+        for order in right_deep_orders(graph, limit=20):
+            assert best <= blind_cost(build_right_deep(graph, order)) + 1e-6
+
+    def test_single_relation(self, star_db):
+        spec = QuerySpec(
+            name="q", relations=(RelationRef("f", "fact"),), join_predicates=()
+        )
+        graph, estimator = setup(star_db, spec)
+        plan = optimize_baseline(graph, estimator)
+        assert base_aliases(plan) == frozenset({"f"})
+
+    def test_disconnected_graph_rejected(self, star_db):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("a", "dim1"), RelationRef("b", "dim2")),
+            join_predicates=(),
+        )
+        graph, estimator = setup(star_db, spec)
+        with pytest.raises(OptimizerError, match="disconnected"):
+            optimize_baseline(graph, estimator)
+
+
+class TestGoo:
+    def test_goo_used_beyond_dp_limit(self, customer_tiny):
+        db, queries = customer_tiny
+        big = max(queries, key=lambda q: len(q.relations))
+        assert len(big.relations) > 10
+        graph, estimator = setup(db, big)
+        plan = optimize_baseline(graph, estimator, dp_relation_limit=10)
+        assert base_aliases(plan) == frozenset(big.aliases)
+        assert join_count(plan) == len(big.relations) - 1
+
+    def test_goo_matches_dp_relation_coverage_small(self, star_db, star_spec):
+        graph, estimator = setup(star_db, star_spec)
+        goo_plan = optimize_baseline(graph, estimator, dp_relation_limit=0)
+        assert base_aliases(goo_plan) == frozenset(star_spec.aliases)
+
+
+class TestBlindCardModel:
+    def test_subset_rows_order_independent(self, star_db, star_spec):
+        graph, estimator = setup(star_db, star_spec)
+        model = BlindCardModel(graph, estimator)
+        assert model.subset_rows(frozenset({"f", "d1"})) == model.subset_rows(
+            frozenset({"d1", "f"})
+        )
+
+    def test_joined_rows_uses_cross_edges(self, star_db, star_spec):
+        graph, estimator = setup(star_db, star_spec)
+        model = BlindCardModel(graph, estimator)
+        joined = model.joined_rows(frozenset({"f"}), frozenset({"d1"}))
+        assert joined == pytest.approx(model.subset_rows(frozenset({"f", "d1"})))
+
+    def test_base_rows_reflect_predicates(self, star_db, star_spec):
+        graph, estimator = setup(star_db, star_spec)
+        model = BlindCardModel(graph, estimator)
+        assert model.base_rows("d1") < model.base_rows("d2")

@@ -1,0 +1,142 @@
+"""Tests for plan construction and Algorithm 1 (bitvector push-down)."""
+
+import pytest
+
+from repro.errors import OptimizerError, PlanError
+from repro.plan.builder import build_right_deep, join_nodes, scan_for
+from repro.plan.nodes import FilterNode, HashJoinNode, ScanNode
+from repro.plan.properties import (
+    is_right_deep,
+    join_count,
+    plan_signature,
+    right_deep_order,
+)
+from repro.plan.pushdown import push_down_bitvectors, strip_bitvectors
+from repro.query.joingraph import JoinGraph
+from repro.query.spec import JoinPredicate, QuerySpec, RelationRef
+from repro.workloads.synthetic import random_snowflake
+
+
+@pytest.fixture(scope="module")
+def star_graph(star_db, star_spec):
+    return JoinGraph(star_spec, star_db.catalog)
+
+
+class TestBuilder:
+    def test_right_deep_shape(self, star_graph):
+        plan = build_right_deep(star_graph, ["f", "d1", "d2"])
+        assert is_right_deep(plan)
+        assert join_count(plan) == 2
+        assert right_deep_order(plan) == ["f", "d1", "d2"]
+
+    def test_cross_product_prefix_rejected(self, star_graph):
+        with pytest.raises(OptimizerError, match="cross product"):
+            build_right_deep(star_graph, ["d1", "d2", "f"])
+
+    def test_dim_leading_order_allowed(self, star_graph):
+        plan = build_right_deep(star_graph, ["d1", "f", "d2"])
+        assert right_deep_order(plan) == ["d1", "f", "d2"]
+
+    def test_empty_order_rejected(self, star_graph):
+        with pytest.raises(OptimizerError):
+            build_right_deep(star_graph, [])
+
+    def test_join_nodes_collects_all_edges(self, star_db):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("a", "fact"), RelationRef("b", "fact")),
+            join_predicates=(
+                JoinPredicate("a", ("fk1",), "b", ("fk1",)),
+                JoinPredicate("a", ("fk2",), "b", ("fk2",)),
+            ),
+        )
+        graph = JoinGraph(spec, star_db.catalog)
+        join = join_nodes(graph, scan_for(spec, "a"), scan_for(spec, "b"))
+        assert len(join.build_keys) == 2
+
+    def test_join_children_must_not_overlap(self, star_graph, star_spec):
+        scan = scan_for(star_spec, "f")
+        with pytest.raises(PlanError):
+            HashJoinNode(scan, scan, (("f", "fk1"),), (("f", "fk1"),))
+
+
+class TestPushdown:
+    def test_star_filters_land_on_fact_scan(self, star_graph):
+        plan = push_down_bitvectors(build_right_deep(star_graph, ["f", "d1", "d2"]))
+        fact_scan = next(
+            node for node in plan.walk()
+            if isinstance(node, ScanNode) and node.alias == "f"
+        )
+        assert len(fact_scan.applied_bitvectors) == 2
+        assert not any(isinstance(node, FilterNode) for node in plan.walk())
+
+    def test_every_join_creates_one_filter(self, star_graph):
+        plan = push_down_bitvectors(build_right_deep(star_graph, ["f", "d1", "d2"]))
+        joins = [n for n in plan.walk() if isinstance(n, HashJoinNode)]
+        assert all(join.created_bitvector is not None for join in joins)
+
+    def test_disabled_joins_create_nothing(self, star_graph):
+        plan = build_right_deep(star_graph, ["f", "d1", "d2"])
+        for node in plan.walk():
+            if isinstance(node, HashJoinNode):
+                node.creates_bitvector = False
+        plan = push_down_bitvectors(plan)
+        assert all(
+            not node.applied_bitvectors for node in plan.walk()
+        )
+
+    def test_snowflake_filters_follow_chain(self):
+        db, spec = random_snowflake(1, branch_lengths=(2,))
+        graph = JoinGraph(spec, db.catalog)
+        # T(f, b0_0, b0_1): filter from b0_1 must land on b0_0's scan,
+        # filter from b0_0 on the fact scan (paper Lemma 7).
+        plan = push_down_bitvectors(build_right_deep(graph, ["f", "b0_0", "b0_1"]))
+        scans = {n.alias: n for n in plan.walk() if isinstance(n, ScanNode)}
+        fact_filters = scans["f"].applied_bitvectors
+        chain_filters = scans["b0_0"].applied_bitvectors
+        assert len(fact_filters) == 1
+        assert fact_filters[0].probe_keys[0][0] == "f"
+        assert len(chain_filters) == 1
+        assert chain_filters[0].probe_keys[0][0] == "b0_0"
+
+    def test_residual_filter_for_multi_alias_keys(self, star_db):
+        # build side joins BOTH probe relations => its filter references
+        # two aliases and cannot descend past the join that combines them
+        spec = QuerySpec(
+            name="q",
+            relations=(
+                RelationRef("a", "fact"),
+                RelationRef("b", "dim1"),
+                RelationRef("c", "fact"),
+            ),
+            join_predicates=(
+                JoinPredicate("a", ("fk1",), "b", ("id",)),
+                JoinPredicate("c", ("fk1",), "a", ("fk2",)),
+                JoinPredicate("c", ("fk2",), "b", ("id",)),
+            ),
+        )
+        graph = JoinGraph(spec, star_db.catalog)
+        plan = push_down_bitvectors(build_right_deep(graph, ["a", "b", "c"]))
+        assert any(isinstance(node, FilterNode) for node in plan.walk())
+
+    def test_pushdown_rejects_existing_filters(self, star_graph):
+        plan = push_down_bitvectors(build_right_deep(star_graph, ["f", "d1", "d2"]))
+        # wrap with a residual filter manually and re-run: must fail
+        wrapped = FilterNode(plan)
+        with pytest.raises(PlanError):
+            push_down_bitvectors(wrapped)
+
+    def test_strip_bitvectors(self, star_graph):
+        plan = push_down_bitvectors(build_right_deep(star_graph, ["f", "d1", "d2"]))
+        stripped = strip_bitvectors(plan)
+        assert all(not node.applied_bitvectors for node in stripped.walk())
+        assert all(
+            node.created_bitvector is None
+            for node in stripped.walk()
+            if isinstance(node, HashJoinNode)
+        )
+
+    def test_signature_distinguishes_orders(self, star_graph):
+        a = plan_signature(build_right_deep(star_graph, ["f", "d1", "d2"]))
+        b = plan_signature(build_right_deep(star_graph, ["f", "d2", "d1"]))
+        assert a != b

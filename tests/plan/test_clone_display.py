@@ -1,0 +1,78 @@
+"""Tests for plan cloning and rendering."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan.builder import attach_aggregate, build_right_deep
+from repro.plan.clone import clone_plan
+from repro.plan.display import format_plan
+from repro.plan.nodes import FilterNode, HashJoinNode
+from repro.plan.properties import plan_signature
+from repro.plan.pushdown import push_down_bitvectors
+from repro.query.joingraph import JoinGraph
+
+
+@pytest.fixture()
+def star_plan(star_db, star_spec):
+    graph = JoinGraph(star_spec, star_db.catalog)
+    return build_right_deep(graph, ["f", "d1", "d2"])
+
+
+class TestClone:
+    def test_clone_is_structurally_identical(self, star_plan):
+        copy, _ = clone_plan(star_plan)
+        assert plan_signature(copy) == plan_signature(star_plan)
+
+    def test_clone_has_fresh_nodes(self, star_plan):
+        copy, mapping = clone_plan(star_plan)
+        original_ids = {n.node_id for n in star_plan.walk()}
+        copy_ids = {n.node_id for n in copy.walk()}
+        assert not original_ids & copy_ids
+        assert set(mapping) == original_ids
+
+    def test_clone_preserves_flags(self, star_plan):
+        for node in star_plan.walk():
+            if isinstance(node, HashJoinNode):
+                node.creates_bitvector = False
+        copy, _ = clone_plan(star_plan)
+        assert all(
+            not n.creates_bitvector for n in copy.walk()
+            if isinstance(n, HashJoinNode)
+        )
+
+    def test_pushdown_on_clone_leaves_original_untouched(self, star_plan):
+        copy, _ = clone_plan(star_plan)
+        push_down_bitvectors(copy)
+        assert all(not n.applied_bitvectors for n in star_plan.walk())
+
+    def test_clone_with_aggregate(self, star_plan, star_spec):
+        plan = attach_aggregate(star_plan, star_spec)
+        copy, _ = clone_plan(plan)
+        assert plan_signature(copy) == plan_signature(plan)
+
+    def test_clone_rejects_pushed_down_plan_with_residuals(self, star_plan):
+        wrapped = FilterNode(star_plan)
+        with pytest.raises(PlanError):
+            clone_plan(wrapped)
+
+
+class TestDisplay:
+    def test_format_mentions_all_relations(self, star_plan):
+        rendered = format_plan(push_down_bitvectors(star_plan))
+        for alias in ("f", "d1", "d2"):
+            assert alias in rendered
+
+    def test_format_shows_created_and_applied_filters(self, star_plan):
+        rendered = format_plan(push_down_bitvectors(star_plan))
+        assert "creates BV#" in rendered
+        assert "[BV#" in rendered
+
+    def test_annotations_appended(self, star_plan):
+        annotations = {star_plan.node_id: "42 rows"}
+        rendered = format_plan(star_plan, annotations)
+        assert "42 rows" in rendered
+
+    def test_indentation_reflects_depth(self, star_plan):
+        lines = format_plan(star_plan).splitlines()
+        assert lines[0].startswith("HashJoin")
+        assert lines[1].startswith("  ")

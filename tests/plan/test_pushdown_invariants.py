@@ -1,0 +1,80 @@
+"""Property-based invariants of Algorithm 1 over randomized plans.
+
+For any cross-product-free right-deep order of a random snowflake:
+
+* every enabled hash join creates exactly one bitvector filter;
+* every created filter is applied at exactly one node;
+* the application site lies strictly inside the creating join's probe
+  subtree (so execution order build-before-probe always finds the
+  filter populated);
+* the application site's output carries every column the filter needs;
+* filters applied at a scan reference only that scan's alias.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plan.builder import build_right_deep
+from repro.plan.nodes import HashJoinNode, ScanNode
+from repro.plan.pushdown import push_down_bitvectors
+from repro.query.joingraph import JoinGraph
+from repro.optimizer.enumerate import right_deep_orders
+from repro.workloads.synthetic import random_snowflake
+
+
+def _random_plan(seed: int, order_index: int):
+    db, spec = random_snowflake(
+        seed % 50, branch_lengths=(1, 2), fact_rows=60, dim_rows=12
+    )
+    graph = JoinGraph(spec, db.catalog)
+    orders = list(right_deep_orders(graph))
+    order = orders[order_index % len(orders)]
+    return push_down_bitvectors(build_right_deep(graph, order))
+
+
+@given(seed=st.integers(0, 10_000), order_index=st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_every_join_creates_exactly_one_applied_filter(seed, order_index):
+    plan = _random_plan(seed, order_index)
+    created = [
+        node.created_bitvector
+        for node in plan.walk()
+        if isinstance(node, HashJoinNode)
+    ]
+    assert all(bv is not None for bv in created)
+
+    applications: dict[int, int] = {}
+    for node in plan.walk():
+        for bv in node.applied_bitvectors:
+            applications[bv.filter_id] = applications.get(bv.filter_id, 0) + 1
+    assert applications == {bv.filter_id: 1 for bv in created}
+
+
+@given(seed=st.integers(0, 10_000), order_index=st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_filters_apply_inside_probe_subtree_with_columns_present(
+    seed, order_index
+):
+    plan = _random_plan(seed, order_index)
+    site_of = {}
+    for node in plan.walk():
+        for bv in node.applied_bitvectors:
+            site_of[bv.filter_id] = node
+    for join in plan.walk():
+        if not isinstance(join, HashJoinNode):
+            continue
+        bv = join.created_bitvector
+        site = site_of[bv.filter_id]
+        probe_nodes = {id(n) for n in join.probe.walk()}
+        assert id(site) in probe_nodes, "filter escaped its probe subtree"
+        assert bv.probe_aliases <= site.output_aliases
+
+
+@given(seed=st.integers(0, 10_000), order_index=st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_scan_filters_reference_only_that_scan(seed, order_index):
+    plan = _random_plan(seed, order_index)
+    for node in plan.walk():
+        if isinstance(node, ScanNode):
+            for bv in node.applied_bitvectors:
+                assert bv.probe_aliases == {node.alias}

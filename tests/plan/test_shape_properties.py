@@ -1,0 +1,54 @@
+"""Plan shape property tests: right-deep detection, order recovery."""
+
+import pytest
+
+from repro.optimizer.baseline import optimize_baseline
+from repro.plan.builder import attach_aggregate, build_right_deep, join_nodes, scan_for
+from repro.plan.properties import is_right_deep, right_deep_order
+from repro.plan.pushdown import push_down_bitvectors
+from repro.query.joingraph import JoinGraph
+from repro.stats.estimator import CardinalityEstimator
+from repro.workloads.synthetic import random_snowflake
+
+
+class TestIsRightDeep:
+    def test_right_deep_detected(self, star_db, star_spec):
+        graph = JoinGraph(star_spec, star_db.catalog)
+        plan = build_right_deep(graph, ["f", "d1", "d2"])
+        assert is_right_deep(plan)
+
+    def test_bushy_rejected(self):
+        db, spec = random_snowflake(2, branch_lengths=(2, 1))
+        graph = JoinGraph(spec, db.catalog)
+        # build a bushy tree: (b0_1 x b0_0) as build of the fact join
+        chain = join_nodes(
+            graph, scan_for(spec, "b0_1"), scan_for(spec, "b0_0")
+        )
+        bushy = join_nodes(graph, chain, scan_for(spec, "f"))
+        bushy = join_nodes(graph, scan_for(spec, "b1_0"), bushy)
+        assert not is_right_deep(bushy)
+
+    def test_wrappers_are_transparent(self, star_db, star_spec):
+        graph = JoinGraph(star_spec, star_db.catalog)
+        plan = push_down_bitvectors(build_right_deep(graph, ["f", "d1", "d2"]))
+        plan = attach_aggregate(plan, star_spec)
+        assert is_right_deep(plan)
+
+    def test_single_scan_is_right_deep(self, star_spec):
+        assert is_right_deep(scan_for(star_spec, "f"))
+
+
+class TestRightDeepOrder:
+    def test_round_trip(self, star_db, star_spec):
+        graph = JoinGraph(star_spec, star_db.catalog)
+        for order in (["f", "d1", "d2"], ["d2", "f", "d1"]):
+            plan = build_right_deep(graph, order)
+            assert right_deep_order(plan) == order
+
+    def test_rejects_bushy(self, star_db, star_spec):
+        graph = JoinGraph(star_spec, star_db.catalog)
+        estimator = CardinalityEstimator(star_db, star_spec.alias_tables)
+        plan = optimize_baseline(graph, estimator)
+        if not is_right_deep(plan):
+            with pytest.raises(ValueError):
+                right_deep_order(plan)

@@ -1,0 +1,124 @@
+"""Tests for join graph topology and classification."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.joingraph import JoinGraph
+from repro.query.spec import JoinPredicate, QuerySpec, RelationRef
+from repro.workloads.synthetic import random_snowflake, random_star
+
+
+class TestStarGraph:
+    @pytest.fixture(scope="class")
+    def graph(self, star_db, star_spec):
+        return JoinGraph(star_spec, star_db.catalog)
+
+    def test_neighbors(self, graph):
+        assert graph.neighbors("f") == {"d1", "d2"}
+        assert graph.neighbors("d1") == {"f"}
+
+    def test_connected(self, graph):
+        assert graph.is_connected()
+        assert graph.is_connected(("f", "d1"))
+        assert not graph.is_connected(("d1", "d2"))
+
+    def test_fact_detection(self, graph):
+        assert graph.fact_tables() == ["f"]
+        assert graph.is_fact_table("f")
+        assert not graph.is_fact_table("d1")
+
+    def test_key_join_direction(self, graph):
+        edge = graph.edge_between("f", "d1")
+        assert graph.is_key_join_into(edge, "d1")
+        assert not graph.is_key_join_into(edge, "f")
+        assert graph.is_pkfk_edge(edge)
+
+    def test_is_star(self, graph):
+        assert graph.is_star("f")
+        assert not graph.is_star("d1")
+
+    def test_star_is_also_snowflake(self, graph):
+        assert graph.is_snowflake("f")
+
+    def test_branch_components(self, graph):
+        components = graph.branch_components("f")
+        assert sorted(sorted(c) for c in components) == [["d1"], ["d2"]]
+
+    def test_connected_components_helper(self, graph):
+        assert graph.connected_components({"d1", "d2"}) == [{"d1"}, {"d2"}]
+
+
+class TestSnowflakeGraph:
+    @pytest.fixture(scope="class")
+    def snowflake(self):
+        db, spec = random_snowflake(0, branch_lengths=(2, 3))
+        return JoinGraph(spec, db.catalog)
+
+    def test_is_snowflake_not_star(self, snowflake):
+        assert snowflake.is_snowflake("f")
+        assert not snowflake.is_star("f")
+
+    def test_chain_order(self, snowflake):
+        components = snowflake.branch_components("f")
+        lengths = sorted(len(c) for c in components)
+        assert lengths == [2, 3]
+        for component in components:
+            chain = snowflake.chain_order("f", component)
+            assert len(chain) == len(component)
+            # chain starts at the fact's neighbor
+            assert "f" in snowflake.neighbors(chain[0])
+
+    def test_branch_roots(self, snowflake):
+        for component in snowflake.branch_components("f"):
+            assert len(snowflake.branch_roots("f", component)) == 1
+
+    def test_induced_spec(self, snowflake):
+        component = snowflake.branch_components("f")[0]
+        subset = set(component) | {"f"}
+        sub = snowflake.induced_spec(subset, "sub")
+        assert set(sub.aliases) == subset
+        for join in sub.join_predicates:
+            assert join.left_alias in subset and join.right_alias in subset
+
+
+class TestEdgeMerging:
+    def test_multiple_predicates_merge_into_one_edge(self, star_db):
+        spec = QuerySpec(
+            name="q",
+            relations=(RelationRef("a", "fact"), RelationRef("b", "fact")),
+            join_predicates=(
+                JoinPredicate("a", ("fk1",), "b", ("fk1",)),
+                JoinPredicate("a", ("fk2",), "b", ("fk2",)),
+            ),
+        )
+        graph = JoinGraph(spec, star_db.catalog)
+        edge = graph.edge_between("a", "b")
+        assert edge is not None
+        assert len(edge.left_columns) == 2
+
+    def test_edge_between_absent(self, star_db, star_spec):
+        graph = JoinGraph(star_spec, star_db.catalog)
+        assert graph.edge_between("d1", "d2") is None
+
+    def test_edge_accessors(self, star_db, star_spec):
+        graph = JoinGraph(star_spec, star_db.catalog)
+        edge = graph.edge_between("f", "d1")
+        assert edge.other("f") == "d1"
+        assert edge.columns_of("d1") == ("id",)
+        with pytest.raises(QueryError):
+            edge.other("zz")
+
+
+class TestNonPkfkFact:
+    def test_two_facts_detected(self, tpcds_tiny):
+        db, queries = tpcds_tiny
+        multi = next(q for q in queries if q.name == "ds_q15")
+        graph = JoinGraph(multi, db.catalog)
+        facts = graph.fact_tables()
+        assert set(facts) == {"ss", "cs"}
+
+    def test_star_shape_detected_in_workload(self, tpcds_tiny):
+        db, queries = tpcds_tiny
+        simple = next(q for q in queries if q.name == "ds_q02")
+        graph = JoinGraph(simple, db.catalog)
+        assert graph.is_star("ss")

@@ -1,0 +1,94 @@
+"""Tests for query specifications."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.expr.expressions import Comparison, col, lit
+from repro.query.spec import Aggregate, JoinPredicate, QuerySpec, RelationRef
+
+
+def two_table_spec(**overrides) -> QuerySpec:
+    base = dict(
+        name="q",
+        relations=(RelationRef("a", "fact"), RelationRef("b", "dim1")),
+        join_predicates=(JoinPredicate("a", ("fk1",), "b", ("id",)),),
+    )
+    base.update(overrides)
+    return QuerySpec(**base)
+
+
+class TestValidation:
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            two_table_spec(
+                relations=(RelationRef("a", "fact"), RelationRef("a", "dim1"))
+            )
+
+    def test_join_on_unknown_alias_rejected(self):
+        with pytest.raises(QueryError, match="unknown alias"):
+            two_table_spec(
+                join_predicates=(JoinPredicate("a", ("fk1",), "z", ("id",)),)
+            )
+
+    def test_local_predicate_alias_must_match(self):
+        with pytest.raises(QueryError):
+            two_table_spec(
+                local_predicates={"b": Comparison("<", col("a", "m"), lit(1))}
+            )
+
+    def test_join_predicate_column_mismatch(self):
+        with pytest.raises(QueryError):
+            JoinPredicate("a", ("x", "y"), "b", ("z",))
+
+    def test_self_join_predicate_rejected(self):
+        with pytest.raises(QueryError):
+            JoinPredicate("a", ("x",), "a", ("y",))
+
+    def test_aggregate_requires_argument(self):
+        with pytest.raises(QueryError):
+            Aggregate("sum")
+
+    def test_count_star_allowed(self):
+        assert Aggregate("count").argument is None
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            Aggregate("median", col("a", "x"))
+
+
+class TestAgainstDatabase:
+    def test_validate_against_catalog(self, star_db):
+        spec = two_table_spec()
+        spec.validate_against(star_db)
+
+    def test_unknown_table_rejected(self, star_db):
+        spec = two_table_spec(relations=(RelationRef("a", "nope"), RelationRef("b", "dim1")))
+        with pytest.raises(QueryError, match="unknown table"):
+            spec.validate_against(star_db)
+
+    def test_unknown_join_column_rejected(self, star_db):
+        spec = two_table_spec(
+            join_predicates=(JoinPredicate("a", ("missing",), "b", ("id",)),)
+        )
+        with pytest.raises(QueryError, match="unknown column"):
+            spec.validate_against(star_db)
+
+
+class TestAccessors:
+    def test_alias_tables(self):
+        spec = two_table_spec()
+        assert spec.alias_tables == {"a": "fact", "b": "dim1"}
+
+    def test_table_of(self):
+        assert two_table_spec().table_of("b") == "dim1"
+        with pytest.raises(QueryError):
+            two_table_spec().table_of("zz")
+
+    def test_str_contains_tables(self):
+        rendered = str(two_table_spec())
+        assert "fact" in rendered and "dim1" in rendered
+
+    def test_reversed_join(self):
+        join = JoinPredicate("a", ("x",), "b", ("y",))
+        rev = join.reversed()
+        assert rev.left_alias == "b" and rev.right_columns == ("x",)

@@ -1,0 +1,102 @@
+"""Tests for SQL binding against a catalog."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.binder import parse_query
+
+
+class TestBinding:
+    def test_joins_separated_from_locals(self, star_db):
+        spec = parse_query(
+            star_db,
+            """
+            SELECT COUNT(*) AS cnt
+            FROM fact f, dim1 d1, dim2 d2
+            WHERE f.fk1 = d1.id AND f.fk2 = d2.id AND d1.v < 3
+            """,
+        )
+        assert len(spec.join_predicates) == 2
+        assert set(spec.local_predicates) == {"d1"}
+
+    def test_unqualified_column_resolved_uniquely(self, star_db):
+        spec = parse_query(
+            star_db,
+            "SELECT COUNT(*) AS c FROM fact f, dim1 d WHERE f.fk1 = d.id AND v < 3",
+        )
+        predicate = spec.local_predicates["d"]
+        assert "d.v" in str(predicate)
+
+    def test_ambiguous_column_rejected(self, star_db):
+        with pytest.raises(SqlError, match="ambiguous"):
+            parse_query(
+                star_db,
+                "SELECT COUNT(*) AS c FROM dim1 a, dim1 b WHERE a.id = b.id AND id < 5",
+            )
+
+    def test_unknown_table_rejected(self, star_db):
+        with pytest.raises(SqlError, match="unknown table"):
+            parse_query(star_db, "SELECT COUNT(*) AS c FROM nope n")
+
+    def test_unknown_column_rejected(self, star_db):
+        with pytest.raises(SqlError, match="unknown column"):
+            parse_query(star_db, "SELECT COUNT(*) AS c FROM fact f WHERE f.zzz = 1")
+
+    def test_duplicate_alias_rejected(self, star_db):
+        with pytest.raises(SqlError, match="duplicate alias"):
+            parse_query(star_db, "SELECT COUNT(*) AS c FROM fact a, dim1 a")
+
+    def test_bare_column_requires_group_by(self, star_db):
+        with pytest.raises(SqlError, match="GROUP BY"):
+            parse_query(star_db, "SELECT f.fk1 FROM fact f")
+
+    def test_group_by_select_allowed(self, star_db):
+        spec = parse_query(
+            star_db,
+            "SELECT d.v, COUNT(*) AS c FROM fact f, dim1 d "
+            "WHERE f.fk1 = d.id GROUP BY d.v",
+        )
+        assert len(spec.group_by) == 1
+
+    def test_or_predicate_single_table_allowed(self, star_db):
+        spec = parse_query(
+            star_db,
+            "SELECT COUNT(*) AS c FROM dim1 d WHERE (d.v = 1 OR d.v = 2)",
+        )
+        assert "d" in spec.local_predicates
+
+    def test_cross_relation_or_rejected(self, star_db):
+        with pytest.raises(SqlError, match="multiple relations"):
+            parse_query(
+                star_db,
+                """
+                SELECT COUNT(*) AS c FROM fact f, dim1 d
+                WHERE f.fk1 = d.id AND (f.fk2 = 1 OR d.v = 2)
+                """,
+            )
+
+    def test_self_join_aliases(self, star_db):
+        spec = parse_query(
+            star_db,
+            "SELECT COUNT(*) AS c FROM dim1 a, dim1 b WHERE a.id = b.id",
+        )
+        assert spec.alias_tables == {"a": "dim1", "b": "dim1"}
+
+    def test_column_equality_same_alias_is_local(self, star_db):
+        spec = parse_query(
+            star_db,
+            "SELECT COUNT(*) AS c FROM fact f, dim1 d "
+            "WHERE f.fk1 = d.id AND f.fk1 = f.fk2",
+        )
+        assert len(spec.join_predicates) == 1
+        assert "f" in spec.local_predicates
+
+    def test_workload_queries_all_bind(self, tpcds_tiny, job_tiny):
+        db_ds, queries_ds = tpcds_tiny
+        db_job, queries_job = job_tiny
+        assert len(queries_ds) == 25
+        assert len(queries_job) == 30
+        for spec in queries_ds:
+            spec.validate_against(db_ds)
+        for spec in queries_job:
+            spec.validate_against(db_job)

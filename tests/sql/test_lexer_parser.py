@@ -1,0 +1,114 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_select
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.kind == "keyword" and t.text == "select" for t in tokens)
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0].kind == "identifier"
+        assert tokens[0].text == "MyTable"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5")
+        assert [t.text for t in tokens] == ["1", "2.5"]
+        assert all(t.kind == "number" for t in tokens)
+
+    def test_negative_number_after_operator(self):
+        tokens = tokenize("x < -3")
+        assert [t.text for t in tokens] == ["x", "<", "-3"]
+        assert tokens[2].kind == "number"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = tokenize("< <= > >= = <> !=")
+        assert [t.text for t in tokens] == ["<", "<=", ">", ">=", "=", "<>", "<>"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select -- a comment\n x")
+        assert [t.text for t in tokens] == ["select", "x"]
+
+    def test_qualified_name_tokens(self):
+        tokens = tokenize("a.b")
+        assert [t.kind for t in tokens] == ["identifier", "dot", "identifier"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("select @x")
+
+
+class TestParser:
+    def test_minimal_select(self):
+        stmt = parse_select("SELECT COUNT(*) FROM t")
+        assert stmt.items[0].function == "count"
+        assert stmt.tables[0].table == "t"
+        assert stmt.tables[0].alias == "t"
+        assert stmt.where is None
+
+    def test_aliases(self):
+        stmt = parse_select("SELECT COUNT(*) FROM tbl x, tbl AS y")
+        assert [t.alias for t in stmt.tables] == ["x", "y"]
+
+    def test_aggregates_with_labels(self):
+        stmt = parse_select("SELECT SUM(a.x) AS total, AVG(a.y) m FROM t a")
+        assert stmt.items[0].alias == "total"
+        assert stmt.items[1].function == "avg"
+        assert stmt.items[1].alias == "m"
+
+    def test_where_conjunction(self):
+        stmt = parse_select(
+            "SELECT COUNT(*) FROM t a, u b "
+            "WHERE a.x = b.y AND a.z < 5 AND b.s LIKE 'q%'"
+        )
+        assert stmt.where is not None
+
+    def test_between_and_in(self):
+        stmt = parse_select(
+            "SELECT COUNT(*) FROM t a WHERE a.x BETWEEN 1 AND 5 AND a.y IN (1, 2, 3)"
+        )
+        assert stmt.where is not None
+
+    def test_not_variants(self):
+        parse_select("SELECT COUNT(*) FROM t a WHERE a.x NOT IN (1)")
+        parse_select("SELECT COUNT(*) FROM t a WHERE a.s NOT LIKE 'x%'")
+        parse_select("SELECT COUNT(*) FROM t a WHERE NOT (a.x = 1)")
+
+    def test_or_parentheses(self):
+        stmt = parse_select(
+            "SELECT COUNT(*) FROM t a WHERE (a.x = 1 OR a.x = 2) AND a.y > 0"
+        )
+        assert stmt.where is not None
+
+    def test_group_by(self):
+        stmt = parse_select(
+            "SELECT a.g, COUNT(*) FROM t a GROUP BY a.g"
+        )
+        assert len(stmt.group_by) == 1
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError, match="trailing"):
+            parse_select("SELECT COUNT(*) FROM t a LIMIT 5")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select("SELECT COUNT(*)")
+
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select("SELECT COUNT(*) FROM t a WHERE a.x LIKE 5")

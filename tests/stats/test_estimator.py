@@ -1,0 +1,131 @@
+"""Tests for the cardinality estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.expr.expressions import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Like,
+    Not,
+    Or,
+    col,
+    lit,
+)
+from repro.stats.estimator import CardinalityEstimator
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    rng = np.random.default_rng(3)
+    database = Database("est")
+    database.add_table(
+        Table.from_arrays(
+            "t",
+            {
+                "id": np.arange(10_000),
+                "bucket": rng.integers(0, 100, 10_000),
+                "price": rng.uniform(0, 1000, 10_000),
+                "label": np.array(
+                    [f"{'red' if i % 4 == 0 else 'blue'}_{i % 7}" for i in range(10_000)],
+                    dtype=object,
+                ),
+            },
+            key=("id",),
+        )
+    )
+    return database
+
+
+@pytest.fixture(scope="module")
+def estimator(db) -> CardinalityEstimator:
+    return CardinalityEstimator(db, {"a": "t", "b": "t"})
+
+
+class TestPredicateSelectivity:
+    def test_equality_uses_distinct_count(self, estimator):
+        sel = estimator.predicate_selectivity(Comparison("=", col("a", "bucket"), lit(5)))
+        assert sel == pytest.approx(0.01, rel=0.6)
+
+    def test_range_uses_histogram(self, estimator):
+        sel = estimator.predicate_selectivity(Comparison("<", col("a", "price"), lit(250.0)))
+        assert sel == pytest.approx(0.25, abs=0.05)
+
+    def test_reversed_comparison(self, estimator):
+        # literal < column  is  column > literal
+        sel = estimator.predicate_selectivity(Comparison("<", lit(750.0), col("a", "price")))
+        assert sel == pytest.approx(0.25, abs=0.05)
+
+    def test_between(self, estimator):
+        sel = estimator.predicate_selectivity(
+            Between(col("a", "price"), lit(100.0), lit(300.0))
+        )
+        assert sel == pytest.approx(0.2, abs=0.05)
+
+    def test_in_list_additive(self, estimator):
+        one = estimator.predicate_selectivity(Comparison("=", col("a", "bucket"), lit(1)))
+        three = estimator.predicate_selectivity(
+            InList(col("a", "bucket"), (1, 2, 3))
+        )
+        assert three == pytest.approx(3 * one, rel=0.5)
+
+    def test_like_sample_based(self, estimator):
+        sel = estimator.predicate_selectivity(Like(col("a", "label"), "red%"))
+        assert sel == pytest.approx(0.25, abs=0.07)
+
+    def test_and_independence(self, estimator):
+        a = Comparison("<", col("a", "price"), lit(500.0))
+        b = Comparison("=", col("a", "bucket"), lit(5))
+        combined = estimator.predicate_selectivity(And((a, b)))
+        product = estimator.predicate_selectivity(a) * estimator.predicate_selectivity(b)
+        assert combined == pytest.approx(product)
+
+    def test_or_and_not(self, estimator):
+        a = Comparison("<", col("a", "price"), lit(500.0))
+        sel_not = estimator.predicate_selectivity(Not(a))
+        assert sel_not == pytest.approx(1 - estimator.predicate_selectivity(a))
+        sel_or = estimator.predicate_selectivity(Or((a, Not(a))))
+        assert 0.7 <= sel_or <= 1.0
+
+    def test_neq(self, estimator):
+        sel = estimator.predicate_selectivity(Comparison("<>", col("a", "bucket"), lit(5)))
+        assert sel == pytest.approx(0.99, abs=0.02)
+
+    def test_unknown_alias_raises(self, estimator):
+        with pytest.raises(QueryError):
+            estimator.base_cardinality("zz", None)
+
+
+class TestJoinEstimates:
+    def test_base_cardinality_no_predicate(self, estimator):
+        assert estimator.base_cardinality("a", None) == 10_000
+
+    def test_join_selectivity_key_join(self, estimator):
+        sel = estimator.join_selectivity("a", ("id",), "b", ("id",))
+        assert sel == pytest.approx(1e-4)
+
+    def test_join_cardinality_self_key_join(self, estimator):
+        card = estimator.join_cardinality(
+            10_000, 10_000, "a", ("id",), "b", ("id",)
+        )
+        assert card == pytest.approx(10_000)
+
+    def test_semijoin_full_containment(self, estimator):
+        sel = estimator.semijoin_selectivity("a", ("bucket",), "b", ("bucket",), 1.0)
+        assert sel == pytest.approx(1.0)
+
+    def test_semijoin_reduced_build(self, estimator):
+        sel = estimator.semijoin_selectivity("a", ("id",), "b", ("id",), 0.1)
+        assert sel == pytest.approx(0.1, rel=0.1)
+
+    def test_multi_column_join_selectivity(self, estimator):
+        single = estimator.join_selectivity("a", ("bucket",), "b", ("bucket",))
+        double = estimator.join_selectivity(
+            "a", ("bucket", "bucket"), "b", ("bucket", "bucket")
+        )
+        assert double == pytest.approx(single * single)

@@ -1,0 +1,51 @@
+"""Tests for CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.storage.csvio import table_from_csv, table_to_csv
+from repro.storage.table import Table
+
+
+def make_table() -> Table:
+    return Table.from_arrays(
+        "t",
+        {
+            "id": np.array([1, 2, 3], dtype=np.int64),
+            "name": np.array(["x", "hello, world", "line"], dtype=object),
+            "score": np.array([1.25, -3.5, 0.0]),
+        },
+        key=("id",),
+    )
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_values(self, tmp_path):
+        table = make_table()
+        path = tmp_path / "t.csv"
+        table_to_csv(table, path)
+        loaded = table_from_csv(table.schema, path)
+        assert loaded.column("id").tolist() == [1, 2, 3]
+        assert loaded.column("name").tolist() == ["x", "hello, world", "line"]
+        assert loaded.column("score").tolist() == [1.25, -3.5, 0.0]
+
+    def test_empty_table_round_trip(self, tmp_path):
+        table = Table.from_arrays("t", {"a": np.array([], dtype=np.int64)})
+        path = tmp_path / "empty.csv"
+        table_to_csv(table, path)
+        loaded = table_from_csv(table.schema, path)
+        assert loaded.num_rows == 0
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        table = make_table()
+        path = tmp_path / "t.csv"
+        path.write_text("wrong,header,here\n1,a,2\n")
+        with pytest.raises(DataError, match="header"):
+            table_from_csv(table.schema, path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "none.csv"
+        path.write_text("")
+        with pytest.raises(DataError, match="empty"):
+            table_from_csv(make_table().schema, path)

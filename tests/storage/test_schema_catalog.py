@@ -1,0 +1,140 @@
+"""Tests for schemas, foreign keys, catalogs, and databases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, SchemaError
+from repro.storage.catalog import Catalog
+from repro.storage.database import Database
+from repro.storage.schema import ColumnDef, ForeignKey, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import ColumnType
+
+
+def dim_schema() -> TableSchema:
+    return TableSchema(
+        "dim",
+        (ColumnDef("id", ColumnType.INT64), ColumnDef("v", ColumnType.INT64)),
+        key=("id",),
+    )
+
+
+def fact_schema() -> TableSchema:
+    return TableSchema(
+        "fact",
+        (ColumnDef("fk", ColumnType.INT64), ColumnDef("m", ColumnType.FLOAT64)),
+    )
+
+
+class TestTableSchema:
+    def test_invalid_table_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema("1bad", (ColumnDef("a", ColumnType.INT64),))
+
+    def test_invalid_column_name(self):
+        with pytest.raises(SchemaError):
+            ColumnDef("no spaces", ColumnType.INT64)
+
+    def test_duplicate_columns(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema(
+                "t",
+                (ColumnDef("a", ColumnType.INT64), ColumnDef("a", ColumnType.INT64)),
+            )
+
+    def test_key_must_exist(self):
+        with pytest.raises(SchemaError, match="key column"):
+            TableSchema("t", (ColumnDef("a", ColumnType.INT64),), key=("b",))
+
+    def test_is_key_superset(self):
+        schema = dim_schema()
+        assert schema.is_key(("id",))
+        assert schema.is_key(("id", "v"))  # superset still unique
+        assert not schema.is_key(("v",))
+        assert not TableSchema("t", (ColumnDef("a", ColumnType.INT64),)).is_key(("a",))
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.add_schema(dim_schema())
+        with pytest.raises(SchemaError, match="duplicate"):
+            catalog.add_schema(dim_schema())
+
+    def test_fk_target_must_be_key(self):
+        catalog = Catalog()
+        catalog.add_schema(dim_schema())
+        catalog.add_schema(fact_schema())
+        with pytest.raises(SchemaError, match="unique key"):
+            catalog.add_foreign_key(ForeignKey("fact", ("fk",), "dim", ("v",)))
+
+    def test_fk_columns_must_exist(self):
+        catalog = Catalog()
+        catalog.add_schema(dim_schema())
+        catalog.add_schema(fact_schema())
+        with pytest.raises(SchemaError):
+            catalog.add_foreign_key(ForeignKey("fact", ("nope",), "dim", ("id",)))
+
+    def test_valid_fk_registered(self):
+        catalog = Catalog()
+        catalog.add_schema(dim_schema())
+        catalog.add_schema(fact_schema())
+        catalog.add_foreign_key(ForeignKey("fact", ("fk",), "dim", ("id",)))
+        assert catalog.has_foreign_key("fact", ("fk",), "dim", ("id",))
+        assert not catalog.has_foreign_key("fact", ("m",), "dim", ("id",))
+
+    def test_is_key_join(self):
+        catalog = Catalog()
+        catalog.add_schema(dim_schema())
+        assert catalog.is_key_join("dim", ("id",))
+        assert not catalog.is_key_join("dim", ("v",))
+
+    def test_fk_column_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("a", ("x", "y"), "b", ("z",))
+
+
+class TestDatabase:
+    def make_db(self) -> Database:
+        db = Database("t")
+        db.add_table(
+            Table.from_arrays("dim", {"id": np.arange(10), "v": np.arange(10)}, key=("id",))
+        )
+        db.add_table(
+            Table.from_arrays("fact", {"fk": np.arange(10) % 10, "m": np.zeros(10)})
+        )
+        db.add_foreign_key(ForeignKey("fact", ("fk",), "dim", ("id",)))
+        return db
+
+    def test_fk_integrity_passes(self):
+        self.make_db().validate_foreign_keys()
+
+    def test_fk_integrity_violation_detected(self):
+        db = Database("t")
+        db.add_table(
+            Table.from_arrays("dim", {"id": np.arange(5)}, key=("id",))
+        )
+        db.add_table(Table.from_arrays("fact", {"fk": np.array([0, 99])}))
+        db.add_foreign_key(ForeignKey("fact", ("fk",), "dim", ("id",)))
+        with pytest.raises(DataError, match="dangling"):
+            db.validate_foreign_keys()
+
+    def test_stats_cached_and_invalidated(self):
+        db = self.make_db()
+        stats_a = db.stats("dim")
+        assert db.stats("dim") is stats_a
+        db.invalidate_stats("dim")
+        assert db.stats("dim") is not stats_a
+
+    def test_unknown_table(self):
+        with pytest.raises(SchemaError):
+            self.make_db().table("missing")
+
+    def test_total_rows(self):
+        assert self.make_db().total_rows() == 20
+
+    def test_duplicate_key_rejected_on_add(self):
+        db = Database("t")
+        bad = Table.from_arrays("d", {"id": np.array([1, 1])}, key=("id",))
+        with pytest.raises(DataError):
+            db.add_table(bad)

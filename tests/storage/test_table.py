@@ -1,0 +1,105 @@
+"""Tests for columnar tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, SchemaError
+from repro.storage.schema import ColumnDef, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import ColumnType
+
+
+def make_table() -> Table:
+    return Table.from_arrays(
+        "t",
+        {
+            "id": np.array([1, 2, 3], dtype=np.int64),
+            "name": np.array(["a", "b", "c"], dtype=object),
+            "x": np.array([0.5, 1.5, 2.5]),
+        },
+        key=("id",),
+    )
+
+
+class TestConstruction:
+    def test_from_arrays_infers_types(self):
+        table = make_table()
+        assert table.column_type("id") is ColumnType.INT64
+        assert table.column_type("name") is ColumnType.TEXT
+        assert table.column_type("x") is ColumnType.FLOAT64
+
+    def test_num_rows(self):
+        assert make_table().num_rows == 3
+
+    def test_ragged_columns_rejected(self):
+        schema = TableSchema(
+            "t",
+            (ColumnDef("a", ColumnType.INT64), ColumnDef("b", ColumnType.INT64)),
+        )
+        with pytest.raises(DataError, match="ragged"):
+            Table(schema, {"a": np.array([1, 2]), "b": np.array([1])})
+
+    def test_missing_column_rejected(self):
+        schema = TableSchema("t", (ColumnDef("a", ColumnType.INT64),))
+        with pytest.raises(DataError, match="missing"):
+            Table(schema, {})
+
+    def test_extra_column_rejected(self):
+        schema = TableSchema("t", (ColumnDef("a", ColumnType.INT64),))
+        with pytest.raises(DataError, match="unexpected"):
+            Table(schema, {"a": np.array([1]), "b": np.array([2])})
+
+    def test_empty_table_valid(self):
+        table = Table.from_arrays("t", {"a": np.array([], dtype=np.int64)})
+        assert table.num_rows == 0
+
+
+class TestAccess:
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().column("nope")
+
+    def test_take(self):
+        taken = make_table().take(np.array([2, 0]))
+        assert taken.column("id").tolist() == [3, 1]
+
+    def test_filter(self):
+        filtered = make_table().filter(np.array([True, False, True]))
+        assert filtered.column("name").tolist() == ["a", "c"]
+
+    def test_filter_wrong_length_raises(self):
+        with pytest.raises(DataError):
+            make_table().filter(np.array([True]))
+
+    def test_head(self):
+        assert make_table().head(2).num_rows == 2
+        assert make_table().head(99).num_rows == 3
+
+    def test_rows(self):
+        rows = make_table().rows(limit=2)
+        assert rows[0] == (1, "a", 0.5)
+        assert len(rows) == 2
+
+
+class TestKeyValidation:
+    def test_unique_key_passes(self):
+        make_table().validate_key()
+
+    def test_duplicate_key_raises(self):
+        table = Table.from_arrays(
+            "t", {"id": np.array([1, 1, 2], dtype=np.int64)}, key=("id",)
+        )
+        with pytest.raises(DataError, match="duplicate"):
+            table.validate_key()
+
+    def test_multi_column_key(self):
+        table = Table.from_arrays(
+            "t",
+            {"a": np.array([1, 1]), "b": np.array([1, 2])},
+            key=("a", "b"),
+        )
+        table.validate_key()
+
+    def test_no_key_is_noop(self):
+        table = Table.from_arrays("t", {"a": np.array([1, 1])})
+        table.validate_key()

@@ -1,0 +1,70 @@
+"""Tests for stable vectorized hashing."""
+
+import numpy as np
+import pytest
+
+from repro.util.hashing import (
+    hash_column,
+    hash_columns,
+    hash_int64,
+    stable_text_hash,
+)
+
+
+class TestHashInt64:
+    def test_deterministic(self):
+        values = np.arange(100, dtype=np.int64)
+        assert np.array_equal(hash_int64(values), hash_int64(values))
+
+    def test_avalanche_consecutive_keys_spread(self):
+        hashed = hash_int64(np.arange(1000, dtype=np.int64))
+        # top byte should take many distinct values for sequential input
+        top_bytes = (hashed >> np.uint64(56)).astype(np.int64)
+        assert len(np.unique(top_bytes)) > 100
+
+    def test_no_collisions_on_small_domain(self):
+        hashed = hash_int64(np.arange(100_000, dtype=np.int64))
+        assert len(np.unique(hashed)) == 100_000
+
+    def test_negative_values_supported(self):
+        values = np.array([-5, -1, 0, 1, 5], dtype=np.int64)
+        assert len(np.unique(hash_int64(values))) == 5
+
+
+class TestStableTextHash:
+    def test_deterministic_across_calls(self):
+        values = np.array(["alpha", "beta", "gamma"], dtype=object)
+        assert np.array_equal(stable_text_hash(values), stable_text_hash(values))
+
+    def test_distinct_strings_distinct_hashes(self):
+        values = np.array([f"key_{i}" for i in range(5000)], dtype=object)
+        assert len(np.unique(stable_text_hash(values))) == 5000
+
+    def test_known_fnv_value(self):
+        # FNV-1a of empty string is the offset basis.
+        out = stable_text_hash(np.array([""], dtype=object))
+        assert out[0] == np.uint64(0xCBF29CE484222325)
+
+
+class TestHashColumns:
+    def test_order_sensitive(self):
+        a = np.array([1, 2], dtype=np.int64)
+        b = np.array([3, 4], dtype=np.int64)
+        assert not np.array_equal(hash_columns([a, b]), hash_columns([b, a]))
+
+    def test_multi_column_consistency(self):
+        a = np.array([1, 1, 2], dtype=np.int64)
+        b = np.array([9, 9, 9], dtype=np.int64)
+        hashed = hash_columns([a, b])
+        assert hashed[0] == hashed[1]
+        assert hashed[0] != hashed[2]
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            hash_columns([])
+
+    def test_float_column(self):
+        values = np.array([1.5, 2.5, 1.5])
+        hashed = hash_column(values)
+        assert hashed[0] == hashed[2]
+        assert hashed[0] != hashed[1]

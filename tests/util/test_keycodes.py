@@ -1,0 +1,81 @@
+"""Tests for exact joint key encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.keycodes import joint_codes, single_table_codes
+
+
+class TestJointCodes:
+    def test_single_column_equality(self):
+        left = np.array([1, 2, 3, 7])
+        right = np.array([3, 3, 9])
+        codes_l, codes_r = joint_codes([left], [right])
+        assert codes_l[2] == codes_r[0] == codes_r[1]
+        assert codes_r[2] not in codes_l
+
+    def test_multi_column_no_cross_collisions(self):
+        # (1, 2) vs (2, 1) must differ even though the value sets match
+        left = [np.array([1]), np.array([2])]
+        right = [np.array([2]), np.array([1])]
+        codes_l, codes_r = joint_codes(left, right)
+        assert codes_l[0] != codes_r[0]
+
+    def test_string_keys(self):
+        left = np.array(["a", "b"], dtype=object)
+        right = np.array(["b", "c"], dtype=object)
+        codes_l, codes_r = joint_codes([left], [right])
+        assert codes_l[1] == codes_r[0]
+        assert codes_l[0] != codes_r[1]
+
+    def test_column_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            joint_codes([np.array([1])], [np.array([1]), np.array([2])])
+
+    def test_empty_columns_raises(self):
+        with pytest.raises(ValueError):
+            joint_codes([], [])
+
+    @given(
+        left=st.lists(st.integers(-50, 50), min_size=1, max_size=40),
+        right=st.lists(st.integers(-50, 50), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_codes_match_iff_values_match(self, left, right):
+        left_arr = np.array(left, dtype=np.int64)
+        right_arr = np.array(right, dtype=np.int64)
+        codes_l, codes_r = joint_codes([left_arr], [right_arr])
+        for i, lv in enumerate(left):
+            for j, rv in enumerate(right):
+                assert (codes_l[i] == codes_r[j]) == (lv == rv)
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_multicolumn_exactness(self, pairs):
+        a = np.array([p[0] for p in pairs], dtype=np.int64)
+        b = np.array([p[1] for p in pairs], dtype=np.int64)
+        codes_l, codes_r = joint_codes([a, b], [a, b])
+        # identical sides: code i == code j iff tuple i == tuple j
+        for i in range(len(pairs)):
+            for j in range(len(pairs)):
+                assert (codes_l[i] == codes_r[j]) == (pairs[i] == pairs[j])
+
+
+class TestSingleTableCodes:
+    def test_groups_equal_tuples(self):
+        a = np.array([1, 1, 2])
+        b = np.array([5, 5, 5])
+        codes = single_table_codes([a, b])
+        assert codes[0] == codes[1] != codes[2]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            single_table_codes([])

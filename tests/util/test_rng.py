@@ -1,0 +1,31 @@
+"""Tests for deterministic RNG derivation."""
+
+import numpy as np
+
+from repro.util.rng import derive_rng, spawn_seeds
+
+
+class TestDeriveRng:
+    def test_same_seed_label_same_stream(self):
+        a = derive_rng(7, "x").integers(0, 1_000_000, 10)
+        b = derive_rng(7, "x").integers(0, 1_000_000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        a = derive_rng(7, "x").integers(0, 1_000_000, 10)
+        b = derive_rng(7, "y").integers(0, 1_000_000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(7, "x").integers(0, 1_000_000, 10)
+        b = derive_rng(8, "x").integers(0, 1_000_000, 10)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(1, ["a", "b"]) == spawn_seeds(1, ["a", "b"])
+
+    def test_distinct_per_label(self):
+        seeds = spawn_seeds(1, ["a", "b", "c"])
+        assert len(set(seeds.values())) == 3

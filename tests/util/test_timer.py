@@ -1,0 +1,30 @@
+"""Tests for the CPU timer."""
+
+from repro.util.timer import CpuTimer
+
+
+class TestCpuTimer:
+    def test_accumulates_across_uses(self):
+        timer = CpuTimer()
+        with timer:
+            sum(range(10_000))
+        first = timer.seconds
+        with timer:
+            sum(range(10_000))
+        assert timer.seconds >= first
+
+    def test_reset(self):
+        timer = CpuTimer()
+        with timer:
+            sum(range(1000))
+        timer.reset()
+        assert timer.seconds == 0.0
+
+    def test_exception_still_records(self):
+        timer = CpuTimer()
+        try:
+            with timer:
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert timer.seconds >= 0.0
