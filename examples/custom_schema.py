@@ -3,7 +3,9 @@
 Shows the full public API surface on a user-defined retail schema:
 table construction from numpy arrays, foreign keys, CSV round-trip,
 SQL over the custom schema, all optimizer pipelines, and the Cascades
-integration modes from Section 6.4.
+integration modes from Section 6.4.  Once a schema is built this way,
+``repro.service.QueryService`` serves SQL against it end-to-end with
+plan and bitvector-filter caching (see examples/quickstart.py).
 
 Run:  python examples/custom_schema.py
 """

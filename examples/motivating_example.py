@@ -4,6 +4,10 @@ Shows why post-processing bitvector filters onto the blind optimizer's
 best plan (P1) leaves a much cheaper plan (P2) undiscovered — and why a
 blind optimizer can never pick P2 (it looks worse without filters).
 
+This drives the optimizer pipelines directly; for the SQL-in,
+results-out serving path (with plan caching for repeat traffic) see
+``repro.service.QueryService`` and examples/quickstart.py.
+
 Run:  python examples/motivating_example.py
 """
 

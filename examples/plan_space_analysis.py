@@ -4,7 +4,8 @@ Enumerates EVERY cross-product-free right-deep plan of a random
 snowflake query, computes each plan's exact bitvector-aware Cout by
 executing it, and shows that the n+1 candidate plans of the paper's
 analysis contain the global minimum — while the full space is orders of
-magnitude larger.
+magnitude larger.  (This linear candidate set is what keeps plan-cache
+misses cheap in the ``repro.service.QueryService`` serving path.)
 
 Run:  python examples/plan_space_analysis.py
 """

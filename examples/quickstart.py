@@ -5,12 +5,17 @@ with the baseline ("original": blind snowflake heuristics + post-hoc
 bitvector push-down) and with the paper's bitvector-aware optimizer
 ("bqo"), executes both plans, and compares metered CPU.
 
+Then switches to the serving path: a ``QueryService`` answers the same
+SQL end-to-end and, on repeat traffic with different constants, skips
+parsing and optimization entirely via its fingerprint-keyed plan cache
+(see ``repro.service`` and docs/ARCHITECTURE.md).
+
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import Executor, format_plan, optimize_query, parse_query
+from repro import Executor, QueryService, format_plan, optimize_query, parse_query
 from repro.workloads import star
 
 
@@ -45,6 +50,21 @@ def main() -> None:
         print(f"  metered CPU = {result.metrics.metered_cpu():.0f}")
         print(f"  tuples by operator: {result.metrics.tuples_by_kind()}")
         print()
+
+    print("=== serving path: QueryService with plan + filter caching ===")
+    service = QueryService(database, pipeline="bqo")
+    repeat = sql.replace("'ASIA'", "'EUROPE'").replace("NATION07", "NATION03")
+    for label, text in (("cold", sql), ("warm (new constants)", repeat)):
+        answer = service.execute(text, name=label)
+        print(
+            f"  {label:<22} orders={answer.scalar('orders')}"
+            f"  plan cache {'HIT' if answer.metrics.plan_cache_hit else 'MISS'}"
+            f"  optimize path {answer.metrics.optimize_seconds * 1e3:.2f} ms"
+        )
+    stats = service.stats()
+    print(f"  service stats: {stats.queries} queries, "
+          f"{stats.plan_cache_hits} plan-cache hits, "
+          f"{stats.filter_cache_hits} filter-cache hits")
 
 
 if __name__ == "__main__":

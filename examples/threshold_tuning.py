@@ -3,7 +3,9 @@
 Runs the two-table micro-benchmark — a PKFK hash join whose build side
 is filtered to a controlled fraction — with and without the bitvector
 filter, locates the break-even elimination fraction, and shows why the
-paper deploys lambda_thresh = 5%.
+paper deploys lambda_thresh = 5%.  (The construction cost profiled here
+is what the ``repro.service.QueryService`` bitvector filter cache
+amortizes across a workload.)
 
 Run:  python examples/threshold_tuning.py
 """

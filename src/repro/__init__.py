@@ -5,7 +5,7 @@ an in-memory columnar engine with hash joins and bitvector filters, a
 cost-based optimizer substrate, and the paper's bitvector-aware join
 ordering algorithms, workloads, and experiment harness.
 
-Typical usage::
+Typical one-shot usage::
 
     from repro import Database, Table, optimize_query, Executor
     from repro.workloads import tpcds_lite
@@ -14,6 +14,20 @@ Typical usage::
     optimized = optimize_query(db, queries[0], pipeline="bqo")
     result = Executor(db).execute(optimized.plan)
     print(result.metrics.metered_cpu())
+
+For repeat traffic, the service layer (:mod:`repro.service`) caches
+optimized plans by normalized query fingerprint and reuses bitvector
+filters across queries::
+
+    from repro import QueryService
+    from repro.workloads import star
+
+    service = QueryService(star.build_database(scale=0.1))
+    answer = service.execute("SELECT COUNT(*) AS n FROM lineorder lo, "
+                             "customer c WHERE lo.lo_custkey = c.c_custkey "
+                             "AND c.c_region = 'ASIA'")
+    print(answer.scalar("n"), answer.metrics.plan_cache_hit)
+    print(service.explain("SELECT ..."), service.stats())
 """
 
 from repro.storage import Table, Database, ForeignKey, TableSchema, ColumnDef
@@ -24,6 +38,7 @@ from repro.engine import Executor, ExecutionResult
 from repro.optimizer import optimize_query, OptimizedPlan, PIPELINES
 from repro.plan import format_plan
 from repro.sql import parse_query
+from repro.service import QueryService, ServiceResult, ServiceMetrics, ServiceStats
 
 __version__ = "1.0.0"
 
@@ -46,5 +61,9 @@ __all__ = [
     "PIPELINES",
     "format_plan",
     "parse_query",
+    "QueryService",
+    "ServiceResult",
+    "ServiceMetrics",
+    "ServiceStats",
     "__version__",
 ]

@@ -76,6 +76,10 @@ class Executor:
     filter_options:
         Extra keyword arguments for the filter constructor (e.g.
         ``bits_per_key``).
+    filter_cache:
+        Optional :class:`~repro.filters.cache.BitvectorFilterCache`
+        shared across executions; joins whose build side is a bare scan
+        reuse previously built filters instead of rebuilding them.
     """
 
     def __init__(
@@ -84,6 +88,7 @@ class Executor:
         filter_kind: str = "exact",
         filter_options: dict | None = None,
         adaptive_filter_order: bool = False,
+        filter_cache=None,
     ) -> None:
         self._database = database
         self._filter_kind = filter_kind
@@ -91,21 +96,36 @@ class Executor:
         # LIP-style runtime reordering of stacked filters (see
         # repro.engine.lip); off by default to match the paper's engine.
         self._adaptive_filter_order = adaptive_filter_order
+        self._filter_cache = filter_cache
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
 
-    def execute(self, plan: PlanNode) -> ExecutionResult:
+    def execute(
+        self,
+        plan: PlanNode,
+        predicate_overrides: dict[str, object] | None = None,
+    ) -> ExecutionResult:
+        """Execute a plan.
+
+        ``predicate_overrides`` maps a relation alias to the predicate
+        its scan should evaluate *instead of* the one baked into the
+        plan — how the service layer re-executes a cached plan with
+        fresh constants without mutating the shared tree.  All per-
+        execution state lives in locals, so one executor may run the
+        same plan concurrently from many threads.
+        """
         metrics = ExecutionMetrics()
         filters: dict[int, BitvectorFilter] = {}
-        needed = _needed_columns(plan)
+        overrides = predicate_overrides or {}
+        needed = _needed_columns(plan, overrides)
         aggregates: dict[str, np.ndarray] | None = None
         if isinstance(plan, AggregateNode):
-            relation = self._run(plan.child, metrics, filters, needed)
+            relation = self._run(plan.child, metrics, filters, needed, overrides)
             aggregates = self._aggregate(plan, relation, metrics)
         else:
-            relation = self._run(plan, metrics, filters, needed)
+            relation = self._run(plan, metrics, filters, needed, overrides)
         return ExecutionResult(relation=relation, aggregates=aggregates,
                                metrics=metrics)
 
@@ -119,13 +139,14 @@ class Executor:
         metrics: ExecutionMetrics,
         filters: dict[int, BitvectorFilter],
         needed: dict[str, set[str]],
+        overrides: dict[str, object],
     ) -> Relation:
         if isinstance(node, ScanNode):
-            return self._scan(node, metrics, filters, needed)
+            return self._scan(node, metrics, filters, needed, overrides)
         if isinstance(node, HashJoinNode):
-            return self._hash_join(node, metrics, filters, needed)
+            return self._hash_join(node, metrics, filters, needed, overrides)
         if isinstance(node, FilterNode):
-            return self._residual_filter(node, metrics, filters, needed)
+            return self._residual_filter(node, metrics, filters, needed, overrides)
         if isinstance(node, AggregateNode):
             raise ExecutionError("aggregate must be the plan root")
         raise ExecutionError(f"cannot execute node {node.label}")
@@ -140,6 +161,7 @@ class Executor:
         metrics: ExecutionMetrics,
         filters: dict[int, BitvectorFilter],
         needed: dict[str, set[str]],
+        overrides: dict[str, object],
     ) -> Relation:
         record = metrics.node(node.node_id, node.label, OPERATOR_KIND_LEAF)
         table = self._database.table(node.table_name)
@@ -150,9 +172,10 @@ class Executor:
         relation = Relation(columns, table.num_rows)
         record.add("scan", table.num_rows)
 
-        if node.predicate is not None:
+        predicate = overrides.get(node.alias, node.predicate)
+        if predicate is not None:
             mask = evaluate_predicate(
-                node.predicate, relation.provider, relation.num_rows
+                predicate, relation.provider, relation.num_rows
             )
             relation = relation.mask(mask)
 
@@ -168,10 +191,11 @@ class Executor:
         metrics: ExecutionMetrics,
         filters: dict[int, BitvectorFilter],
         needed: dict[str, set[str]],
+        overrides: dict[str, object],
     ) -> Relation:
         record = metrics.node(node.node_id, node.label, OPERATOR_KIND_JOIN)
 
-        build_rel = self._run(node.build, metrics, filters, needed)
+        build_rel = self._run(node.build, metrics, filters, needed, overrides)
         record.add("build", build_rel.num_rows)
 
         if node.created_bitvector is not None:
@@ -180,12 +204,27 @@ class Executor:
                 build_rel.column(alias, column)
                 for alias, column in definition.build_keys
             ]
-            filters[definition.filter_id] = create_filter(
-                self._filter_kind, key_columns, **self._filter_options
-            )
-            record.add("filter_insert", build_rel.num_rows)
+            cache_key = self._cacheable_filter_key(node, definition, overrides)
+            if cache_key is not None:
+                bitvector, was_cached = self._filter_cache.get_or_build(
+                    cache_key,
+                    lambda: create_filter(
+                        self._filter_kind, key_columns, **self._filter_options
+                    ),
+                )
+                filters[definition.filter_id] = bitvector
+                if was_cached:
+                    metrics.filter_cache_hits += 1
+                else:
+                    metrics.filter_cache_misses += 1
+                    record.add("filter_insert", build_rel.num_rows)
+            else:
+                filters[definition.filter_id] = create_filter(
+                    self._filter_kind, key_columns, **self._filter_options
+                )
+                record.add("filter_insert", build_rel.num_rows)
 
-        probe_rel = self._run(node.probe, metrics, filters, needed)
+        probe_rel = self._run(node.probe, metrics, filters, needed, overrides)
         record.add("probe", probe_rel.num_rows)
 
         build_keys = [
@@ -200,15 +239,45 @@ class Executor:
         record.rows_out = result.num_rows
         return result
 
+    def _cacheable_filter_key(
+        self,
+        node: HashJoinNode,
+        definition,
+        overrides: dict[str, object],
+    ) -> tuple | None:
+        """Cache key for this join's filter, or None when not reusable.
+
+        Only filters built from a bare table scan are workload-level
+        artifacts: any applied bitvector or upstream join would couple
+        the filter's contents to the rest of this particular plan.
+        """
+        if self._filter_cache is None:
+            return None
+        build = node.build
+        if not isinstance(build, ScanNode) or build.applied_bitvectors:
+            return None
+        from repro.expr.expressions import structural_key
+        from repro.filters.cache import filter_cache_key
+
+        predicate = overrides.get(build.alias, build.predicate)
+        return filter_cache_key(
+            table_name=build.table_name,
+            key_columns=tuple(column for _, column in definition.build_keys),
+            predicate_key=structural_key(predicate, include_aliases=False),
+            filter_kind=self._filter_kind,
+            filter_options=self._filter_options,
+        )
+
     def _residual_filter(
         self,
         node: FilterNode,
         metrics: ExecutionMetrics,
         filters: dict[int, BitvectorFilter],
         needed: dict[str, set[str]],
+        overrides: dict[str, object],
     ) -> Relation:
         record = metrics.node(node.node_id, node.label, OPERATOR_KIND_OTHER)
-        relation = self._run(node.child, metrics, filters, needed)
+        relation = self._run(node.child, metrics, filters, needed, overrides)
         relation = self._apply_bitvectors(
             node.applied_bitvectors, relation, record, filters
         )
@@ -358,17 +427,22 @@ def _match_keys(
     return build_idx, probe_idx
 
 
-def _needed_columns(plan: PlanNode) -> dict[str, set[str]]:
+def _needed_columns(
+    plan: PlanNode, overrides: dict[str, object] | None = None
+) -> dict[str, set[str]]:
     """Columns each alias must materialize for this plan."""
     needed: dict[str, set[str]] = {}
+    overrides = overrides or {}
 
     def want(alias: str, column: str) -> None:
         needed.setdefault(alias, set()).add(column)
 
     for node in plan.walk():
-        if isinstance(node, ScanNode) and node.predicate is not None:
-            for alias, column in referenced_columns(node.predicate):
-                want(alias, column)
+        if isinstance(node, ScanNode):
+            predicate = overrides.get(node.alias, node.predicate)
+            if predicate is not None:
+                for alias, column in referenced_columns(predicate):
+                    want(alias, column)
         if isinstance(node, HashJoinNode):
             for alias, column in node.build_keys + node.probe_keys:
                 want(alias, column)

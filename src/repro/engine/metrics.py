@@ -60,6 +60,10 @@ class ExecutionMetrics:
 
     def __init__(self) -> None:
         self._nodes: dict[int, NodeMetrics] = {}
+        # Cross-query filter cache activity during this execution
+        # (see repro.filters.cache); zero when no cache is attached.
+        self.filter_cache_hits = 0
+        self.filter_cache_misses = 0
 
     def node(self, node_id: int, label: str, kind: str) -> NodeMetrics:
         metrics = self._nodes.get(node_id)

@@ -63,3 +63,12 @@ class OptimizerError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised when the execution engine encounters an invalid state."""
+
+
+class ServiceError(ReproError):
+    """Raised by the query service layer (:mod:`repro.service`).
+
+    Examples: a cached plan whose parameter count disagrees with the
+    incoming query's fingerprint (an internal invariant violation), or
+    service misconfiguration.
+    """

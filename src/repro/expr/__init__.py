@@ -11,10 +11,13 @@ from repro.expr.expressions import (
     And,
     Or,
     Not,
+    Parameter,
     col,
     lit,
     conjuncts,
     referenced_columns,
+    substitute_parameters,
+    structural_key,
 )
 from repro.expr.eval import evaluate_predicate, like_to_regex
 
@@ -29,10 +32,13 @@ __all__ = [
     "And",
     "Or",
     "Not",
+    "Parameter",
     "col",
     "lit",
     "conjuncts",
     "referenced_columns",
+    "substitute_parameters",
+    "structural_key",
     "evaluate_predicate",
     "like_to_regex",
 ]

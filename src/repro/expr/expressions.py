@@ -38,6 +38,24 @@ class ColumnRef(Expression):
 
 
 @dataclasses.dataclass(frozen=True)
+class Parameter:
+    """Placeholder for an extracted literal constant.
+
+    Stored *as a value* inside :class:`Literal` / :class:`InList` (it is
+    not an :class:`Expression` itself).  Query fingerprinting
+    (:mod:`repro.sql.parameterize`) replaces constants with parameters
+    so structurally identical queries share one cached plan; the service
+    layer substitutes fresh constants back in before execution with
+    :func:`substitute_parameters`.
+    """
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"?{self.index}"
+
+
+@dataclasses.dataclass(frozen=True)
 class Literal(Expression):
     """A constant (int, float, or str)."""
 
@@ -186,6 +204,96 @@ def combine_and(expressions: list[Expression]) -> Expression | None:
     if len(expressions) == 1:
         return expressions[0]
     return And(tuple(expressions))
+
+
+def substitute_parameters(
+    expression: Expression, values: tuple[object, ...] | list[object]
+) -> Expression:
+    """Replace every :class:`Parameter` placeholder with its constant.
+
+    Returns a new tree; the input is never mutated (cached plan
+    templates are shared across threads).  Values without placeholders
+    pass through unchanged, so the function is safe to call on
+    non-templated predicates.
+    """
+
+    def value_of(value: object) -> object:
+        if isinstance(value, Parameter):
+            return values[value.index]
+        return value
+
+    def rebuild(node: Expression) -> Expression:
+        if isinstance(node, Literal):
+            return Literal(value_of(node.value))
+        if isinstance(node, ColumnRef):
+            return node
+        if isinstance(node, Comparison):
+            return Comparison(node.op, rebuild(node.left), rebuild(node.right))
+        if isinstance(node, Between):
+            return Between(
+                rebuild(node.operand), rebuild(node.low), rebuild(node.high)
+            )
+        if isinstance(node, InList):
+            return InList(
+                rebuild(node.operand),
+                tuple(value_of(value) for value in node.values),
+            )
+        if isinstance(node, Like):
+            return Like(rebuild(node.operand), node.pattern)
+        if isinstance(node, And):
+            return And(tuple(rebuild(operand) for operand in node.operands))
+        if isinstance(node, Or):
+            return Or(tuple(rebuild(operand) for operand in node.operands))
+        if isinstance(node, Not):
+            return Not(rebuild(node.operand))
+        raise TypeError(f"cannot substitute into {type(node).__name__}")
+
+    return rebuild(expression)
+
+
+def structural_key(
+    expression: Expression | None, include_aliases: bool = True
+) -> object:
+    """Hashable nested-tuple encoding of an expression's structure.
+
+    With ``include_aliases=False`` column references drop their relation
+    alias, so ``c.c_region = 'ASIA'`` and ``cust.c_region = 'ASIA'``
+    encode identically — the normalization the bitvector filter cache
+    (:mod:`repro.filters.cache`) relies on to share filters across
+    queries that alias the same table differently.
+    """
+    if expression is None:
+        return None
+
+    def encode(node: Expression) -> object:
+        if isinstance(node, ColumnRef):
+            if include_aliases:
+                return ("col", node.alias, node.column)
+            return ("col", node.column)
+        if isinstance(node, Literal):
+            return ("lit", node.value)
+        if isinstance(node, Comparison):
+            return ("cmp", node.op, encode(node.left), encode(node.right))
+        if isinstance(node, Between):
+            return (
+                "between",
+                encode(node.operand),
+                encode(node.low),
+                encode(node.high),
+            )
+        if isinstance(node, InList):
+            return ("in", encode(node.operand), node.values)
+        if isinstance(node, Like):
+            return ("like", encode(node.operand), node.pattern)
+        if isinstance(node, And):
+            return ("and", tuple(encode(operand) for operand in node.operands))
+        if isinstance(node, Or):
+            return ("or", tuple(encode(operand) for operand in node.operands))
+        if isinstance(node, Not):
+            return ("not", encode(node.operand))
+        raise TypeError(f"cannot encode {type(node).__name__}")
+
+    return encode(expression)
 
 
 def referenced_columns(expression: Expression) -> set[tuple[str, str]]:

@@ -22,6 +22,7 @@ from repro.filters.exact import ExactFilter
 from repro.filters.bloom import BloomFilter
 from repro.filters.blocked import BlockedBloomFilter
 from repro.filters.registry import create_filter, FILTER_KINDS
+from repro.filters.cache import BitvectorFilterCache, filter_cache_key
 
 __all__ = [
     "BitvectorFilter",
@@ -30,4 +31,6 @@ __all__ = [
     "BlockedBloomFilter",
     "create_filter",
     "FILTER_KINDS",
+    "BitvectorFilterCache",
+    "filter_cache_key",
 ]

@@ -1,0 +1,78 @@
+"""Cross-query bitvector filter cache.
+
+Building a bitvector filter costs one pass over the build side — the
+overhead the paper's Section 6.3 threshold exists to police.  In a
+workload, many queries build the *same* filter: a dimension table,
+filtered by the same local predicate, keyed on the same join columns.
+This cache amortizes that construction cost across the workload.
+
+A filter is reusable iff its build side is a bare table scan, so the
+cache key is the triple the extended paper frames as the amortizable
+unit::
+
+    (build table, build key columns, local predicate structure)
+
+plus the filter implementation (kind + options), since a Bloom filter
+and an exact filter built from the same rows are different artifacts.
+Predicate structure is encoded alias-free
+(:func:`repro.expr.expressions.structural_key`), so two queries that
+alias ``customer`` as ``c`` and ``cust`` share one filter.
+
+The executor (:class:`repro.engine.executor.Executor`) consults the
+cache only when the build side is a :class:`~repro.plan.nodes.ScanNode`
+with no bitvectors applied to it — any upstream filtering would make
+the built filter depend on the rest of the plan.  Invalidation on
+schema change is owned by the caller (the service layer clears the
+cache when :attr:`repro.storage.database.Database.schema_version`
+moves); the underlying :class:`~repro.util.lru.LruCache` generation
+guard keeps a build that raced a ``clear()`` from re-publishing a
+stale filter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.filters.base import BitvectorFilter
+from repro.util.lru import LruCache
+
+
+def filter_cache_key(
+    table_name: str,
+    key_columns: tuple[str, ...],
+    predicate_key: object,
+    filter_kind: str,
+    filter_options: dict | None = None,
+) -> tuple:
+    """Canonical, hashable cache key for one buildable filter."""
+    options = tuple(sorted((filter_options or {}).items()))
+    return (table_name, key_columns, predicate_key, filter_kind, options)
+
+
+class BitvectorFilterCache(LruCache):
+    """Bounded LRU cache of built bitvector filters.
+
+    Thread-safe: lookups and insertions are serialized, but the builder
+    callback runs outside the lock, so two racing threads may build the
+    same filter once each — the second build wins the slot and the
+    duplicate work is bounded by one construction.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        super().__init__(capacity)
+
+    def get_or_build(
+        self, key: tuple, builder: Callable[[], BitvectorFilter]
+    ) -> tuple[BitvectorFilter, bool]:
+        """Return ``(filter, was_cached)``, building and caching on miss."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached, True
+        generation = self.generation
+        built = builder()
+        self.put(key, built, generation=generation)
+        return built, False
+
+    def size_bits(self) -> int:
+        """Total memory footprint of all cached filter payloads."""
+        return sum(entry.size_bits for entry in self.values())

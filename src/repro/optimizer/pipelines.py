@@ -30,6 +30,7 @@ planning metadata.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Callable
 
 from repro.cost.constants import DEFAULT_LAMBDA_THRESH
@@ -57,6 +58,9 @@ class OptimizedPlan:
     plan: PlanNode
     estimated_cout: float
     signature: str
+    # Wall-clock planning time; what a plan-cache hit saves
+    # (see repro.service).
+    optimize_seconds: float = 0.0
 
     @property
     def name(self) -> str:
@@ -148,4 +152,7 @@ def optimize_query(
         raise OptimizerError(
             f"unknown pipeline {pipeline!r}; expected one of {sorted(PIPELINES)}"
         ) from None
-    return runner(database, spec, lambda_thresh)
+    started = time.perf_counter()
+    optimized = runner(database, spec, lambda_thresh)
+    optimized.optimize_seconds = time.perf_counter() - started
+    return optimized

@@ -1,0 +1,33 @@
+"""Query service layer: raw SQL end-to-end, fast on repeat traffic.
+
+The paper treats a query as a one-shot artifact; production decision-
+support workloads re-issue structurally identical queries with
+different constants.  This package adds the serving substrate on top of
+the reproduction's sql → optimizer → plan → executor stack:
+
+* :class:`QueryService` — the facade: ``execute(sql)``,
+  ``run_many(sqls)`` (thread pool), ``explain(sql)``, ``stats()``;
+* :class:`~repro.service.plan_cache.PlanCache` — fingerprint-keyed LRU
+  of optimized plans with parameter templates;
+* :class:`~repro.service.metrics.ServiceMetrics` /
+  :class:`~repro.service.metrics.ServiceStats` — per-query and
+  aggregate accounting (cache hits, optimize/execute time, metered
+  CPU).
+
+The companion bitvector filter cache lives in
+:mod:`repro.filters.cache`, and fingerprinting in
+:mod:`repro.sql.parameterize`.
+"""
+
+from repro.service.metrics import ServiceMetrics, ServiceStats
+from repro.service.plan_cache import CachedPlan, PlanCache
+from repro.service.service import QueryService, ServiceResult
+
+__all__ = [
+    "QueryService",
+    "ServiceResult",
+    "ServiceMetrics",
+    "ServiceStats",
+    "PlanCache",
+    "CachedPlan",
+]

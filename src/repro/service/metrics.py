@@ -1,0 +1,68 @@
+"""Per-query and service-level metrics for :class:`QueryService`.
+
+Every served query produces a :class:`ServiceMetrics` record; the
+service folds them into a running :class:`ServiceStats` aggregate
+(thread-safe — the fold happens under the service's lock).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceMetrics:
+    """What one query cost the service.
+
+    ``optimize_seconds`` is the full optimize-path latency of this call:
+    fingerprinting plus — on a plan-cache miss — parsing, binding, and
+    optimization.  On a hit it collapses to fingerprint + lookup +
+    parameter substitution, which is the speedup the plan cache buys.
+    """
+
+    query: str
+    fingerprint: str
+    pipeline: str
+    plan_cache_hit: bool
+    optimize_seconds: float
+    execute_seconds: float
+    metered_cpu: float
+    output_rows: int
+    filter_cache_hits: int
+    filter_cache_misses: int
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Running aggregate over every query the service has answered."""
+
+    queries: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    filter_cache_hits: int = 0
+    filter_cache_misses: int = 0
+    invalidations: int = 0
+    total_optimize_seconds: float = 0.0
+    total_execute_seconds: float = 0.0
+    total_metered_cpu: float = 0.0
+
+    def fold(self, metrics: ServiceMetrics) -> None:
+        self.queries += 1
+        if metrics.plan_cache_hit:
+            self.plan_cache_hits += 1
+        else:
+            self.plan_cache_misses += 1
+        self.filter_cache_hits += metrics.filter_cache_hits
+        self.filter_cache_misses += metrics.filter_cache_misses
+        self.total_optimize_seconds += metrics.optimize_seconds
+        self.total_execute_seconds += metrics.execute_seconds
+        self.total_metered_cpu += metrics.metered_cpu
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        if not self.queries:
+            return 0.0
+        return self.plan_cache_hits / self.queries
+
+    def snapshot(self) -> "ServiceStats":
+        return dataclasses.replace(self)

@@ -1,0 +1,271 @@
+"""The :class:`QueryService` facade: raw SQL in, results out, fast on repeats.
+
+End-to-end data flow::
+
+    sql ── fingerprint ──┬─ HIT ──► substitute params ─┐
+                         │                             ├─► execute
+                         └─ MISS ─► parse ─ bind ─     │   (shared plan,
+                                    optimize ─ cache ──┘    overrides)
+
+The service owns three pieces of cross-query state:
+
+* a :class:`~repro.service.plan_cache.PlanCache` keyed by the query's
+  normalized fingerprint (literals parameterized — see
+  :mod:`repro.sql.parameterize`), so structurally identical queries
+  skip parsing and optimization entirely;
+* a :class:`~repro.filters.cache.BitvectorFilterCache` shared by every
+  execution, amortizing bitvector construction across the workload;
+* running :class:`~repro.service.metrics.ServiceStats`.
+
+Both caches are invalidated automatically when the database's
+``schema_version`` moves (a table or foreign key was added).  All entry
+points are thread-safe; :meth:`QueryService.run_many` executes a batch
+on a thread pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cost.constants import DEFAULT_LAMBDA_THRESH
+from repro.engine.executor import ExecutionResult, Executor
+from repro.errors import ServiceError
+from repro.expr.expressions import substitute_parameters
+from repro.filters.cache import BitvectorFilterCache
+from repro.optimizer.pipelines import PIPELINES, optimize_query
+from repro.plan.display import format_plan
+from repro.service.metrics import ServiceMetrics, ServiceStats
+from repro.service.plan_cache import CachedPlan, PlanCache
+from repro.sql.binder import bind_select
+from repro.sql.parameterize import QueryFingerprint, fingerprint_sql, parameterize_statement
+from repro.sql.parser import parse_select
+from repro.storage.database import Database
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceResult:
+    """One answered query: the engine result plus service accounting."""
+
+    result: ExecutionResult
+    metrics: ServiceMetrics
+
+    def scalar(self, label: str) -> object:
+        return self.result.scalar(label)
+
+    @property
+    def num_rows(self) -> int:
+        return self.result.num_rows
+
+
+class QueryService:
+    """Serve raw SQL against one database with cross-query caching.
+
+    Parameters
+    ----------
+    database:
+        The data and catalog every query binds against.
+    pipeline:
+        Default optimization pipeline (any :data:`repro.optimizer.PIPELINES`
+        name; per-call override available).
+    filter_kind / filter_options:
+        Bitvector filter implementation the executor deploys.
+    plan_cache_size / filter_cache_size:
+        LRU bounds for the two caches.
+    max_workers:
+        Default thread-pool width for :meth:`run_many`.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        pipeline: str = "bqo",
+        filter_kind: str = "exact",
+        filter_options: dict | None = None,
+        lambda_thresh: float = DEFAULT_LAMBDA_THRESH,
+        plan_cache_size: int = 128,
+        filter_cache_size: int = 64,
+        max_workers: int = 4,
+    ) -> None:
+        if pipeline not in PIPELINES:
+            raise ServiceError(
+                f"unknown pipeline {pipeline!r}; expected one of {sorted(PIPELINES)}"
+            )
+        self._database = database
+        self._pipeline = pipeline
+        self._lambda_thresh = lambda_thresh
+        self._max_workers = max_workers
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.filter_cache = BitvectorFilterCache(filter_cache_size)
+        self._executor = Executor(
+            database,
+            filter_kind=filter_kind,
+            filter_options=filter_options,
+            filter_cache=self.filter_cache,
+        )
+        self._stats = ServiceStats()
+        self._lock = threading.Lock()
+        self._schema_version = database.schema_version
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, sql: str, name: str = "query", pipeline: str | None = None
+    ) -> ServiceResult:
+        """Parse (or recognize), optimize (or reuse), and execute ``sql``."""
+        pipeline = pipeline or self._pipeline
+        started = time.perf_counter()
+        entry, fingerprint, overrides, hit = self._prepare(sql, pipeline)
+        optimize_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        result = self._executor.execute(entry.plan, predicate_overrides=overrides)
+        execute_seconds = time.perf_counter() - started
+
+        metrics = ServiceMetrics(
+            query=name,
+            fingerprint=entry.fingerprint,
+            pipeline=pipeline,
+            plan_cache_hit=hit,
+            optimize_seconds=optimize_seconds,
+            execute_seconds=execute_seconds,
+            metered_cpu=result.metrics.metered_cpu(),
+            output_rows=result.num_rows,
+            filter_cache_hits=result.metrics.filter_cache_hits,
+            filter_cache_misses=result.metrics.filter_cache_misses,
+        )
+        with self._lock:
+            self._stats.fold(metrics)
+        return ServiceResult(result=result, metrics=metrics)
+
+    def run_many(
+        self,
+        sqls: list[str],
+        max_workers: int | None = None,
+        pipeline: str | None = None,
+    ) -> list[ServiceResult]:
+        """Execute a batch concurrently; results keep input order."""
+        workers = max_workers or self._max_workers
+        if workers <= 1 or len(sqls) <= 1:
+            return [
+                self.execute(sql, name=f"batch_{i}", pipeline=pipeline)
+                for i, sql in enumerate(sqls)
+            ]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self.execute, sql, f"batch_{i}", pipeline)
+                for i, sql in enumerate(sqls)
+            ]
+            return [future.result() for future in futures]
+
+    def explain(self, sql: str, pipeline: str | None = None) -> str:
+        """Render the plan ``sql`` would run, with bitvector annotations.
+
+        Goes through the plan cache like :meth:`execute` (an explain
+        warms the cache for the real query).  The rendered tree shows
+        the constants the plan was optimized with; the header lists the
+        parameters of *this* call.
+        """
+        pipeline = pipeline or self._pipeline
+        entry, fingerprint, _overrides, hit = self._prepare(sql, pipeline)
+        params = ", ".join(
+            f"?{i}={value!r}" for i, value in enumerate(fingerprint.parameters)
+        )
+        header = [
+            f"-- fingerprint {entry.fingerprint}  plan cache {'HIT' if hit else 'MISS'}",
+            f"-- pipeline {pipeline}  estimated C_out {entry.estimated_cout:.1f}"
+            f"  optimize {entry.optimize_seconds * 1e3:.2f} ms",
+            f"-- parameters: {params or '(none)'}",
+        ]
+        return "\n".join(header) + "\n" + format_plan(entry.plan)
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of service-level aggregates."""
+        with self._lock:
+            return self._stats.snapshot()
+
+    def invalidate(self) -> None:
+        """Drop every cached plan and filter (e.g. after a data reload)."""
+        with self._lock:
+            self.plan_cache.clear()
+            self.filter_cache.clear()
+            self._stats.invalidations += 1
+            self._schema_version = self._database.schema_version
+
+    # ------------------------------------------------------------------
+    # Cache machinery
+    # ------------------------------------------------------------------
+
+    def _prepare(
+        self, sql: str, pipeline: str
+    ) -> tuple[CachedPlan, QueryFingerprint, dict, bool]:
+        """Fingerprint ``sql`` and return an executable cached entry.
+
+        The hit path never parses: it tokenizes, looks up the plan, and
+        substitutes this query's constants into the per-alias predicate
+        templates.
+        """
+        self._check_schema_version()
+        fingerprint = fingerprint_sql(sql)
+        key = (fingerprint.text, pipeline)
+        entry = self.plan_cache.get(key)
+        hit = entry is not None
+        if entry is None:
+            # Read the generation before the (slow) build: if an
+            # invalidation lands mid-optimize, the put is dropped and
+            # the possibly-stale plan serves only this one request.
+            generation = self.plan_cache.generation
+            entry = self._build_entry(sql, fingerprint, pipeline)
+            self.plan_cache.put(key, entry, generation=generation)
+        if entry.num_parameters != fingerprint.num_parameters:
+            raise ServiceError(
+                f"fingerprint {entry.fingerprint} expects "
+                f"{entry.num_parameters} parameters, got "
+                f"{fingerprint.num_parameters}"
+            )
+        overrides = {
+            alias: substitute_parameters(template, fingerprint.parameters)
+            for alias, template in entry.template_predicates.items()
+        }
+        return entry, fingerprint, overrides, hit
+
+    def _build_entry(
+        self, sql: str, fingerprint: QueryFingerprint, pipeline: str
+    ) -> CachedPlan:
+        """Cache-miss path: full parse → bind → optimize."""
+        statement = parse_select(sql)
+        template_statement, parameters = parameterize_statement(statement)
+        if parameters != fingerprint.parameters:
+            raise ServiceError(
+                "parameter extraction mismatch between token stream and AST "
+                f"({parameters!r} vs {fingerprint.parameters!r})"
+            )
+        name = f"q_{fingerprint.digest}"
+        spec = bind_select(self._database, statement, name)
+        template_spec = bind_select(self._database, template_statement, name)
+        optimized = optimize_query(
+            self._database, spec, pipeline, lambda_thresh=self._lambda_thresh
+        )
+        return CachedPlan(
+            fingerprint=fingerprint.digest,
+            pipeline=pipeline,
+            plan=optimized.plan,
+            template_predicates=dict(template_spec.local_predicates),
+            num_parameters=fingerprint.num_parameters,
+            estimated_cout=optimized.estimated_cout,
+            signature=optimized.signature,
+            optimize_seconds=optimized.optimize_seconds,
+        )
+
+    def _check_schema_version(self) -> None:
+        """Drop both caches when the catalog has changed underneath us."""
+        with self._lock:
+            if self._database.schema_version != self._schema_version:
+                self.plan_cache.clear()
+                self.filter_cache.clear()
+                self._schema_version = self._database.schema_version
+                self._stats.invalidations += 1

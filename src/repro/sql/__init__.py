@@ -13,6 +13,11 @@ sub-expressions on a single table), and ``GROUP BY``.
 from repro.sql.lexer import tokenize, Token
 from repro.sql.parser import parse_select, SelectStatement
 from repro.sql.binder import bind_select, parse_query
+from repro.sql.parameterize import (
+    QueryFingerprint,
+    fingerprint_sql,
+    parameterize_statement,
+)
 
 __all__ = [
     "tokenize",
@@ -21,4 +26,7 @@ __all__ = [
     "SelectStatement",
     "bind_select",
     "parse_query",
+    "QueryFingerprint",
+    "fingerprint_sql",
+    "parameterize_statement",
 ]

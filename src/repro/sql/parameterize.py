@@ -1,0 +1,165 @@
+"""Query fingerprinting: extract literal constants into parameters.
+
+Decision-support traffic re-issues structurally identical queries with
+different constants.  This module computes a *fingerprint* — a canonical
+rendering of the query with every literal replaced by a ``?N`` marker —
+so the service layer's plan cache (:mod:`repro.service`) can recognize
+repeats without re-optimizing.
+
+Normalization rules (documented for cache-key stability; see
+``docs/ARCHITECTURE.md``):
+
+* whitespace, SQL comments, and keyword case are irrelevant (the lexer
+  discards them);
+* number and string literals are replaced by positional ``?N`` markers,
+  in source order, and collected as parameters;
+* ``LIKE`` patterns are **not** parameterized — a pattern change alters
+  selectivity structure, so it stays part of the fingerprint;
+* identifiers (table names, aliases, columns) are significant and
+  case-sensitive; ``x IN (1, 2)`` and ``x IN (1, 2, 3)`` differ (the
+  marker count is part of the shape).
+
+Two views of the same extraction are produced:
+
+* :func:`fingerprint_sql` works on the token stream only — the cheap
+  path a cache *hit* takes (no recursive-descent parse, no binding);
+* :func:`parameterize_statement` rewrites a parsed
+  :class:`~repro.sql.parser.SelectStatement`, replacing literal values
+  with :class:`~repro.expr.expressions.Parameter` placeholders — the
+  path a cache *miss* takes to build the reusable plan template.
+
+Both walk literals in source order, so marker indices agree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+from repro.errors import SqlError
+from repro.expr.expressions import Parameter
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import (
+    RawBetween,
+    RawComparison,
+    RawIn,
+    RawLike,
+    RawLiteral,
+    RawAnd,
+    RawNot,
+    RawOr,
+    SelectStatement,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryFingerprint:
+    """Canonical shape of a query plus its extracted constants."""
+
+    text: str
+    parameters: tuple[object, ...]
+
+    @property
+    def digest(self) -> str:
+        """Stable short hash of the canonical text."""
+        return hashlib.sha256(self.text.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+
+def fingerprint_sql(sql: str) -> QueryFingerprint:
+    """Fingerprint SQL text from its token stream alone.
+
+    >>> a = fingerprint_sql("SELECT COUNT(*) FROM t WHERE t.x = 5")
+    >>> b = fingerprint_sql("select count(*)  from t where t.x = 99")
+    >>> a.text == b.text
+    True
+    >>> (a.parameters, b.parameters)
+    ((5,), (99,))
+    """
+    tokens = tokenize(sql)
+    rendered: list[str] = []
+    parameters: list[object] = []
+    previous: Token | None = None
+    for token in tokens:
+        if token.kind in ("number", "string"):
+            if (
+                token.kind == "string"
+                and previous is not None
+                and previous.is_keyword("like")
+            ):
+                # LIKE patterns stay literal (see module docstring).
+                escaped = token.text.replace("'", "''")
+                rendered.append(f"'{escaped}'")
+            else:
+                rendered.append(f"?{len(parameters)}")
+                parameters.append(_literal_value(token))
+        else:
+            rendered.append(token.text)
+        previous = token
+    if not rendered:
+        raise SqlError("empty query")
+    return QueryFingerprint(text=" ".join(rendered), parameters=tuple(parameters))
+
+
+def _literal_value(token: Token) -> object:
+    if token.kind == "string":
+        return token.text
+    return float(token.text) if "." in token.text else int(token.text)
+
+
+def parameterize_statement(
+    statement: SelectStatement,
+) -> tuple[SelectStatement, tuple[object, ...]]:
+    """Replace the literals of a parsed statement with placeholders.
+
+    Returns ``(template, parameters)`` where every literal value in the
+    template's WHERE clause is a :class:`Parameter` whose index points
+    into ``parameters``.  The walk visits literals in source order, so
+    the indices line up with :func:`fingerprint_sql` on the same query.
+    """
+    parameters: list[object] = []
+
+    def marker(value: object) -> Parameter:
+        parameter = Parameter(len(parameters))
+        parameters.append(value)
+        return parameter
+
+    def rewrite(raw: object) -> object:
+        if isinstance(raw, RawLiteral):
+            return RawLiteral(marker(raw.value))
+        if isinstance(raw, RawComparison):
+            return RawComparison(raw.op, rewrite(raw.left), rewrite(raw.right))
+        if isinstance(raw, RawBetween):
+            return RawBetween(
+                raw.operand,
+                RawLiteral(marker(raw.low.value)),
+                RawLiteral(marker(raw.high.value)),
+                raw.negated,
+            )
+        if isinstance(raw, RawIn):
+            return RawIn(
+                raw.operand,
+                tuple(marker(value) for value in raw.values),
+                raw.negated,
+            )
+        if isinstance(raw, RawLike):
+            return raw  # patterns are part of the fingerprint
+        if isinstance(raw, RawAnd):
+            return RawAnd(tuple(rewrite(operand) for operand in raw.operands))
+        if isinstance(raw, RawOr):
+            return RawOr(tuple(rewrite(operand) for operand in raw.operands))
+        if isinstance(raw, RawNot):
+            return RawNot(rewrite(raw.operand))
+        return raw  # RawColumn and anything literal-free
+
+    where = rewrite(statement.where) if statement.where is not None else None
+    template = SelectStatement(
+        items=statement.items,
+        tables=statement.tables,
+        where=where,
+        group_by=statement.group_by,
+    )
+    return template, tuple(parameters)

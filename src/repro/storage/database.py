@@ -20,6 +20,7 @@ class Database:
         self.catalog = Catalog()
         self._tables: dict[str, Table] = {}
         self._stats_cache: dict[str, object] = {}
+        self._schema_version = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -30,9 +31,21 @@ class Database:
         if validate_key:
             table.validate_key()
         self._tables[table.name] = table
+        self._schema_version += 1
 
     def add_foreign_key(self, foreign_key: ForeignKey) -> None:
         self.catalog.add_foreign_key(foreign_key)
+        self._schema_version += 1
+
+    @property
+    def schema_version(self) -> int:
+        """Monotonic counter bumped on every catalog change.
+
+        Consumers that cache artifacts derived from the catalog (plans,
+        bitvector filters — see :class:`repro.service.QueryService`)
+        compare versions to decide when to invalidate.
+        """
+        return self._schema_version
 
     # ------------------------------------------------------------------
     # Lookup

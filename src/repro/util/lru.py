@@ -1,0 +1,100 @@
+"""Thread-safe bounded LRU cache with a clear-generation guard.
+
+Shared by the service-layer plan cache (:mod:`repro.service.plan_cache`)
+and the bitvector filter cache (:mod:`repro.filters.cache`).
+
+The *generation* guard closes an invalidation race: a caller that
+misses, spends time building a value, and then publishes it could
+otherwise re-insert an artifact derived from pre-invalidation state
+*after* ``clear()`` wiped the cache.  Callers read :attr:`generation`
+before building and pass it to :meth:`put`; if a ``clear()`` happened
+in between, the insert is silently dropped (the caller still uses its
+freshly built value for the current request).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Iterable
+
+
+class LruCache:
+    """Bounded LRU mapping with hit/miss/eviction counters."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: OrderedDict[object, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._generation = 0
+
+    def get(self, key: object) -> object | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: object, value: object, generation: int | None = None) -> bool:
+        """Insert ``value``; returns False if dropped by the guard.
+
+        ``generation`` is the value of :attr:`generation` the caller
+        observed before building; a mismatch means the cache was
+        cleared while the value was being built from now-invalidated
+        state, so the insert is refused.
+        """
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                return False
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._generation += 1
+
+    def values(self) -> Iterable[object]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions

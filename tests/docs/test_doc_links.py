@@ -1,0 +1,39 @@
+"""Documentation health: required files exist, relative links resolve."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_doc_links import broken_links, doc_files  # noqa: E402
+
+
+def test_required_docs_exist():
+    assert (REPO_ROOT / "README.md").exists()
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").exists()
+    assert (REPO_ROOT / "docs" / "BENCHMARKS.md").exists()
+
+
+def test_no_broken_relative_links():
+    assert broken_links(REPO_ROOT) == []
+
+
+def test_every_benchmark_file_is_documented():
+    """docs/BENCHMARKS.md must describe each benchmarks/test_* file."""
+    text = (REPO_ROOT / "docs" / "BENCHMARKS.md").read_text(encoding="utf-8")
+    for path in sorted((REPO_ROOT / "benchmarks").glob("test_*.py")):
+        assert path.name in text, f"{path.name} missing from docs/BENCHMARKS.md"
+
+
+def test_readme_covers_quickstart_and_tier1():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "examples/quickstart.py" in text
+    assert "python -m pytest" in text
+    assert "QueryService" in text
+
+
+def test_doc_files_found():
+    assert len(doc_files(REPO_ROOT)) >= 3

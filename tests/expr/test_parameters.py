@@ -1,0 +1,75 @@
+"""Parameter substitution and structural keys (service-layer hooks)."""
+
+from __future__ import annotations
+
+from repro.expr.expressions import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Parameter,
+    col,
+    lit,
+    structural_key,
+    substitute_parameters,
+)
+
+
+def _template():
+    return And(
+        (
+            Comparison("=", col("c", "region"), Literal(Parameter(0))),
+            Between(col("c", "age"), Literal(Parameter(1)), Literal(Parameter(2))),
+            InList(col("c", "segment"), (Parameter(3), Parameter(4))),
+            Or((Like(col("c", "name"), "A%"), Not(Comparison("<", col("c", "age"), lit(0))))),
+        )
+    )
+
+
+def test_substitute_fills_every_placeholder():
+    filled = substitute_parameters(_template(), ("ASIA", 18, 65, "AUTO", "HOME"))
+    assert "?" not in str(filled)
+    assert "'ASIA'" in str(filled)
+    assert "18" in str(filled) and "65" in str(filled)
+    assert "'AUTO'" in str(filled) and "'HOME'" in str(filled)
+
+
+def test_substitute_does_not_mutate_template():
+    template = _template()
+    before = str(template)
+    substitute_parameters(template, ("x", 1, 2, "a", "b"))
+    assert str(template) == before
+
+
+def test_substitute_passes_plain_values_through():
+    plain = Comparison(">", col("t", "x"), lit(5))
+    assert substitute_parameters(plain, ()) == plain
+
+
+def test_structural_key_distinguishes_values_and_structure():
+    a = Comparison("=", col("c", "region"), lit("ASIA"))
+    b = Comparison("=", col("c", "region"), lit("EUROPE"))
+    c = Comparison("<>", col("c", "region"), lit("ASIA"))
+    keys = {structural_key(a), structural_key(b), structural_key(c)}
+    assert len(keys) == 3
+
+
+def test_structural_key_alias_free_mode_merges_aliases():
+    a = Comparison("=", col("c", "region"), lit("ASIA"))
+    b = Comparison("=", col("cust", "region"), lit("ASIA"))
+    assert structural_key(a) != structural_key(b)
+    assert structural_key(a, include_aliases=False) == structural_key(
+        b, include_aliases=False
+    )
+
+
+def test_structural_key_none_predicate():
+    assert structural_key(None) is None
+
+
+def test_structural_key_is_hashable():
+    hash(structural_key(_template()))

@@ -1,0 +1,100 @@
+"""Query fingerprinting: normalization rules and parameter extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.parameterize import fingerprint_sql, parameterize_statement
+from repro.sql.parser import parse_select
+
+
+def test_constants_do_not_change_fingerprint():
+    a = fingerprint_sql(
+        "SELECT COUNT(*) FROM t WHERE t.x = 5 AND t.name = 'foo'"
+    )
+    b = fingerprint_sql(
+        "SELECT COUNT(*) FROM t WHERE t.x = 99 AND t.name = 'bar'"
+    )
+    assert a.text == b.text
+    assert a.digest == b.digest
+    assert a.parameters == (5, "foo")
+    assert b.parameters == (99, "bar")
+
+
+def test_whitespace_case_and_comments_do_not_change_fingerprint():
+    a = fingerprint_sql("SELECT COUNT(*) FROM t WHERE t.x = 1")
+    b = fingerprint_sql(
+        "select  count(*)\n  from t -- a comment\n where t.x   = 2"
+    )
+    assert a.text == b.text
+
+
+def test_structure_changes_fingerprint():
+    base = fingerprint_sql("SELECT COUNT(*) FROM t WHERE t.x = 1")
+    other_column = fingerprint_sql("SELECT COUNT(*) FROM t WHERE t.y = 1")
+    other_op = fingerprint_sql("SELECT COUNT(*) FROM t WHERE t.x < 1")
+    other_table = fingerprint_sql("SELECT COUNT(*) FROM u WHERE u.x = 1")
+    texts = {base.text, other_column.text, other_op.text, other_table.text}
+    assert len(texts) == 4
+
+
+def test_in_list_arity_is_part_of_the_shape():
+    two = fingerprint_sql("SELECT COUNT(*) FROM t WHERE t.x IN (1, 2)")
+    three = fingerprint_sql("SELECT COUNT(*) FROM t WHERE t.x IN (1, 2, 3)")
+    assert two.text != three.text
+    assert two.parameters == (1, 2)
+    assert three.parameters == (1, 2, 3)
+
+
+def test_like_patterns_stay_literal():
+    a = fingerprint_sql("SELECT COUNT(*) FROM t WHERE t.name LIKE 'A%'")
+    b = fingerprint_sql("SELECT COUNT(*) FROM t WHERE t.name LIKE 'B%'")
+    assert a.text != b.text
+    assert a.parameters == ()
+
+
+def test_between_and_floats_extract_in_source_order():
+    fp = fingerprint_sql(
+        "SELECT COUNT(*) FROM t WHERE t.a BETWEEN 1 AND 2 AND t.b = 3.5"
+    )
+    assert fp.parameters == (1, 2, 3.5)
+
+
+def test_empty_query_rejected():
+    with pytest.raises(SqlError):
+        fingerprint_sql("   -- nothing here\n")
+
+
+def test_ast_extraction_agrees_with_token_extraction():
+    sql = (
+        "SELECT COUNT(*) FROM t WHERE t.x = 5 AND t.y BETWEEN 2 AND 9 "
+        "AND t.z IN (1, 2, 3) AND t.name LIKE 'A%' AND NOT (t.w <> 0)"
+    )
+    fp = fingerprint_sql(sql)
+    _template, parameters = parameterize_statement(parse_select(sql))
+    assert parameters == fp.parameters
+
+
+def test_template_statement_has_no_remaining_literals():
+    sql = "SELECT COUNT(*) FROM t WHERE t.x = 5 AND t.y IN (1, 2)"
+    template, parameters = parameterize_statement(parse_select(sql))
+    assert len(parameters) == 3
+    # every literal in the template is now a Parameter marker
+    from repro.expr.expressions import Parameter
+    from repro.sql.parser import RawComparison, RawIn, RawAnd, RawLiteral
+
+    def literals(raw):
+        if isinstance(raw, RawLiteral):
+            yield raw.value
+        elif isinstance(raw, RawAnd):
+            for operand in raw.operands:
+                yield from literals(operand)
+        elif isinstance(raw, RawComparison):
+            yield from literals(raw.left)
+            yield from literals(raw.right)
+        elif isinstance(raw, RawIn):
+            yield from raw.values
+
+    values = list(literals(template.where))
+    assert values and all(isinstance(v, Parameter) for v in values)

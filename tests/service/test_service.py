@@ -1,0 +1,183 @@
+"""QueryService end-to-end: caching correctness, invalidation, concurrency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import QueryService
+from repro.storage.database import Database
+from repro.storage.schema import ForeignKey
+from repro.storage.table import Table
+
+
+def _count_sql(threshold: int) -> str:
+    return (
+        "SELECT COUNT(*) AS cnt FROM fact f, dim1 d1 "
+        f"WHERE f.fk1 = d1.id AND d1.v < {threshold}"
+    )
+
+
+def _expected_count(db: Database, threshold: int) -> int:
+    dim1 = db.table("dim1")
+    fact = db.table("fact")
+    selected = dim1.column("id")[dim1.column("v") < threshold]
+    return int(np.isin(fact.column("fk1"), selected).sum())
+
+
+@pytest.fixture()
+def service(star_db) -> QueryService:
+    return QueryService(star_db)
+
+
+def test_same_fingerprint_different_constants_correct_results(service, star_db):
+    first = service.execute(_count_sql(3))
+    second = service.execute(_count_sql(7))
+    assert not first.metrics.plan_cache_hit
+    assert second.metrics.plan_cache_hit
+    assert first.metrics.fingerprint == second.metrics.fingerprint
+    assert first.scalar("cnt") == _expected_count(star_db, 3)
+    assert second.scalar("cnt") == _expected_count(star_db, 7)
+    assert first.scalar("cnt") != second.scalar("cnt")
+
+
+def test_hit_skips_optimization_and_is_faster(service):
+    cold = service.execute(_count_sql(3))
+    warm = service.execute(_count_sql(4))
+    assert warm.metrics.plan_cache_hit
+    assert warm.metrics.optimize_seconds < cold.metrics.optimize_seconds
+
+
+def test_stats_expose_cache_counters(service):
+    service.execute(_count_sql(3))
+    service.execute(_count_sql(5))
+    service.execute(_count_sql(5))  # identical text: still one fingerprint
+    stats = service.stats()
+    assert stats.queries == 3
+    assert stats.plan_cache_misses == 1
+    assert stats.plan_cache_hits == 2
+    assert 0 < stats.plan_cache_hit_rate < 1
+    assert service.plan_cache.hits == 2
+    assert service.plan_cache.misses == 1
+
+
+def test_lru_eviction_bound_under_churn(star_db):
+    service = QueryService(star_db, plan_cache_size=2)
+    statements = [
+        _count_sql(3),
+        "SELECT COUNT(*) AS cnt FROM fact f, dim2 d2 "
+        "WHERE f.fk2 = d2.id AND d2.w < 3",
+        "SELECT SUM(f.m) AS total FROM fact f, dim1 d1 "
+        "WHERE f.fk1 = d1.id AND d1.v < 3",
+        "SELECT COUNT(*) AS cnt FROM fact f, dim1 d1, dim2 d2 "
+        "WHERE f.fk1 = d1.id AND f.fk2 = d2.id AND d1.v < 3",
+    ]
+    for sql in statements:
+        service.execute(sql)
+        assert len(service.plan_cache) <= 2
+    assert service.plan_cache.evictions == 2
+    # evicted query re-optimizes and still answers correctly
+    result = service.execute(statements[0])
+    assert not result.metrics.plan_cache_hit
+    assert result.scalar("cnt") == _expected_count(star_db, 3)
+
+
+def _fresh_db() -> Database:
+    rng = np.random.default_rng(7)
+    db = Database("inval_test")
+    db.add_table(
+        Table.from_arrays(
+            "dim1",
+            {"id": np.arange(50), "v": rng.integers(0, 10, 50)},
+            key=("id",),
+        )
+    )
+    db.add_table(
+        Table.from_arrays(
+            "fact",
+            {"fk1": rng.integers(0, 50, 1000), "m": rng.normal(size=1000)},
+        )
+    )
+    db.add_foreign_key(ForeignKey("fact", ("fk1",), "dim1", ("id",)))
+    return db
+
+
+def test_schema_change_invalidates_caches():
+    db = _fresh_db()
+    service = QueryService(db)
+    service.execute(_count_sql(3))
+    assert len(service.plan_cache) == 1
+
+    db.add_table(
+        Table.from_arrays("extra", {"id": np.arange(3)}, key=("id",))
+    )
+    result = service.execute(_count_sql(3))
+    # the cached plan was dropped: this is a miss against a fresh cache
+    assert not result.metrics.plan_cache_hit
+    assert service.stats().invalidations == 1
+    assert result.scalar("cnt") == _expected_count(db, 3)
+
+
+def test_manual_invalidate_clears_both_caches():
+    db = _fresh_db()
+    service = QueryService(db)
+    service.execute(_count_sql(3))
+    assert len(service.plan_cache) == 1
+    service.invalidate()
+    assert len(service.plan_cache) == 0
+    assert len(service.filter_cache) == 0
+    assert service.stats().invalidations == 1
+
+
+def test_filter_cache_shared_across_fingerprints(service):
+    count_sql = _count_sql(3)
+    sum_sql = (
+        "SELECT SUM(f.m) AS total FROM fact f, dim1 d1 "
+        "WHERE f.fk1 = d1.id AND d1.v < 3"
+    )
+    first = service.execute(count_sql)
+    second = service.execute(sum_sql)
+    assert first.metrics.fingerprint != second.metrics.fingerprint
+    if first.metrics.filter_cache_misses:
+        # the dim1(v < 3) filter built for the first query is reused
+        assert second.metrics.filter_cache_hits >= 1
+
+
+def test_run_many_matches_sequential(star_db):
+    sqls = [_count_sql(t) for t in (2, 3, 4, 5, 6, 2, 3, 4)]
+    sequential = [
+        QueryService(star_db).execute(sql).scalar("cnt") for sql in sqls
+    ]
+    service = QueryService(star_db)
+    concurrent = [r.scalar("cnt") for r in service.run_many(sqls, max_workers=4)]
+    assert concurrent == sequential
+    stats = service.stats()
+    assert stats.queries == len(sqls)
+    # one unique fingerprint: at most a couple of racing misses
+    assert stats.plan_cache_hits >= len(sqls) - 2
+
+
+def test_explain_reports_cache_state_and_plan(service):
+    miss = service.explain(_count_sql(3))
+    hit = service.explain(_count_sql(9))
+    assert "MISS" in miss and "HIT" in hit
+    assert "fingerprint" in miss
+    assert "Scan(d1:dim1)" in miss
+    assert "?0=9" in hit
+    # explain warmed the cache for execute
+    result = service.execute(_count_sql(5))
+    assert result.metrics.plan_cache_hit
+
+
+def test_unknown_pipeline_rejected(star_db):
+    from repro.errors import ServiceError
+
+    with pytest.raises(ServiceError):
+        QueryService(star_db, pipeline="nonsense")
+
+
+def test_pipeline_override_is_part_of_cache_key(service):
+    service.execute(_count_sql(3), pipeline="bqo")
+    other = service.execute(_count_sql(3), pipeline="dp")
+    assert not other.metrics.plan_cache_hit
+    assert len(service.plan_cache) == 2

@@ -1,0 +1,32 @@
+"""Run every doctest-style snippet embedded in library docstrings.
+
+Keeps the examples in docstrings honest: if an API drifts, the snippet
+fails here rather than silently rotting.  Modules without ``>>>``
+snippets are skipped automatically (doctest finds nothing to run).
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules() -> list[str]:
+    names: list[str] = ["repro"]
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        # __main__ modules run their CLI at import time
+        if not module.name.endswith("__main__"):
+            names.append(module.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name: str):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failures"

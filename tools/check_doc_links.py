@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative link in the Markdown docs must resolve.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and verifies
+that relative targets exist on disk (external ``http(s)``/``mailto``
+links and pure ``#anchor`` links are skipped; ``#fragment`` suffixes on
+file links are ignored).  Used by CI and by
+``tests/docs/test_doc_links.py``.
+
+Run standalone::
+
+    python tools/check_doc_links.py        # exits 1 on broken links
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path) -> list[Path]:
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def broken_links(root: Path) -> list[tuple[Path, str]]:
+    """All ``(source_file, target)`` pairs whose target does not exist."""
+    broken: list[tuple[Path, str]] = []
+    for source in doc_files(root):
+        text = source.read_text(encoding="utf-8")
+        for match in LINK_PATTERN.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (source.parent / path).resolve()
+            if not resolved.exists():
+                broken.append((source, target))
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    failures = broken_links(root)
+    for source, target in failures:
+        print(f"{source.relative_to(root)}: broken link -> {target}")
+    if failures:
+        return 1
+    checked = len(doc_files(root))
+    print(f"doc links OK ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
