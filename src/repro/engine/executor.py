@@ -34,7 +34,7 @@ from repro.plan.nodes import (
     ScanNode,
 )
 from repro.storage.database import Database
-from repro.util.keycodes import joint_codes
+from repro.util.keycodes import combine_codes, dense_table_worthwhile, joint_codes
 
 
 @dataclasses.dataclass
@@ -80,6 +80,13 @@ class Executor:
         Optional :class:`~repro.filters.cache.BitvectorFilterCache`
         shared across executions; joins whose build side is a bare scan
         reuse previously built filters instead of rebuilding them.
+    eager_materialization:
+        When True, reproduce the seed engine's memory model: every
+        mask/gather copies every column immediately, and join keys are
+        re-factorized per join instead of encoded through the
+        table-resident dictionary indexes.  Exists as the measured
+        baseline for the zero-copy hot path (see
+        ``benchmarks/test_exec_hot_path.py``).
     """
 
     def __init__(
@@ -89,6 +96,7 @@ class Executor:
         filter_options: dict | None = None,
         adaptive_filter_order: bool = False,
         filter_cache=None,
+        eager_materialization: bool = False,
     ) -> None:
         self._database = database
         self._filter_kind = filter_kind
@@ -97,6 +105,7 @@ class Executor:
         # repro.engine.lip); off by default to match the paper's engine.
         self._adaptive_filter_order = adaptive_filter_order
         self._filter_cache = filter_cache
+        self._eager = eager_materialization
 
     # ------------------------------------------------------------------
     # Entry point
@@ -165,11 +174,14 @@ class Executor:
     ) -> Relation:
         record = metrics.node(node.node_id, node.label, OPERATOR_KIND_LEAF)
         table = self._database.table(node.table_name)
-        columns = {
-            (node.alias, name): table.column(name)
-            for name in sorted(needed.get(node.alias, set()))
+        names = sorted(needed.get(node.alias, set()))
+        columns = {(node.alias, name): table.column(name) for name in names}
+        sources = {
+            (node.alias, name): (node.table_name, name) for name in names
         }
-        relation = Relation(columns, table.num_rows)
+        relation = Relation(
+            columns, table.num_rows, sources=sources, counters=metrics
+        )
         record.add("scan", table.num_rows)
 
         predicate = overrides.get(node.alias, node.predicate)
@@ -177,12 +189,19 @@ class Executor:
             mask = evaluate_predicate(
                 predicate, relation.provider, relation.num_rows
             )
-            relation = relation.mask(mask)
+            relation = self._settle(relation.mask(mask))
 
         relation = self._apply_bitvectors(
             node.applied_bitvectors, relation, record, filters
         )
         record.rows_out = relation.num_rows
+        return relation
+
+    def _settle(self, relation: Relation) -> Relation:
+        """Eager baseline hook: copy every column now, like the seed
+        engine did, instead of deferring to first read."""
+        if self._eager:
+            return relation.materialized()
         return relation
 
     def _hash_join(
@@ -200,17 +219,22 @@ class Executor:
 
         if node.created_bitvector is not None:
             definition = node.created_bitvector
-            key_columns = [
-                build_rel.column(alias, column)
-                for alias, column in definition.build_keys
-            ]
+
+            def build_filter():
+                # Key columns materialize inside the builder so a
+                # filter-cache hit gathers nothing.
+                key_columns = [
+                    build_rel.column(alias, column)
+                    for alias, column in definition.build_keys
+                ]
+                return create_filter(
+                    self._filter_kind, key_columns, **self._filter_options
+                )
+
             cache_key = self._cacheable_filter_key(node, definition, overrides)
             if cache_key is not None:
                 bitvector, was_cached = self._filter_cache.get_or_build(
-                    cache_key,
-                    lambda: create_filter(
-                        self._filter_kind, key_columns, **self._filter_options
-                    ),
+                    cache_key, build_filter
                 )
                 filters[definition.filter_id] = bitvector
                 if was_cached:
@@ -219,25 +243,113 @@ class Executor:
                     metrics.filter_cache_misses += 1
                     record.add("filter_insert", build_rel.num_rows)
             else:
-                filters[definition.filter_id] = create_filter(
-                    self._filter_kind, key_columns, **self._filter_options
-                )
+                filters[definition.filter_id] = build_filter()
                 record.add("filter_insert", build_rel.num_rows)
 
         probe_rel = self._run(node.probe, metrics, filters, needed, overrides)
         record.add("probe", probe_rel.num_rows)
 
+        build_codes, probe_codes, domain = self._join_key_codes(
+            node, build_rel, probe_rel, metrics
+        )
+        build_idx, probe_idx = _expand_matches(build_codes, probe_codes, domain)
+        result = self._settle(
+            probe_rel.merged_with(build_rel, probe_idx, build_idx)
+        )
+        record.add("output", result.num_rows)
+        record.rows_out = result.num_rows
+        return result
+
+    def _join_key_codes(
+        self,
+        node: HashJoinNode,
+        build_rel: Relation,
+        probe_rel: Relation,
+        metrics: ExecutionMetrics,
+    ) -> tuple[np.ndarray, np.ndarray, int | None]:
+        """int64 codes for both key sides; equal codes <=> equal tuples.
+
+        Fast path: every key column that still carries base-table
+        provenance is encoded through the table-resident dictionary
+        indexes — an O(rows) code gather plus an O(distinct) domain
+        translation — instead of a per-join ``np.unique`` factorization
+        over build+probe values.  Falls back to joint factorization when
+        provenance is missing (derived columns) or the combined key
+        domain would overflow the mixed radix.
+
+        The third element is the combined code domain size when the
+        dictionary path produced the codes (all codes < domain), else
+        ``None``; :func:`_expand_matches` uses it for counting-sort
+        matching.
+        """
+        if build_rel.num_rows == 0 or probe_rel.num_rows == 0:
+            empty = np.array([], dtype=np.int64)
+            return empty, empty, None
+        if not self._eager:
+            coded = self._dictionary_codes(node, build_rel, probe_rel)
+            if coded is not None:
+                metrics.dictionary_hits += len(node.build_keys)
+                return coded
+            metrics.dictionary_misses += len(node.build_keys)
         build_keys = [
             build_rel.column(alias, column) for alias, column in node.build_keys
         ]
         probe_keys = [
             probe_rel.column(alias, column) for alias, column in node.probe_keys
         ]
-        build_idx, probe_idx = _match_keys(build_keys, probe_keys)
-        result = probe_rel.merged_with(build_rel, probe_idx, build_idx)
-        record.add("output", result.num_rows)
-        record.rows_out = result.num_rows
-        return result
+        build_codes, probe_codes = joint_codes(build_keys, probe_keys)
+        return build_codes, probe_codes, None
+
+    def _dictionary_codes(
+        self,
+        node: HashJoinNode,
+        build_rel: Relation,
+        probe_rel: Relation,
+    ) -> tuple[np.ndarray, np.ndarray, int] | None:
+        """Dictionary-encoded join keys, or None when inapplicable."""
+        build_code_columns: list[np.ndarray] = []
+        probe_code_columns: list[np.ndarray] = []
+        radices: list[int] = []
+        for (b_alias, b_col), (p_alias, p_col) in zip(
+            node.build_keys, node.probe_keys
+        ):
+            build_src = build_rel.base_source(b_alias, b_col)
+            probe_src = probe_rel.base_source(p_alias, p_col)
+            if build_src is None or probe_src is None:
+                return None
+            if (
+                self._database.table(build_src[0]).column(build_src[1]).dtype.kind
+                in "fc"
+                or self._database.table(probe_src[0]).column(probe_src[1]).dtype.kind
+                in "fc"
+            ):
+                # Float keys: ordered dictionary lookups cannot match
+                # NaN == NaN the way joint factorization does; take the
+                # fallback so both join paths agree on NaN keys.
+                return None
+            build_dict = self._database.dictionary(build_src[0], build_src[1])
+            probe_dict = self._database.dictionary(probe_src[0], probe_src[1])
+            build_codes = build_dict.codes
+            if build_src[2] is not None:
+                build_codes = build_codes[build_src[2]]
+            probe_codes = probe_dict.codes
+            if probe_src[2] is not None:
+                probe_codes = probe_codes[probe_src[2]]
+            if probe_dict is not build_dict:
+                # Re-express probe codes in the build column's domain;
+                # values absent from it become -1 (can never match).
+                probe_codes = probe_dict.translate_to(build_dict)[probe_codes]
+            build_code_columns.append(build_codes)
+            probe_code_columns.append(probe_codes)
+            radices.append(build_dict.num_values)
+        build_combined = combine_codes(build_code_columns, radices)
+        probe_combined = combine_codes(probe_code_columns, radices)
+        if build_combined is None or probe_combined is None:
+            return None
+        domain = 1
+        for radix in radices:
+            domain *= max(radix, 1)
+        return build_combined, probe_combined, domain
 
     def _cacheable_filter_key(
         self,
@@ -295,7 +407,7 @@ class Executor:
             from repro.engine.lip import order_filters_adaptively
 
             definitions = order_filters_adaptively(
-                definitions, filters, relation.column, relation.num_rows
+                definitions, filters, relation.column_head, relation.num_rows
             )
         for definition in definitions:
             bitvector = filters.get(definition.filter_id)
@@ -309,8 +421,13 @@ class Executor:
                 for alias, column in definition.probe_keys
             ]
             record.add("filter_check", relation.num_rows)
-            mask = bitvector.contains(key_columns)
-            relation = relation.mask(mask)
+            if self._eager and hasattr(bitvector, "contains_legacy"):
+                # Baseline mode: the seed engine's per-probe joint
+                # re-factorization instead of the indexed probe.
+                mask = bitvector.contains_legacy(key_columns)
+            else:
+                mask = bitvector.contains(key_columns)
+            relation = self._settle(relation.mask(mask))
         return relation
 
     # ------------------------------------------------------------------
@@ -409,11 +526,49 @@ def _match_keys(
         empty = np.array([], dtype=np.int64)
         return empty, empty
     build_codes, probe_codes = joint_codes(build_keys, probe_keys)
+    return _expand_matches(build_codes, probe_codes)
+
+
+# Counting-sort matching is used when the code domain is dense enough
+# for its histogram to stay cache-resident and worth the allocation
+# (shared cost model: repro.util.keycodes.dense_table_worthwhile).
+_DENSE_DOMAIN_CAP = 1 << 20
+
+
+def _expand_matches(
+    build_codes: np.ndarray,
+    probe_codes: np.ndarray,
+    domain: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Match ranges for pre-encoded keys (equal codes <=> equal tuples).
+
+    Negative probe codes mark values absent from the build domain; they
+    produce empty match ranges naturally.  With a known dense code
+    ``domain`` (dictionary-encoded keys) the per-probe match ranges
+    come from a histogram over the domain — O(probe rows + domain)
+    gathers — replacing the two binary-search passes over the sorted
+    build side, which profiling shows dominate at fact-table probe
+    sizes.  The build side is ordered with numpy's stable argsort
+    (radix sort for integer codes) in both branches.
+    """
+    if len(build_codes) == 0 or len(probe_codes) == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
     order = np.argsort(build_codes, kind="stable")
-    sorted_codes = build_codes[order]
-    lo = np.searchsorted(sorted_codes, probe_codes, side="left")
-    hi = np.searchsorted(sorted_codes, probe_codes, side="right")
-    counts = hi - lo
+    if domain is not None and dense_table_worthwhile(
+        domain, len(build_codes), _DENSE_DOMAIN_CAP
+    ):
+        histogram = np.bincount(build_codes, minlength=domain)
+        range_ends = np.cumsum(histogram)
+        valid = probe_codes >= 0
+        clipped = np.where(valid, probe_codes, 0)
+        counts = np.where(valid, histogram[clipped], 0)
+        lo = range_ends[clipped] - histogram[clipped]
+    else:
+        sorted_codes = build_codes[order]
+        lo = np.searchsorted(sorted_codes, probe_codes, side="left")
+        hi = np.searchsorted(sorted_codes, probe_codes, side="right")
+        counts = hi - lo
     total = int(counts.sum())
     if total == 0:
         empty = np.array([], dtype=np.int64)
@@ -457,7 +612,4 @@ def _needed_columns(
                 want(ref.alias, ref.column)
         if isinstance(node, ScanNode):
             needed.setdefault(node.alias, set())
-            # guarantee at least one column so row counts are defined
-            if not needed[node.alias]:
-                pass
     return needed

@@ -26,19 +26,22 @@ _SAMPLE_ROWS = 512
 def order_filters_adaptively(
     definitions: list[BitvectorDef],
     filters: dict[int, BitvectorFilter],
-    column_of,
+    column_head,
     num_rows: int,
 ) -> list[BitvectorDef]:
     """Return ``definitions`` sorted by sampled pass rate (ascending).
 
-    ``column_of(alias, name)`` supplies the relation's columns.  With
-    fewer than two filters or an empty relation the input order is
+    ``column_head(alias, name, count)`` supplies the first ``count``
+    rows of a relation column — matching
+    :meth:`repro.engine.relation.Relation.column_head`, which gathers
+    only the sampled rows rather than materializing whole columns.
+    With fewer than two filters or an empty relation the input order is
     returned unchanged.  Sampling the first rows (data is generated in
     random order) keeps the measurement O(filters x sample).
     """
     if len(definitions) < 2 or num_rows == 0:
         return list(definitions)
-    sample = slice(0, min(_SAMPLE_ROWS, num_rows))
+    sample_rows = min(_SAMPLE_ROWS, num_rows)
     scored: list[tuple[float, int, BitvectorDef]] = []
     for index, definition in enumerate(definitions):
         bitvector = filters.get(definition.filter_id)
@@ -47,7 +50,7 @@ def order_filters_adaptively(
             scored.append((1.0, index, definition))
             continue
         key_columns = [
-            column_of(alias, column)[sample]
+            column_head(alias, column, sample_rows)
             for alias, column in definition.probe_keys
         ]
         passes = bitvector.contains(key_columns)

@@ -64,6 +64,21 @@ class ExecutionMetrics:
         # (see repro.filters.cache); zero when no cache is attached.
         self.filter_cache_hits = 0
         self.filter_cache_misses = 0
+        # Zero-copy accounting (see repro.engine.relation): how many
+        # rows/bytes were actually gathered into materialized columns.
+        # The eager baseline copies every column at every row-set
+        # operation; the lazy path only pays for columns that are read.
+        self.rows_copied = 0
+        self.bytes_gathered = 0
+        # Join-key encodings answered from table-resident dictionary
+        # indexes vs. falling back to per-call joint factorization.
+        self.dictionary_hits = 0
+        self.dictionary_misses = 0
+
+    def count_copy(self, rows: int, nbytes: int) -> None:
+        """Record one column materialization (called by Relation)."""
+        self.rows_copied += int(rows)
+        self.bytes_gathered += int(nbytes)
 
     def node(self, node_id: int, label: str, kind: str) -> NodeMetrics:
         metrics = self._nodes.get(node_id)

@@ -1,4 +1,23 @@
-"""Runtime relation: a batch of alias-qualified columns."""
+"""Runtime relation: a lazy, zero-copy batch of alias-qualified columns.
+
+A :class:`Relation` is a *view*: base column arrays plus an int64
+selection vector.  ``mask``/``gather``/``merged_with`` compose selection
+indices — O(rows) int64 work regardless of column count — instead of
+copying every column the way an eager engine would.  A column is
+materialized (``base[selection]``) only when something actually reads
+it: join-key encoding, predicate evaluation, aggregate input, or the
+final output.  Materialized columns are cached per view, and the copy
+cost is reported to :class:`~repro.engine.metrics.ExecutionMetrics`
+(``rows_copied`` / ``bytes_gathered``) so benchmarks can prove that
+filter applications no longer gather untouched columns.
+
+Columns remember their *provenance* — the ``(table, column)`` they were
+scanned from.  Because selections compose without rewriting base arrays,
+provenance survives arbitrarily many filters and joins, which lets the
+executor encode join keys through the table-resident dictionary indexes
+(:meth:`repro.storage.database.Database.dictionary`) instead of
+re-factorizing per query.
+"""
 
 from __future__ import annotations
 
@@ -7,52 +26,203 @@ import numpy as np
 from repro.errors import ExecutionError
 
 
+class _ColumnGroup:
+    """A set of equally-selected columns sharing one selection vector.
+
+    ``base`` maps ``(alias, column)`` to a base array; ``selection`` is
+    either ``None`` (identity: the view is the base rows themselves) or
+    an int64 index array into the base arrays.  All groups of one
+    relation describe the same number of rows.
+    """
+
+    __slots__ = ("base", "sources", "selection")
+
+    def __init__(
+        self,
+        base: dict[tuple[str, str], np.ndarray],
+        sources: dict[tuple[str, str], tuple[str, str]],
+        selection: np.ndarray | None,
+    ) -> None:
+        self.base = base
+        self.sources = sources
+        self.selection = selection
+
+    def compose(self, indices: np.ndarray) -> "_ColumnGroup":
+        """Group viewing ``self`` restricted to ``indices`` (no copies
+        of data columns — only the int64 selection is gathered)."""
+        if self.selection is None:
+            selection = indices
+        else:
+            selection = self.selection[indices]
+        return _ColumnGroup(self.base, self.sources, selection)
+
+
 class Relation:
     """Columns keyed by ``(alias, column)``, all of equal length.
 
     The intermediate data structure flowing between operators.  Gather
-    operations produce new relations; the originals stay untouched.
+    operations produce new relation *views*; the originals — and the
+    base arrays — stay untouched.
     """
 
-    def __init__(self, columns: dict[tuple[str, str], np.ndarray], num_rows: int) -> None:
-        self.columns = columns
+    def __init__(
+        self,
+        columns: dict[tuple[str, str], np.ndarray],
+        num_rows: int,
+        sources: dict[tuple[str, str], tuple[str, str]] | None = None,
+        counters=None,
+    ) -> None:
+        self._groups = (
+            [_ColumnGroup(dict(columns), dict(sources or {}), None)]
+            if columns
+            else []
+        )
         self.num_rows = num_rows
+        self._counters = counters
+        self._materialized: dict[tuple[str, str], np.ndarray] = {}
+
+    @classmethod
+    def _from_groups(cls, groups: list[_ColumnGroup], num_rows: int,
+                     counters) -> "Relation":
+        relation = cls({}, num_rows, counters=counters)
+        relation._groups = groups
+        return relation
 
     @classmethod
     def empty(cls) -> "Relation":
         return cls({}, 0)
 
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+
+    def column_keys(self) -> list[tuple[str, str]]:
+        return sorted(key for group in self._groups for key in group.base)
+
     def column(self, alias: str, name: str) -> np.ndarray:
-        try:
-            return self.columns[(alias, name)]
-        except KeyError:
-            raise ExecutionError(
-                f"column {alias}.{name} not present in relation "
-                f"(have {sorted(self.columns)})"
-            ) from None
+        """The column's values at this view, materializing lazily.
+
+        Identity views return the base array itself (zero copies);
+        selected views gather once and cache the result, reporting the
+        copy to the execution counters.
+        """
+        key = (alias, name)
+        cached = self._materialized.get(key)
+        if cached is not None:
+            return cached
+        group = self._group_of(key)
+        if group.selection is None:
+            values = group.base[key]
+        else:
+            values = group.base[key][group.selection]
+            if self._counters is not None:
+                self._counters.count_copy(len(values), values.nbytes)
+        self._materialized[key] = values
+        return values
+
+    def column_head(self, alias: str, name: str, count: int) -> np.ndarray:
+        """First ``count`` rows of a column without materializing it all.
+
+        Used by sampling consumers (adaptive filter ordering); returns a
+        cached full column when one already exists.
+        """
+        key = (alias, name)
+        cached = self._materialized.get(key)
+        if cached is not None:
+            return cached[:count]
+        group = self._group_of(key)
+        if group.selection is None:
+            return group.base[key][:count]
+        return group.base[key][group.selection[:count]]
 
     def provider(self, alias: str, name: str) -> np.ndarray:
         """Column provider signature for the expression evaluator."""
         return self.column(alias, name)
 
-    def gather(self, indices: np.ndarray) -> "Relation":
-        return Relation(
-            {key: values[indices] for key, values in self.columns.items()},
-            int(len(indices)),
+    def base_source(
+        self, alias: str, name: str
+    ) -> tuple[str, str, np.ndarray | None] | None:
+        """Provenance of a column: ``(table, column, selection)``.
+
+        ``selection is None`` means the view is the whole base column.
+        Returns ``None`` for columns without table provenance.
+        """
+        key = (alias, name)
+        group = self._group_of(key)
+        source = group.sources.get(key)
+        if source is None:
+            return None
+        return (source[0], source[1], group.selection)
+
+    def _group_of(self, key: tuple[str, str]) -> _ColumnGroup:
+        for group in self._groups:
+            if key in group.base:
+                return group
+        raise ExecutionError(
+            f"column {key[0]}.{key[1]} not present in relation "
+            f"(have {self.column_keys()})"
         )
+
+    # ------------------------------------------------------------------
+    # Row-set composition (zero-copy)
+    # ------------------------------------------------------------------
+
+    def gather(self, indices: np.ndarray) -> "Relation":
+        indices = np.asarray(indices, dtype=np.int64)
+        groups = [group.compose(indices) for group in self._groups]
+        return Relation._from_groups(groups, int(len(indices)), self._counters)
 
     def mask(self, mask: np.ndarray) -> "Relation":
         return self.gather(np.flatnonzero(mask))
 
     def merged_with(self, other: "Relation", self_idx: np.ndarray,
                     other_idx: np.ndarray) -> "Relation":
-        """Join-style merge: gather self by ``self_idx`` and other by
-        ``other_idx``, concatenating the column sets."""
+        """Join-style merge: view self through ``self_idx`` and other
+        through ``other_idx``, concatenating the column sets."""
+        mine = set(key for group in self._groups for key in group.base)
+        for group in other._groups:
+            for key in group.base:
+                if key in mine:
+                    raise ExecutionError(f"duplicate column {key} in join")
+        self_idx = np.asarray(self_idx, dtype=np.int64)
+        other_idx = np.asarray(other_idx, dtype=np.int64)
+        groups = [group.compose(self_idx) for group in self._groups]
+        groups.extend(group.compose(other_idx) for group in other._groups)
+        return Relation._from_groups(
+            groups, int(len(self_idx)), self._counters or other._counters
+        )
+
+    # ------------------------------------------------------------------
+    # Eager compatibility
+    # ------------------------------------------------------------------
+
+    def materialized(self) -> "Relation":
+        """Fully materialized copy — the seed engine's behaviour.
+
+        Every column is gathered now (and counted); the result is a
+        single identity group.  The executor's eager-materialization
+        baseline mode calls this after every row-set operation, which
+        restores the O(columns x rows) per-filter cost the lazy path
+        exists to avoid.
+        """
         columns: dict[tuple[str, str], np.ndarray] = {}
-        for key, values in self.columns.items():
-            columns[key] = values[self_idx]
-        for key, values in other.columns.items():
-            if key in columns:
-                raise ExecutionError(f"duplicate column {key} in join")
-            columns[key] = values[other_idx]
-        return Relation(columns, int(len(self_idx)))
+        sources: dict[tuple[str, str], tuple[str, str]] = {}
+        for group in self._groups:
+            for key in group.base:
+                columns[key] = self.column(*key)
+                source = group.sources.get(key)
+                if source is not None and group.selection is None:
+                    sources[key] = source
+        return Relation(columns, self.num_rows, sources=sources,
+                        counters=self._counters)
+
+    @property
+    def columns(self) -> dict[tuple[str, str], np.ndarray]:
+        """Materialize every column (final output, tests, debugging)."""
+        return {key: self.column(*key) for key in self.column_keys()}
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation(rows={self.num_rows}, "
+            f"columns={self.column_keys()})"
+        )

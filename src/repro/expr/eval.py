@@ -104,6 +104,23 @@ def evaluate_predicate(
         operand = _eval_value(expression.operand, provider, num_rows)
         if not expression.values:
             return np.zeros(num_rows, dtype=bool)
+        values = np.asarray(list(expression.values))
+        if (
+            isinstance(operand, np.ndarray)
+            and operand.dtype.kind in "iufb"
+            and values.dtype.kind in "iufb"
+            and (
+                operand.dtype.kind == "f"
+                or np.result_type(operand.dtype, values.dtype).kind in "iub"
+            )
+        ):
+            # One sorted-membership pass instead of a full-column
+            # comparison per list element.  Guarded against integer
+            # operands whose comparison with the value array would
+            # promote to float64 (e.g. int64 vs uint64) — float
+            # rounding near 2**63 would fabricate matches the exact
+            # per-value loop never produces.
+            return np.isin(operand, values)
         result = np.zeros(num_rows, dtype=bool)
         for value in expression.values:
             result |= np.asarray(operand == value, dtype=bool)

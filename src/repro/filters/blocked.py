@@ -62,7 +62,7 @@ class BlockedBloomFilter(BitvectorFilter):
     ) -> tuple[np.ndarray, np.ndarray]:
         """Block index and in-block bit mask for each key tuple."""
         h = hash_columns(key_columns)
-        block_index = (h % np.uint64(num_blocks)).astype(np.int64)
+        block_index = h % np.uint64(num_blocks)  # uint64 indexes directly
         with np.errstate(over="ignore"):
             mix = hash_int64(h.view(np.int64))
         masks = np.zeros(len(h), dtype=np.uint64)

@@ -22,15 +22,18 @@ class BloomFilter(BitvectorFilter):
 
     Uses Kirsch-Mitzenmacher double hashing: positions are
     ``h1 + i * h2 (mod m)``, which preserves the asymptotic false
-    positive rate with only two base hashes per key.
+    positive rate with only two base hashes per key.  The bit array is
+    packed into ``uint64`` words (8x denser than a bool array) and the
+    hash positions index the words directly — no intermediate
+    ``astype(int64)`` copies on build or probe.
     """
 
     def __init__(self, num_bits: int, num_hashes: int, num_keys: int,
-                 bits: np.ndarray) -> None:
+                 words: np.ndarray) -> None:
         self._num_bits = num_bits
         self._num_hashes = num_hashes
         self._num_keys = num_keys
-        self._bits = bits
+        self._words = words
 
     @classmethod
     def build(
@@ -44,13 +47,21 @@ class BloomFilter(BitvectorFilter):
         num_bits = max(64, int(math.ceil(bits_per_key * max(1, num_keys))))
         if num_hashes is None:
             num_hashes = optimal_num_hashes(bits_per_key)
+        # Build-side scatter stays on a bool array (vectorized boolean
+        # assignment; np.bitwise_or.at is an unbuffered ufunc, ~5x
+        # slower), then packs once into uint64 words for the 8x denser
+        # resident form the probe path reads.
+        num_words = (num_bits + 63) // 64
         bits = np.zeros(num_bits, dtype=bool)
         if num_keys:
             h1, h2 = _base_hashes(key_columns)
             for i in range(num_hashes):
                 positions = (h1 + np.uint64(i) * h2) % np.uint64(num_bits)
-                bits[positions.astype(np.int64)] = True
-        return cls(num_bits, num_hashes, num_keys, bits)
+                bits[positions] = True
+        packed = np.packbits(bits, bitorder="little")
+        padded = np.zeros(num_words * 8, dtype=np.uint8)
+        padded[: len(packed)] = packed
+        return cls(num_bits, num_hashes, num_keys, padded.view(np.uint64))
 
     def contains(self, key_columns: list[np.ndarray]) -> np.ndarray:
         num_rows = validate_key_columns(key_columns)
@@ -60,7 +71,8 @@ class BloomFilter(BitvectorFilter):
         result = np.ones(num_rows, dtype=bool)
         for i in range(self._num_hashes):
             positions = (h1 + np.uint64(i) * h2) % np.uint64(self._num_bits)
-            result &= self._bits[positions.astype(np.int64)]
+            selected = self._words[positions >> np.uint64(6)]
+            result &= (selected >> (positions & np.uint64(63))) & np.uint64(1) != 0
         return result
 
     @property
@@ -79,7 +91,8 @@ class BloomFilter(BitvectorFilter):
         """Fraction of bits set; drives the realized FP rate."""
         if self._num_bits == 0:
             return 0.0
-        return float(self._bits.sum()) / self._num_bits
+        set_bits = int(np.unpackbits(self._words.view(np.uint8)).sum())
+        return set_bits / self._num_bits
 
     def false_positive_rate(self) -> float:
         """Realized FP estimate: ``fill_fraction ** k``."""

@@ -31,6 +31,8 @@ stale filter.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Callable
 
 from repro.filters.base import BitvectorFilter
@@ -60,6 +62,9 @@ class BitvectorFilterCache(LruCache):
 
     def __init__(self, capacity: int = 64) -> None:
         super().__init__(capacity)
+        self._cost_lock = threading.Lock()
+        self._build_seconds: dict[tuple, float] = {}
+        self._build_seconds_saved = 0.0
 
     def get_or_build(
         self, key: tuple, builder: Callable[[], BitvectorFilter]
@@ -67,11 +72,30 @@ class BitvectorFilterCache(LruCache):
         """Return ``(filter, was_cached)``, building and caching on miss."""
         cached = self.get(key)
         if cached is not None:
+            with self._cost_lock:
+                self._build_seconds_saved += self._build_seconds.get(key, 0.0)
             return cached, True
         generation = self.generation
+        started = time.perf_counter()
         built = builder()
+        elapsed = time.perf_counter() - started
+        with self._cost_lock:
+            self._build_seconds[key] = elapsed
+            while len(self._build_seconds) > 4 * self.capacity:
+                self._build_seconds.pop(next(iter(self._build_seconds)))
         self.put(key, built, generation=generation)
         return built, False
+
+    def clear(self) -> None:
+        super().clear()
+        with self._cost_lock:
+            self._build_seconds.clear()
+
+    @property
+    def build_seconds_saved(self) -> float:
+        """Construction time amortized away by cache hits so far."""
+        with self._cost_lock:
+            return self._build_seconds_saved
 
     def size_bits(self) -> int:
         """Total memory footprint of all cached filter payloads."""

@@ -30,6 +30,13 @@ class ServiceMetrics:
     output_rows: int
     filter_cache_hits: int
     filter_cache_misses: int
+    # Zero-copy execution accounting (repro.engine.metrics): columns
+    # actually gathered and join-key encodings served by the
+    # table-resident dictionary indexes.
+    rows_copied: int = 0
+    bytes_gathered: int = 0
+    dictionary_hits: int = 0
+    dictionary_misses: int = 0
 
 
 @dataclasses.dataclass
@@ -45,6 +52,10 @@ class ServiceStats:
     total_optimize_seconds: float = 0.0
     total_execute_seconds: float = 0.0
     total_metered_cpu: float = 0.0
+    total_rows_copied: int = 0
+    total_bytes_gathered: int = 0
+    dictionary_hits: int = 0
+    dictionary_misses: int = 0
 
     def fold(self, metrics: ServiceMetrics) -> None:
         self.queries += 1
@@ -57,6 +68,10 @@ class ServiceStats:
         self.total_optimize_seconds += metrics.optimize_seconds
         self.total_execute_seconds += metrics.execute_seconds
         self.total_metered_cpu += metrics.metered_cpu
+        self.total_rows_copied += metrics.rows_copied
+        self.total_bytes_gathered += metrics.bytes_gathered
+        self.dictionary_hits += metrics.dictionary_hits
+        self.dictionary_misses += metrics.dictionary_misses
 
     @property
     def plan_cache_hit_rate(self) -> float:

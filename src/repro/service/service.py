@@ -137,6 +137,10 @@ class QueryService:
             output_rows=result.num_rows,
             filter_cache_hits=result.metrics.filter_cache_hits,
             filter_cache_misses=result.metrics.filter_cache_misses,
+            rows_copied=result.metrics.rows_copied,
+            bytes_gathered=result.metrics.bytes_gathered,
+            dictionary_hits=result.metrics.dictionary_hits,
+            dictionary_misses=result.metrics.dictionary_misses,
         )
         with self._lock:
             self._stats.fold(metrics)
@@ -175,11 +179,17 @@ class QueryService:
         params = ", ".join(
             f"?{i}={value!r}" for i, value in enumerate(fingerprint.parameters)
         )
+        dictionaries = self._database.dictionary_cache_info()
         header = [
             f"-- fingerprint {entry.fingerprint}  plan cache {'HIT' if hit else 'MISS'}",
             f"-- pipeline {pipeline}  estimated C_out {entry.estimated_cout:.1f}"
             f"  optimize {entry.optimize_seconds * 1e3:.2f} ms",
             f"-- parameters: {params or '(none)'}",
+            f"-- filter cache: {len(self.filter_cache)} filters / "
+            f"{self.filter_cache.size_bits()} bits, "
+            f"{self.filter_cache.build_seconds_saved * 1e3:.2f} ms build amortized",
+            f"-- dictionary indexes: {dictionaries['entries']} columns resident "
+            f"({dictionaries['builds']} builds / {dictionaries['lookups']} lookups)",
         ]
         return "\n".join(header) + "\n" + format_plan(entry.plan)
 

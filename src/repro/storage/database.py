@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import DataError, SchemaError
 from repro.storage.catalog import Catalog
 from repro.storage.schema import ForeignKey
 from repro.storage.table import Table
+from repro.util.keycodes import ColumnDictionary
 
 
 class Database:
@@ -21,6 +24,14 @@ class Database:
         self._tables: dict[str, Table] = {}
         self._stats_cache: dict[str, object] = {}
         self._schema_version = 0
+        # Table-resident dictionary indexes: one cached factorization
+        # per (table, column), built on first use.  Tables are
+        # immutable and never replaced in-place, so entries only leave
+        # via explicit invalidate_dictionaries() (see dictionary()).
+        self._dictionaries: dict[tuple[str, str], ColumnDictionary] = {}
+        self._dictionary_lock = threading.Lock()
+        self.dictionary_builds = 0
+        self.dictionary_lookups = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -63,6 +74,54 @@ class Database:
 
     def total_rows(self) -> int:
         return sum(t.num_rows for t in self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Dictionary indexes
+    # ------------------------------------------------------------------
+
+    def dictionary(self, table_name: str, column_name: str) -> ColumnDictionary:
+        """Cached factorization of one stored column.
+
+        The first call factorizes the column (one ``np.unique`` pass);
+        every later call — any join, bitvector probe, or group-by that
+        touches the column, from any thread — reuses the sorted distinct
+        values and per-row codes.  Tables are immutable and cannot be
+        re-registered (the catalog rejects duplicates), so entries never
+        go stale in-place; a data reload that swaps databases or tables
+        must call :meth:`invalidate_dictionaries`, mirroring
+        :meth:`invalidate_stats`.
+        """
+        key = (table_name, column_name)
+        with self._dictionary_lock:
+            self.dictionary_lookups += 1
+            cached = self._dictionaries.get(key)
+            if cached is not None:
+                return cached
+        # Build outside the lock: factorization is the slow part, and a
+        # duplicated build between racing threads is harmless (last
+        # writer wins; both dictionaries are identical).
+        built = ColumnDictionary.build(self.table(table_name).column(column_name))
+        with self._dictionary_lock:
+            self._dictionaries[key] = built
+            self.dictionary_builds += 1
+        return built
+
+    def dictionary_cache_info(self) -> dict[str, int]:
+        """Counters for observability (explain output, tests)."""
+        with self._dictionary_lock:
+            return {
+                "entries": len(self._dictionaries),
+                "builds": self.dictionary_builds,
+                "lookups": self.dictionary_lookups,
+            }
+
+    def invalidate_dictionaries(self, table_name: str | None = None) -> None:
+        with self._dictionary_lock:
+            if table_name is None:
+                self._dictionaries.clear()
+            else:
+                for key in [k for k in self._dictionaries if k[0] == table_name]:
+                    del self._dictionaries[key]
 
     # ------------------------------------------------------------------
     # Statistics

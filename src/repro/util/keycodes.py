@@ -7,11 +7,43 @@ sides jointly: every distinct value of each column gets a dense code via
 :func:`numpy.unique`, and the per-column codes are combined with a
 mixed-radix encoding.  Two rows receive the same combined code if and
 only if their key tuples are equal.
+
+Joint factorization is exact but pays an ``O(n log n)`` sort per call.
+The :class:`ColumnDictionary` fast path amortizes that cost: a stored
+column is factorized *once* (sorted distinct values + a dense code per
+row), and later probes encode through the dictionary with
+``searchsorted`` — ``O(m log u)`` for ``m`` probe values over ``u``
+distinct build values, with no re-factorization.  The executor keeps one
+dictionary per ``(table, column)`` in :class:`repro.storage.database.
+Database`; :class:`repro.filters.exact.ExactFilter` builds a private one
+per key column at construction.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+# Mixed-radix combinations stay below 2**62 so intermediate products
+# cannot wrap int64; past that the callers re-densify (or bail out).
+_RADIX_LIMIT = 2**62
+
+# Module-wide count of np.unique factorizations performed by this
+# module.  Tests use it to prove that dictionary-backed probe paths do
+# no re-factorization at probe time.
+_factorizations = 0
+
+
+def factorization_count() -> int:
+    """Number of ``np.unique`` factorizations run since import."""
+    return _factorizations
+
+
+def _unique_inverse(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Counted ``np.unique(..., return_inverse=True)``."""
+    global _factorizations
+    _factorizations += 1
+    uniques, inverse = np.unique(values, return_inverse=True)
+    return uniques, inverse.astype(np.int64, copy=False)
 
 
 def _factorize_pair(left: np.ndarray, right: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
@@ -24,7 +56,7 @@ def _factorize_pair(left: np.ndarray, right: np.ndarray) -> tuple[np.ndarray, np
         left = left.astype(np.int64, copy=False)
         right = right.astype(np.int64, copy=False)
     merged = np.concatenate([left, right])
-    uniques, inverse = np.unique(merged, return_inverse=True)
+    uniques, inverse = _unique_inverse(merged)
     codes_left = inverse[: len(left)]
     codes_right = inverse[len(left):]
     return codes_left, codes_right, len(uniques)
@@ -60,7 +92,7 @@ def joint_codes(
     combined_r = codes_r.astype(np.int64)
     for col_l, col_r in zip(left_columns[1:], right_columns[1:]):
         codes_l, codes_r, next_radix = _factorize_pair(col_l, col_r)
-        if radix and next_radix and radix > (2**62) // max(next_radix, 1):
+        if radix and next_radix and radix > _RADIX_LIMIT // max(next_radix, 1):
             # Mixed-radix overflow is practically unreachable at our data
             # sizes, but fall back to re-factorizing the combined codes
             # rather than silently wrapping.
@@ -79,9 +111,186 @@ def single_table_codes(columns: list[np.ndarray]) -> np.ndarray:
     """
     if not columns:
         raise ValueError("single_table_codes requires at least one key column")
-    uniques, inverse = np.unique(columns[0], return_inverse=True)
-    combined = inverse.astype(np.int64)
+    uniques, combined = _unique_inverse(columns[0])
+    radix = len(uniques)
     for column in columns[1:]:
-        uniques, inverse = np.unique(column, return_inverse=True)
-        combined = combined * len(uniques) + inverse
+        uniques, inverse = _unique_inverse(column)
+        next_radix = len(uniques)
+        if radix and next_radix and radix > _RADIX_LIMIT // max(next_radix, 1):
+            # Same guard as joint_codes: wide group-by keys over large
+            # domains could silently wrap int64; re-densify the prefix
+            # codes instead.
+            uniques, combined = _unique_inverse(combined)
+            radix = len(uniques)
+        combined = combined * next_radix + inverse
+        radix = radix * next_radix
+    return combined
+
+
+# ----------------------------------------------------------------------
+# Dictionary fast paths
+# ----------------------------------------------------------------------
+
+
+def encode_into_domain(values: np.ndarray, domain: np.ndarray) -> np.ndarray:
+    """Dense codes of ``values`` within a *sorted* distinct ``domain``.
+
+    Values absent from the domain get code ``-1``.  Pure binary search:
+    no factorization of ``values`` is performed.
+    """
+    if len(domain) == 0:
+        return np.full(len(values), -1, dtype=np.int64)
+    if (
+        values.dtype.kind in ("i", "u")
+        and domain.dtype.kind in ("i", "u")
+        and values.dtype != domain.dtype
+    ):
+        values = values.astype(np.int64, copy=False)
+        domain = domain.astype(np.int64, copy=False)
+    positions = np.searchsorted(domain, values)
+    positions[positions == len(domain)] = 0
+    matched = domain[positions] == values
+    return np.where(matched, positions, -1).astype(np.int64, copy=False)
+
+
+# A dense value->code table is only worth its memory when the integer
+# domain is reasonably compact; beyond this span we binary-search.
+_TABLE_SPAN_CAP = 1 << 22
+
+
+def dense_table_worthwhile(span: int, count: int, cap: int = _TABLE_SPAN_CAP) -> bool:
+    """Shared cost model for dense lookup structures over a code domain.
+
+    A table of ``span`` slots serving ``count`` distinct entries pays
+    off when it is not wildly sparser than its content (4x, floored at
+    1024 slots so tiny domains always qualify) and stays under the
+    memory ``cap``.  Used by the dictionary lookup table here and the
+    executor's counting-sort join matching, so tuning happens in one
+    place.
+    """
+    return span <= max(4 * count, 1024) and span <= cap
+
+
+class ColumnDictionary:
+    """Cached factorization of one stored column.
+
+    ``values`` holds the sorted distinct values; ``codes`` holds the
+    dense int64 code of every base row (``values[codes] == column``).
+    Built once per column, then reused by every join, filter probe, and
+    group-by that touches the column.
+
+    For compact integer domains a dense value->code lookup table is
+    built lazily, turning :meth:`encode` into one O(1)-per-element
+    gather (``np.searchsorted`` pays per-element binary-search dispatch
+    that is nearly an order of magnitude slower at probe sizes).
+    """
+
+    __slots__ = ("values", "codes", "_table", "_table_base")
+
+    def __init__(self, values: np.ndarray, codes: np.ndarray) -> None:
+        self.values = values
+        self.codes = codes
+        self._table: np.ndarray | None | bool = None  # False = not viable
+        self._table_base = 0
+
+    @classmethod
+    def build(cls, column: np.ndarray) -> "ColumnDictionary":
+        values, codes = _unique_inverse(column)
+        return cls(values, codes)
+
+    @property
+    def num_values(self) -> int:
+        return len(self.values)
+
+    def _lookup_table(self) -> np.ndarray | None:
+        """Dense value->code table for compact integer domains."""
+        table = self._table
+        if table is False:
+            return None
+        if table is not None:
+            return table
+        if len(self.values) == 0 or self.values.dtype.kind not in "iu":
+            self._table = False
+            return None
+        base = int(self.values[0])
+        if not (
+            np.iinfo(np.int64).min <= base
+            and int(self.values[-1]) <= np.iinfo(np.int64).max
+        ):
+            # uint64 domains beyond int64: the offset arithmetic below
+            # would overflow; binary search handles them instead.
+            self._table = False
+            return None
+        span = int(self.values[-1]) - base + 1
+        if not dense_table_worthwhile(span, len(self.values)):
+            self._table = False
+            return None
+        built = np.full(span, -1, dtype=np.int64)
+        built[self.values.astype(np.int64) - base] = np.arange(
+            len(self.values), dtype=np.int64
+        )
+        # Benign race: concurrent builders produce identical tables.
+        self._table_base = base
+        self._table = built
+        return built
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Codes of arbitrary ``values`` in this dictionary (-1 absent)."""
+        if values.dtype.kind in "iu":
+            table = self._lookup_table()
+            if table is not None:
+                offsets = values.astype(np.int64, copy=False) - self._table_base
+                in_range = (offsets >= 0) & (offsets < len(table))
+                return np.where(
+                    in_range, table[np.where(in_range, offsets, 0)], -1
+                )
+        return encode_into_domain(values, self.values)
+
+    def translate_to(self, other: "ColumnDictionary") -> np.ndarray:
+        """Per-code mapping from this dictionary into ``other``.
+
+        ``mapping[self_code]`` is the corresponding code in ``other``,
+        or -1 when the value does not occur there.  Cost is
+        ``O(u log u')`` over the two distinct-value counts — independent
+        of row counts.
+        """
+        return other.encode(self.values)
+
+    def __repr__(self) -> str:
+        return f"ColumnDictionary(values={self.num_values}, rows={len(self.codes)})"
+
+
+def combine_codes(
+    code_columns: list[np.ndarray], radices: list[int]
+) -> np.ndarray | None:
+    """Mixed-radix combination of per-column dictionary codes.
+
+    ``code_columns[i]`` holds codes in ``[0, radices[i])`` with ``-1``
+    marking values absent from the corresponding domain; any ``-1``
+    poisons the whole row to a combined code of ``-1`` (which never
+    matches a valid combined code, all of which are >= 0).
+
+    Returns ``None`` when the radix product could overflow — callers
+    fall back to :func:`joint_codes`.
+    """
+    if len(code_columns) != len(radices):
+        raise ValueError("code column / radix count mismatch")
+    if not code_columns:
+        raise ValueError("combine_codes requires at least one code column")
+    if len(code_columns) == 1:
+        # Single-column keys already satisfy the contract (-1 = absent);
+        # callers must not mutate the returned array.
+        return code_columns[0]
+    total = 1
+    for radix in radices:
+        step = max(int(radix), 1)
+        if total > _RADIX_LIMIT // step:
+            return None
+        total *= step
+    combined = np.zeros(len(code_columns[0]), dtype=np.int64)
+    invalid = np.zeros(len(code_columns[0]), dtype=bool)
+    for codes, radix in zip(code_columns, radices):
+        invalid |= codes < 0
+        combined = combined * max(int(radix), 1) + np.maximum(codes, 0)
+    combined[invalid] = -1
     return combined

@@ -44,21 +44,21 @@ class TestOrdering:
         filters = {def_a.filter_id: loose, def_b.filter_id: selective}
 
         ordered = order_filters_adaptively(
-            [def_a, def_b], filters, lambda a, c: values, 100
+            [def_a, def_b], filters, lambda a, c, n: values[:n], 100
         )
         assert ordered[0] is def_b  # selective filter first
 
     def test_single_filter_untouched(self):
         definition = make_definition((("f", "x"),))
         out = order_filters_adaptively(
-            [definition], {}, lambda a, c: np.arange(5), 5
+            [definition], {}, lambda a, c, n: np.arange(5)[:n], 5
         )
         assert out == [definition]
 
     def test_empty_relation_untouched(self):
         defs = [make_definition((("f", "x"),)) for _ in range(2)]
         out = order_filters_adaptively(
-            defs, {}, lambda a, c: np.array([]), 0
+            defs, {}, lambda a, c, n: np.array([]), 0
         )
         assert out == defs
 

@@ -1,0 +1,129 @@
+"""Unit tests for the lazy selection-vector Relation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.relation import Relation
+from repro.errors import ExecutionError
+
+
+def make_relation(counters=None):
+    columns = {
+        ("t", "a"): np.arange(10, dtype=np.int64),
+        ("t", "b"): np.arange(10, dtype=np.float64) * 2.0,
+    }
+    sources = {("t", "a"): ("base", "a"), ("t", "b"): ("base", "b")}
+    return Relation(columns, 10, sources=sources, counters=counters)
+
+
+class TestLaziness:
+    def test_identity_view_returns_base_array_without_copy(self):
+        metrics = ExecutionMetrics()
+        relation = make_relation(metrics)
+        base = relation.column("t", "a")
+        assert base is relation.column("t", "a")
+        assert metrics.rows_copied == 0
+        assert metrics.bytes_gathered == 0
+
+    def test_mask_copies_nothing_until_column_read(self):
+        metrics = ExecutionMetrics()
+        relation = make_relation(metrics).mask(np.arange(10) % 2 == 0)
+        assert relation.num_rows == 5
+        assert metrics.rows_copied == 0  # nothing materialized yet
+
+    def test_reading_one_column_copies_only_that_column(self):
+        metrics = ExecutionMetrics()
+        relation = make_relation(metrics).mask(np.arange(10) % 2 == 0)
+        values = relation.column("t", "a")
+        assert values.tolist() == [0, 2, 4, 6, 8]
+        assert metrics.rows_copied == 5
+        assert metrics.bytes_gathered == values.nbytes
+        # cached: a second read does not copy again
+        assert relation.column("t", "a") is values
+        assert metrics.rows_copied == 5
+
+    def test_gather_composes_selections(self):
+        relation = make_relation().mask(np.arange(10) >= 4)  # rows 4..9
+        nested = relation.gather(np.array([5, 0, 0]))
+        assert nested.column("t", "a").tolist() == [9, 4, 4]
+
+    def test_column_head_gathers_only_sample(self):
+        metrics = ExecutionMetrics()
+        relation = make_relation(metrics).mask(np.arange(10) % 2 == 1)
+        head = relation.column_head("t", "a", 2)
+        assert head.tolist() == [1, 3]
+        assert metrics.rows_copied == 0  # samples are not counted copies
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExecutionError, match="not present"):
+            make_relation().column("t", "zzz")
+
+
+class TestProvenance:
+    def test_identity_scan_has_whole_column_provenance(self):
+        source = make_relation().base_source("t", "a")
+        assert source == ("base", "a", None)
+
+    def test_provenance_survives_mask_and_gather(self):
+        relation = make_relation().mask(np.arange(10) < 3).gather(
+            np.array([2, 0])
+        )
+        table, column, selection = relation.base_source("t", "a")
+        assert (table, column) == ("base", "a")
+        assert selection.tolist() == [2, 0]
+
+    def test_provenance_survives_merge(self):
+        left = make_relation()
+        right = Relation(
+            {("u", "c"): np.arange(100, 104)},
+            4,
+            sources={("u", "c"): ("other", "c")},
+        )
+        merged = left.merged_with(
+            right, np.array([1, 2]), np.array([0, 3])
+        )
+        table, column, selection = merged.base_source("u", "c")
+        assert (table, column) == ("other", "c")
+        assert selection.tolist() == [0, 3]
+        assert merged.column("u", "c").tolist() == [100, 103]
+
+    def test_no_provenance_returns_none(self):
+        relation = Relation({("t", "a"): np.arange(3)}, 3)
+        assert relation.base_source("t", "a") is None
+
+
+class TestMerge:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ExecutionError, match="duplicate column"):
+            make_relation().merged_with(
+                make_relation(), np.array([0]), np.array([0])
+            )
+
+    def test_merge_keeps_both_sides_lazy(self):
+        metrics = ExecutionMetrics()
+        left = make_relation(metrics)
+        right = Relation(
+            {("u", "c"): np.arange(50, 60)}, 10, counters=metrics
+        )
+        merged = left.merged_with(
+            right, np.array([0, 1, 2]), np.array([9, 8, 7])
+        )
+        assert metrics.rows_copied == 0
+        assert merged.column("u", "c").tolist() == [59, 58, 57]
+        assert metrics.rows_copied == 3
+
+
+class TestMaterialized:
+    def test_materialized_copies_every_column(self):
+        metrics = ExecutionMetrics()
+        relation = make_relation(metrics).mask(np.arange(10) < 4)
+        eager = relation.materialized()
+        assert metrics.rows_copied == 8  # 2 columns x 4 rows
+        assert eager.column("t", "b").tolist() == [0.0, 2.0, 4.0, 6.0]
+
+    def test_columns_property_matches_seed_shape(self):
+        relation = make_relation().mask(np.arange(10) < 2)
+        columns = relation.columns
+        assert set(columns) == {("t", "a"), ("t", "b")}
+        assert columns[("t", "a")].tolist() == [0, 1]

@@ -87,3 +87,31 @@ class TestLike:
     def test_anchored(self):
         # no % => exact match only
         assert evaluate(Like(col("t", "s"), "apple")) == [True, False, False, False]
+
+
+class TestInListPromotionGuard:
+    def test_huge_literal_does_not_match_via_float_rounding(self):
+        """int64 2**63-1 vs an IN list containing 2**63: float64
+        promotion would make them equal; the exact loop must win."""
+        import numpy as np
+        from repro.expr.eval import evaluate_predicate
+        from repro.expr.expressions import InList, col
+
+        column = np.array([2**63 - 1, 5], dtype=np.int64)
+        predicate = InList(col("t", "x"), (0, 2**63))
+        result = evaluate_predicate(
+            predicate, lambda a, c: column, len(column)
+        )
+        assert result.tolist() == [False, False]
+
+    def test_float_column_in_list_fast_path(self):
+        import numpy as np
+        from repro.expr.eval import evaluate_predicate
+        from repro.expr.expressions import InList, col
+
+        column = np.array([1.5, 2.0, 3.0])
+        predicate = InList(col("t", "x"), (2, 3))
+        result = evaluate_predicate(
+            predicate, lambda a, c: column, len(column)
+        )
+        assert result.tolist() == [False, True, True]

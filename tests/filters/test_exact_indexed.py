@@ -1,0 +1,111 @@
+"""The indexed ExactFilter: no factorization at probe time.
+
+Acceptance test for the zero-copy execution core: the seed
+``ExactFilter.contains`` re-ran ``np.unique`` joint factorization over
+the build keys on every probe; the indexed filter factorizes once at
+construction and probes via dictionary lookups.
+"""
+
+import numpy as np
+
+from repro.filters.exact import ExactFilter
+from repro.util import keycodes
+
+
+def int_col(values):
+    return np.array(values, dtype=np.int64)
+
+
+class TestNoProbeTimeFactorization:
+    def test_contains_runs_zero_factorizations(self):
+        f = ExactFilter.build([int_col([1, 5, 9]), int_col([2, 4, 6])])
+        probes = [int_col([1, 5, 7, 9]), int_col([2, 4, 0, 6])]
+        before = keycodes.factorization_count()
+        for _ in range(5):
+            result = f.contains(probes)
+        after = keycodes.factorization_count()
+        assert after == before, (
+            f"{after - before} factorizations during probes; probes must "
+            "use the construction-time dictionaries"
+        )
+        assert result.tolist() == [True, True, False, True]
+
+    def test_construction_factorizes_each_column_once(self):
+        before = keycodes.factorization_count()
+        ExactFilter.build([int_col([1, 2]), int_col([3, 4])])
+        after = keycodes.factorization_count()
+        assert after - before == 2
+
+    def test_legacy_probe_refactorizes(self):
+        """The seed baseline path still factorizes per probe (that is
+        the behaviour the benchmark measures against)."""
+        f = ExactFilter.build([int_col([1, 5, 9])])
+        before = keycodes.factorization_count()
+        f.contains_legacy([int_col([1, 2, 3])])
+        f.contains_legacy([int_col([1, 2, 3])])
+        assert keycodes.factorization_count() - before == 2
+
+    def test_legacy_and_indexed_agree(self):
+        rng = np.random.default_rng(11)
+        build = [int_col(rng.integers(0, 50, 200)),
+                 int_col(rng.integers(0, 7, 200))]
+        probes = [int_col(rng.integers(-5, 60, 500)),
+                  int_col(rng.integers(-2, 9, 500))]
+        f = ExactFilter.build(build)
+        assert np.array_equal(f.contains(probes), f.contains_legacy(probes))
+
+
+class TestIndexedEdgeCases:
+    def test_string_keys_indexed(self):
+        f = ExactFilter.build([np.array(["a", "b", "c"], dtype=object)])
+        before = keycodes.factorization_count()
+        result = f.contains([np.array(["b", "z", "a"], dtype=object)])
+        assert keycodes.factorization_count() == before
+        assert result.tolist() == [True, False, True]
+
+    def test_probe_values_outside_build_domain(self):
+        f = ExactFilter.build([int_col([10, 20, 30])])
+        result = f.contains([int_col([-1000, 10, 25, 10**9])])
+        assert result.tolist() == [False, True, False, False]
+
+    def test_dense_member_table_used_for_compact_domains(self):
+        f = ExactFilter.build([int_col(range(100))])
+        assert f._member_table is not None
+        assert f._member_table.sum() == 100
+
+    def test_mixed_dtype_probe(self):
+        f = ExactFilter.build([int_col([1, 2, 3])])
+        result = f.contains([np.array([1, 4], dtype=np.int32)])
+        assert result.tolist() == [True, False]
+
+    def test_empty_build_side(self):
+        f = ExactFilter.build([int_col([])])
+        assert not f.contains([int_col([1, 2])]).any()
+        assert not f.contains_legacy([int_col([1, 2])]).any()
+
+
+class TestFloatAndExtremeDomains:
+    def test_nan_keys_match_legacy_semantics(self):
+        """np.unique treats NaN == NaN; float keys must take the joint
+        factorization path so indexed and legacy probes agree."""
+        build = [np.array([1.0, np.nan, 3.0])]
+        probes = [np.array([np.nan, 3.0, 2.0])]
+        f = ExactFilter.build(build)
+        indexed = f.contains(probes)
+        legacy = f.contains_legacy(probes)
+        assert np.array_equal(indexed, legacy)
+        assert indexed.tolist() == [True, True, False]
+
+    def test_uint64_beyond_int64_does_not_crash(self):
+        big = np.array([2**63 + 5, 2**63 + 7], dtype=np.uint64)
+        f = ExactFilter.build([big])
+        assert f.contains([big]).all()
+        probe = np.array([2**63 + 6], dtype=np.uint64)
+        assert not f.contains([probe]).any()
+
+    def test_indexed_mode_does_not_retain_raw_columns(self):
+        f = ExactFilter.build([int_col([1, 2, 3])])
+        assert f._key_columns is None
+        assert f._code_set is not None
+        # legacy probes still work via dictionary reconstruction
+        assert f.contains_legacy([int_col([2, 9])]).tolist() == [True, False]

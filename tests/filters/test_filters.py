@@ -122,3 +122,25 @@ class TestRegistry:
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ValueError):
             create_filter("exact", [int_col([1, 2]), int_col([1])])
+
+
+class TestBloomWordPacking:
+    def test_bits_packed_into_uint64_words(self):
+        f = BloomFilter.build([int_col(range(1000))], bits_per_key=10)
+        assert f._words.dtype == np.uint64
+        # 8x denser than the seed's bool array: one bit per bit.
+        assert f._words.nbytes * 8 < f.size_bits + 64
+        assert f.size_bits >= 1000 * 10
+
+    def test_probe_positions_not_copied_to_int64(self):
+        # uint64 hash positions index the word array directly; the
+        # filter still has no false negatives after the repack.
+        rng = np.random.default_rng(9)
+        keys = int_col(rng.integers(0, 10**12, 4000))
+        f = BloomFilter.build([keys])
+        assert f.contains([keys]).all()
+
+    def test_blocked_filter_blocks_stay_uint64(self):
+        f = BlockedBloomFilter.build([int_col(range(500))])
+        assert f._blocks.dtype == np.uint64
+        assert f.contains([int_col(range(500))]).all()

@@ -1,0 +1,98 @@
+"""Table-resident dictionary indexes on Database."""
+
+import numpy as np
+import pytest
+
+from repro.storage.database import Database
+from repro.storage.table import Table
+from repro.util.keycodes import ColumnDictionary
+
+
+@pytest.fixture
+def db():
+    database = Database("dicts")
+    database.add_table(
+        Table.from_arrays(
+            "dim",
+            {"id": np.array([3, 1, 2]), "name": np.array(["c", "a", "b"], dtype=object)},
+            key=("id",),
+        )
+    )
+    return database
+
+
+class TestDictionaryCache:
+    def test_built_once_and_cached(self, db):
+        first = db.dictionary("dim", "id")
+        second = db.dictionary("dim", "id")
+        assert first is second
+        info = db.dictionary_cache_info()
+        assert info["entries"] == 1
+        assert info["builds"] == 1
+        assert info["lookups"] == 2
+
+    def test_codes_decode_to_column(self, db):
+        dictionary = db.dictionary("dim", "id")
+        assert dictionary.values.tolist() == [1, 2, 3]
+        assert dictionary.values[dictionary.codes].tolist() == [3, 1, 2]
+
+    def test_string_column(self, db):
+        dictionary = db.dictionary("dim", "name")
+        assert dictionary.values.tolist() == ["a", "b", "c"]
+        assert dictionary.encode(
+            np.array(["b", "zzz"], dtype=object)
+        ).tolist() == [1, -1]
+
+    def test_adding_tables_does_not_drop_entries(self, db):
+        kept = db.dictionary("dim", "id")
+        version = db.schema_version
+        db.add_table(
+            Table.from_arrays("extra", {"k": np.arange(4)}, key=("k",))
+        )
+        assert db.schema_version > version  # external caches invalidate
+        assert db.dictionary("dim", "id") is kept  # still valid: immutable
+
+    def test_explicit_invalidation(self, db):
+        built = db.dictionary("dim", "id")
+        db.invalidate_dictionaries()
+        assert db.dictionary_cache_info()["entries"] == 0
+        assert db.dictionary("dim", "id") is not built
+
+    def test_targeted_invalidation(self, db):
+        db.add_table(
+            Table.from_arrays("extra", {"k": np.arange(4)}, key=("k",))
+        )
+        kept = db.dictionary("extra", "k")
+        dropped = db.dictionary("dim", "id")
+        db.invalidate_dictionaries("dim")
+        assert db.dictionary("extra", "k") is kept
+        assert db.dictionary("dim", "id") is not dropped
+
+
+class TestEncodeFastPath:
+    def test_dense_table_and_searchsorted_agree(self):
+        rng = np.random.default_rng(3)
+        # compact domain -> dense lookup table
+        compact = ColumnDictionary.build(rng.integers(0, 100, 500))
+        assert compact._lookup_table() is not None
+        # sparse domain -> binary search fallback
+        sparse = ColumnDictionary.build(
+            rng.integers(0, 2**40, 500) * 10**6
+        )
+        assert sparse._lookup_table() is None
+        for dictionary in (compact, sparse):
+            probes = rng.integers(-50, 2**41, 1000)
+            codes = dictionary.encode(probes)
+            present = codes >= 0
+            assert np.array_equal(
+                np.isin(probes, dictionary.values), present
+            )
+            assert np.array_equal(
+                dictionary.values[codes[present]], probes[present]
+            )
+
+    def test_translate_roundtrip(self):
+        left = ColumnDictionary.build(np.array([1, 3, 5, 7]))
+        right = ColumnDictionary.build(np.array([3, 7, 9]))
+        mapping = left.translate_to(right)
+        assert mapping.tolist() == [-1, 0, -1, 1]

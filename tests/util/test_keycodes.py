@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.util.keycodes import joint_codes, single_table_codes
+from repro.util.keycodes import (
+    combine_codes,
+    encode_into_domain,
+    joint_codes,
+    single_table_codes,
+)
 
 
 class TestJointCodes:
@@ -79,3 +84,59 @@ class TestSingleTableCodes:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             single_table_codes([])
+
+    def test_wide_key_does_not_overflow(self):
+        # 40 columns of 2-value domains would naively need 2**40 radix
+        # steps; with >32 columns of larger domains the naive product
+        # wraps int64.  The guard re-densifies instead of wrapping.
+        rng = np.random.default_rng(0)
+        columns = [rng.integers(0, 1000, 64) for _ in range(40)]
+        codes = single_table_codes(columns)
+        tuples = list(zip(*(c.tolist() for c in columns)))
+        for i in range(len(codes)):
+            for j in range(len(codes)):
+                assert (codes[i] == codes[j]) == (tuples[i] == tuples[j])
+
+    def test_matches_seed_semantics_on_narrow_keys(self):
+        a = np.array([0, 1, 0, 1])
+        b = np.array([0, 0, 1, 1])
+        codes = single_table_codes([a, b])
+        assert len(np.unique(codes)) == 4
+
+
+class TestEncodeIntoDomain:
+    def test_codes_and_absences(self):
+        domain = np.array([2, 5, 9])
+        codes = encode_into_domain(np.array([5, 1, 9, 12, 2]), domain)
+        assert codes.tolist() == [1, -1, 2, -1, 0]
+
+    def test_empty_domain(self):
+        codes = encode_into_domain(np.array([1, 2]), np.array([], dtype=np.int64))
+        assert codes.tolist() == [-1, -1]
+
+    def test_string_domain(self):
+        domain = np.array(["a", "c"], dtype=object)
+        codes = encode_into_domain(np.array(["c", "b"], dtype=object), domain)
+        assert codes.tolist() == [1, -1]
+
+
+class TestCombineCodes:
+    def test_single_column_passthrough(self):
+        codes = np.array([0, 2, -1])
+        assert combine_codes([codes], [3]) is codes
+
+    def test_mixed_radix_combination(self):
+        combined = combine_codes(
+            [np.array([0, 1, 1]), np.array([2, 0, 2])], [2, 3]
+        )
+        assert combined.tolist() == [2, 3, 5]
+
+    def test_invalid_code_poisons_row(self):
+        combined = combine_codes(
+            [np.array([0, -1]), np.array([-1, 1])], [2, 3]
+        )
+        assert combined.tolist() == [-1, -1]
+
+    def test_overflow_returns_none(self):
+        columns = [np.array([0])] * 3
+        assert combine_codes(columns, [2**31, 2**31, 2**31]) is None
