@@ -29,12 +29,12 @@ Asserted (the PR's acceptance bar):
 
 from __future__ import annotations
 
-import itertools
 import time
 
 import numpy as np
 
 from repro.bench.reporting import render_table
+from repro.bench.scaling import star_workload_plans as _star_workload_plans
 from repro.engine.executor import Executor
 from repro.filters.cache import BitvectorFilterCache
 from repro.optimizer.pipelines import optimize_query
@@ -42,53 +42,6 @@ from repro.sql.binder import parse_query
 from repro.workloads import star
 
 from conftest import BENCH_SCALE
-
-_DIMENSIONS = {
-    "c": ("customer c", "lo.lo_custkey = c.c_custkey", "c.c_region = 'ASIA'"),
-    "s": ("supplier s", "lo.lo_suppkey = s.s_suppkey", "s.s_nation = 'NATION07'"),
-    "p": ("part p", "lo.lo_partkey = p.p_partkey", "p.p_category = 'MFGR#1'"),
-    "d": (
-        "date_dim d",
-        "lo.lo_orderdate = d.d_datekey",
-        "d.d_year BETWEEN 1993 AND 1994",
-    ),
-}
-
-
-def _template(dimension_keys: str, select_list: str) -> str:
-    tables = ["lineorder lo"]
-    conjuncts: list[str] = []
-    for key in dimension_keys:
-        table, join, predicate = _DIMENSIONS[key]
-        tables.append(table)
-        conjuncts.append(join)
-        conjuncts.append(predicate)
-    return (
-        f"SELECT {select_list} FROM " + ", ".join(tables)
-        + " WHERE " + " AND ".join(conjuncts)
-    )
-
-
-def _star_workload_plans(database) -> list:
-    """The 20-query star workload, optimized once (warm plans)."""
-    subsets = [
-        "".join(combo)
-        for size in range(1, 5)
-        for combo in itertools.combinations("cspd", size)
-    ]
-    sqls = [
-        _template(keys, "COUNT(*) AS cnt, SUM(lo.lo_revenue) AS rev")
-        for keys in subsets
-    ]
-    sqls.extend(
-        _template(keys, "SUM(lo.lo_quantity) AS qty")
-        for keys in ("cs", "cp", "sd", "pd", "cspd")
-    )
-    assert len(sqls) == 20
-    return [
-        optimize_query(database, parse_query(database, sql, f"hot_{i}"), "bqo").plan
-        for i, sql in enumerate(sqls)
-    ]
 
 
 def _run_all(executor: Executor, plans: list) -> list:

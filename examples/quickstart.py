@@ -66,6 +66,13 @@ def main() -> None:
           f"{stats.plan_cache_hits} plan-cache hits, "
           f"{stats.filter_cache_hits} filter-cache hits")
 
+    print()
+    print("=== morsel-driven parallel execution (byte-identical answers) ===")
+    parallel = QueryService(database, pipeline="bqo", parallelism=4,
+                            morsel_rows=16384)
+    answer = parallel.execute(sql, name="parallel")
+    print(f"  parallelism=4 orders={answer.scalar('orders')}")
+
 
 if __name__ == "__main__":
     main()

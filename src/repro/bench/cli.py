@@ -8,6 +8,14 @@ Regenerates the paper's workload-level figures/tables without pytest::
 Prints Figure 8 (CPU by selectivity group), Figure 9 (tuples by
 operator), Figure 10 (top queries), and Table 4 (filters on/off) for
 each requested workload.
+
+The parallel scaling experiment (morsel-driven execution, see
+``repro.engine.parallel``) runs with::
+
+    python -m repro.bench --experiment parallel-scaling \
+        --output BENCH_parallel_scaling.json
+
+writing the JSON perf artifact the repo tracks over time.
 """
 
 from __future__ import annotations
@@ -38,8 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="which synthetic workload to run (default: tpcds)",
     )
     parser.add_argument(
-        "--scale", type=float, default=0.15,
-        help="data scale factor (default: 0.15)",
+        "--scale", type=float, default=None,
+        help="data scale factor (default: 0.15 for paper figures, "
+        "1.0 for parallel-scaling)",
     )
     parser.add_argument(
         "--pipelines", nargs="+",
@@ -50,7 +59,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=15,
         help="queries shown in the Figure 10 table (default: 15)",
     )
+    parser.add_argument(
+        "--experiment",
+        choices=["paper", "parallel-scaling"],
+        default="paper",
+        help="paper figures/tables (default) or the morsel-parallel "
+        "scaling experiment",
+    )
+    parser.add_argument(
+        "--parallelism", type=int, nargs="+", default=[1, 2, 4],
+        help="worker counts for --experiment parallel-scaling",
+    )
+    parser.add_argument(
+        "--morsel-rows", type=int, default=16384,
+        help="target rows per morsel for --experiment parallel-scaling",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_parallel_scaling.json",
+        help="JSON artifact path for --experiment parallel-scaling",
+    )
     return parser
+
+
+def run_scaling(args) -> None:
+    from repro.bench.scaling import run_parallel_scaling, write_scaling_report
+
+    payload = run_parallel_scaling(
+        scale=args.scale if args.scale is not None else 1.0,
+        parallelism_levels=tuple(args.parallelism),
+        morsel_rows=args.morsel_rows,
+    )
+    rows = [
+        {
+            "parallelism": level["parallelism"],
+            "warm_seconds": level["warm_seconds"],
+            "speedup": level["speedup"],
+        }
+        for level in payload["levels"]
+    ]
+    print(render_table(
+        rows,
+        f"\n=== parallel scaling — star-20q (scale {payload['scale']}, "
+        f"{payload['cpu_cores']} cores, morsels of {payload['morsel_rows']}) ===",
+    ))
+    print(f"checksums identical: {payload['checksums_identical']}")
+    path = write_scaling_report(payload, args.output)
+    print(f"wrote {path}")
 
 
 def run_one(name: str, scale: float, pipelines: list[str], top: int) -> None:
@@ -86,9 +140,13 @@ def run_one(name: str, scale: float, pipelines: list[str], top: int) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "parallel-scaling":
+        run_scaling(args)
+        return 0
     names = sorted(WORKLOADS) if args.workload == "all" else [args.workload]
+    scale = args.scale if args.scale is not None else 0.15
     for name in names:
-        run_one(name, args.scale, list(args.pipelines), args.top)
+        run_one(name, scale, list(args.pipelines), args.top)
     return 0
 
 

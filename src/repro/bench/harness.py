@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.cost.constants import CostConstants, DEFAULT_COSTS, DEFAULT_LAMBDA_THRESH
 from repro.engine.executor import Executor
+from repro.engine.parallel import DEFAULT_MORSEL_ROWS
 from repro.errors import ExecutionError
 from repro.optimizer.pipelines import optimize_query
 from repro.plan.nodes import HashJoinNode
@@ -105,13 +106,23 @@ def run_workload(
     lambda_thresh: float = DEFAULT_LAMBDA_THRESH,
     constants: CostConstants = DEFAULT_COSTS,
     verify_consistency: bool = True,
+    parallelism: int = 1,
+    morsel_rows: int = DEFAULT_MORSEL_ROWS,
 ) -> WorkloadResult:
     """Optimize and execute every query under every pipeline.
 
     With ``verify_consistency`` (and an exact filter kind) the harness
     raises if two pipelines disagree on a query's answer.
+    ``parallelism``/``morsel_rows`` configure morsel-driven execution;
+    the default 1 runs the exact serial engine, keeping every seed
+    benchmark comparable.
     """
-    executor = Executor(database, filter_kind=filter_kind)
+    executor = Executor(
+        database,
+        filter_kind=filter_kind,
+        parallelism=parallelism,
+        morsel_rows=morsel_rows,
+    )
     runs: dict[tuple[str, str], QueryRun] = {}
     for spec in queries:
         checksums: dict[str, float] = {}

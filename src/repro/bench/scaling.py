@@ -1,0 +1,174 @@
+"""Parallel scaling experiment: morsel-driven execution vs. serial.
+
+Replays the 20-query star workload (the same warm-plan setup as the
+service-throughput and exec-hot-path benchmarks) through executors that
+differ only in ``parallelism``, and reports warm wall-clock per level,
+speedups, and answer checksums.  Checksums must be identical across
+levels — morsel decomposition is order-preserving by construction, so
+any drift is a correctness bug, not measurement noise.
+
+Used by ``benchmarks/test_parallel_scaling.py`` (asserting the scaling
+acceptance bar) and by the CLI::
+
+    python -m repro.bench --experiment parallel-scaling \
+        --output BENCH_parallel_scaling.json
+
+so the perf trajectory accumulates in-repo as a JSON artifact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine.executor import Executor
+from repro.filters.cache import BitvectorFilterCache
+from repro.optimizer.pipelines import optimize_query
+from repro.sql.binder import parse_query
+from repro.workloads import star
+
+_STAR_DIMENSIONS = {
+    "c": ("customer c", "lo.lo_custkey = c.c_custkey", "c.c_region = 'ASIA'"),
+    "s": ("supplier s", "lo.lo_suppkey = s.s_suppkey", "s.s_nation = 'NATION07'"),
+    "p": ("part p", "lo.lo_partkey = p.p_partkey", "p.p_category = 'MFGR#1'"),
+    "d": (
+        "date_dim d",
+        "lo.lo_orderdate = d.d_datekey",
+        "d.d_year BETWEEN 1993 AND 1994",
+    ),
+}
+
+
+def _template(dimension_keys: str, select_list: str) -> str:
+    tables = ["lineorder lo"]
+    conjuncts: list[str] = []
+    for key in dimension_keys:
+        table, join, predicate = _STAR_DIMENSIONS[key]
+        tables.append(table)
+        conjuncts.append(join)
+        conjuncts.append(predicate)
+    return (
+        f"SELECT {select_list} FROM " + ", ".join(tables)
+        + " WHERE " + " AND ".join(conjuncts)
+    )
+
+
+def star_workload_sqls() -> list[str]:
+    """The 20-query star workload: every dimension subset, plus five
+    repeat-shape queries with a different aggregate."""
+    subsets = [
+        "".join(combo)
+        for size in range(1, 5)
+        for combo in itertools.combinations("cspd", size)
+    ]
+    sqls = [
+        _template(keys, "COUNT(*) AS cnt, SUM(lo.lo_revenue) AS rev")
+        for keys in subsets
+    ]
+    sqls.extend(
+        _template(keys, "SUM(lo.lo_quantity) AS qty")
+        for keys in ("cs", "cp", "sd", "pd", "cspd")
+    )
+    assert len(sqls) == 20
+    return sqls
+
+
+def star_workload_plans(database) -> list:
+    """The 20-query star workload, optimized once (warm plans)."""
+    return [
+        optimize_query(
+            database, parse_query(database, sql, f"star_{i}"), "bqo"
+        ).plan
+        for i, sql in enumerate(star_workload_sqls())
+    ]
+
+
+def _workload_checksum(results) -> float:
+    from repro.bench.harness import _checksum
+
+    return round(sum(_checksum(result) for result in results), 6)
+
+
+def _best_of(executor: Executor, plans: list, rounds: int) -> float:
+    """Best-of-N warm wall clock (min is robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for plan in plans:
+            executor.execute(plan)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_parallel_scaling(
+    scale: float = 1.0,
+    parallelism_levels: tuple[int, ...] = (1, 2, 4),
+    morsel_rows: int = 16384,
+    rounds: int = 5,
+) -> dict:
+    """Measure warm workload wall-clock at each parallelism level.
+
+    Every level runs the same optimized plans against the same database
+    with its own hot filter cache (one untimed warmup pass builds
+    dictionaries and filters, and collects the answer checksum).
+    Returns a JSON-ready payload; ``levels[i]["speedup"]`` is measured
+    against the ``parallelism=1`` baseline.
+    """
+    database = star.build_database(scale=scale)
+    plans = star_workload_plans(database)
+    checksums: list[float] = []
+    measured: list[tuple[int, float]] = []
+    for parallelism in parallelism_levels:
+        executor = Executor(
+            database,
+            filter_cache=BitvectorFilterCache(64),
+            parallelism=parallelism,
+            morsel_rows=morsel_rows,
+        )
+        warmup = [executor.execute(plan) for plan in plans]
+        checksums.append(_workload_checksum(warmup))
+        measured.append((parallelism, _best_of(executor, plans, rounds)))
+    # Speedups anchor on the parallelism=1 level wherever it appears in
+    # the requested list (falling back to the first level if serial was
+    # not requested), so the artifact always reads as vs-serial.
+    baseline_seconds = next(
+        (seconds for parallelism, seconds in measured if parallelism == 1),
+        measured[0][1],
+    )
+    levels = [
+        {
+            "parallelism": parallelism,
+            "warm_seconds": round(seconds, 6),
+            "speedup": round(baseline_seconds / max(seconds, 1e-9), 3),
+        }
+        for parallelism, seconds in measured
+    ]
+    return {
+        "experiment": "parallel_scaling",
+        "workload": "star-20q",
+        "scale": scale,
+        "queries": len(plans),
+        "morsel_rows": morsel_rows,
+        "rounds": rounds,
+        "cpu_cores": _available_cores(),
+        "levels": levels,
+        "checksums": checksums,
+        "checksums_identical": len(set(checksums)) == 1,
+    }
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def write_scaling_report(payload: dict, path: str | Path) -> Path:
+    """Write the scaling payload as JSON (the in-repo perf artifact)."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -19,6 +19,7 @@ from repro.engine.metrics import (
     OPERATOR_KIND_LEAF,
     OPERATOR_KIND_OTHER,
 )
+from repro.engine.parallel import run_morsel_tasks
 from repro.engine.relation import Relation
 from repro.errors import ExecutionError
 from repro.expr.eval import evaluate_predicate
@@ -34,7 +35,17 @@ from repro.plan.nodes import (
     ScanNode,
 )
 from repro.storage.database import Database
+from repro.storage.partition import DEFAULT_MORSEL_ROWS, morsel_ranges
 from repro.util.keycodes import combine_codes, dense_table_worthwhile, joint_codes
+
+# Below this row count a relation is processed serially even at
+# parallelism > 1: per-morsel dispatch would cost more than the numpy
+# kernels it splits.
+_MIN_PARALLEL_ROWS = 8192
+
+# "No dictionary-join context computed yet" marker, distinct from None
+# ("computed, not applicable") so a failed attempt is never repeated.
+_UNSET = object()
 
 
 @dataclasses.dataclass
@@ -87,6 +98,17 @@ class Executor:
         table-resident dictionary indexes.  Exists as the measured
         baseline for the zero-copy hot path (see
         ``benchmarks/test_exec_hot_path.py``).
+    parallelism:
+        Worker count for morsel-driven intra-query parallelism.  The
+        default 1 keeps execution on the calling thread with exactly
+        the serial code path (byte-identical results, seed benchmarks
+        stay valid).  At N > 1 the probe-side work of each pipeline —
+        predicate evaluation, bitvector filter application, hash-join
+        probing, and large column gathers — runs per-morsel on the
+        shared worker pool; build sides (hash tables, filters) are
+        built once and shared immutably, so probes are lock-free.
+    morsel_rows:
+        Target rows per morsel when splitting relations for the pool.
     """
 
     def __init__(
@@ -97,6 +119,8 @@ class Executor:
         adaptive_filter_order: bool = False,
         filter_cache=None,
         eager_materialization: bool = False,
+        parallelism: int = 1,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
     ) -> None:
         self._database = database
         self._filter_kind = filter_kind
@@ -106,6 +130,19 @@ class Executor:
         self._adaptive_filter_order = adaptive_filter_order
         self._filter_cache = filter_cache
         self._eager = eager_materialization
+        self._parallelism = max(int(parallelism), 1)
+        self._morsel_rows = max(int(morsel_rows), 1)
+        # The eager baseline exists to reproduce the seed engine, so it
+        # never takes a parallel path.
+        self._parallel = self._parallelism > 1 and not self._eager
+
+    @property
+    def parallelism(self) -> int:
+        return self._parallelism
+
+    @property
+    def morsel_rows(self) -> int:
+        return self._morsel_rows
 
     # ------------------------------------------------------------------
     # Entry point
@@ -161,6 +198,94 @@ class Executor:
         raise ExecutionError(f"cannot execute node {node.label}")
 
     # ------------------------------------------------------------------
+    # Morsel parallelism
+    # ------------------------------------------------------------------
+
+    def _ranges(self, num_rows: int) -> list[tuple[int, int]] | None:
+        """Morsel ranges for a parallel region, or None to stay serial."""
+        if not self._parallel or num_rows < _MIN_PARALLEL_ROWS:
+            return None
+        ranges = morsel_ranges(
+            num_rows, self._morsel_rows, min_morsels=self._parallelism
+        )
+        return ranges if len(ranges) >= 2 else None
+
+    def _map_morsels(self, metrics: ExecutionMetrics,
+                     ranges: list[tuple[int, int]], fn) -> list:
+        """Run ``fn(start, stop, worker_metrics)`` per morsel (barrier).
+
+        Results come back in morsel order, so concatenating them
+        reproduces the serial row order exactly.  Each worker gets a
+        private :class:`ExecutionMetrics`; the flat counters are merged
+        into ``metrics`` after the barrier.
+        """
+        workers = [ExecutionMetrics() for _ in ranges]
+        results = run_morsel_tasks(
+            self._parallelism,
+            [
+                (lambda s=start, e=stop, w=worker: fn(s, e, w))
+                for (start, stop), worker in zip(ranges, workers)
+            ],
+        )
+        for worker in workers:
+            metrics.merge_counters(worker)
+        return results
+
+    def _parallel_gather(self, base: np.ndarray, selection) -> np.ndarray | None:
+        """Morsel-wise column gather hook installed on scan relations.
+
+        Splits ``base[selection]`` across the pool, each worker writing
+        its disjoint output range (``np.take`` releases the GIL for
+        plain dtypes).  Returns None when the gather is too small to be
+        worth dispatching, letting :class:`Relation` gather inline.
+        """
+        ranges = self._ranges(len(selection))
+        if ranges is None:
+            return None
+        out = np.empty(len(selection), dtype=base.dtype)
+
+        def task(start: int, stop: int) -> None:
+            np.take(base, selection[start:stop], out=out[start:stop])
+
+        run_morsel_tasks(
+            self._parallelism,
+            [(lambda s=start, e=stop: task(s, e)) for start, stop in ranges],
+        )
+        return out
+
+    def _scan_ranges(self, table) -> list[tuple[int, int]] | None:
+        """Morsels of a base table, via the storage-layer partitioning
+        (cached on the immutable table) rather than an ad-hoc split."""
+        if not self._parallel or table.num_rows < _MIN_PARALLEL_ROWS:
+            return None
+        parts = table.morsels(self._morsel_rows, min_morsels=self._parallelism)
+        if len(parts) < 2:
+            return None
+        return [(part.start, part.stop) for part in parts]
+
+    def _parallel_selection(self, relation: Relation,
+                            metrics: ExecutionMetrics, mask_fn,
+                            ranges: list[tuple[int, int]] | None = None,
+                            ) -> np.ndarray | None:
+        """Surviving-row selection computed per morsel, or None (serial).
+
+        ``mask_fn(view)`` returns the boolean keep-mask of one morsel
+        view; the concatenated ``flatnonzero`` offsets equal the serial
+        ``np.flatnonzero(mask)`` over the whole relation, so the
+        resulting gather is byte-identical to the serial path.
+        """
+        if ranges is None:
+            ranges = self._ranges(relation.num_rows)
+        if ranges is None:
+            return None
+
+        def task(start: int, stop: int, worker: ExecutionMetrics) -> np.ndarray:
+            view = relation.range_view(start, stop, counters=worker)
+            return np.flatnonzero(mask_fn(view)) + start
+
+        return np.concatenate(self._map_morsels(metrics, ranges, task))
+
+    # ------------------------------------------------------------------
     # Operators
     # ------------------------------------------------------------------
 
@@ -180,19 +305,30 @@ class Executor:
             (node.alias, name): (node.table_name, name) for name in names
         }
         relation = Relation(
-            columns, table.num_rows, sources=sources, counters=metrics
+            columns, table.num_rows, sources=sources, counters=metrics,
+            parallel_gather=self._parallel_gather if self._parallel else None,
         )
         record.add("scan", table.num_rows)
 
         predicate = overrides.get(node.alias, node.predicate)
         if predicate is not None:
-            mask = evaluate_predicate(
-                predicate, relation.provider, relation.num_rows
+            selection = self._parallel_selection(
+                relation, metrics,
+                lambda view: evaluate_predicate(
+                    predicate, view.provider, view.num_rows
+                ),
+                ranges=self._scan_ranges(table),
             )
-            relation = self._settle(relation.mask(mask))
+            if selection is not None:
+                relation = self._settle(relation.gather(selection))
+            else:
+                mask = evaluate_predicate(
+                    predicate, relation.provider, relation.num_rows
+                )
+                relation = self._settle(relation.mask(mask))
 
         relation = self._apply_bitvectors(
-            node.applied_bitvectors, relation, record, filters
+            node.applied_bitvectors, relation, record, filters, metrics
         )
         record.rows_out = relation.num_rows
         return relation
@@ -249,10 +385,30 @@ class Executor:
         probe_rel = self._run(node.probe, metrics, filters, needed, overrides)
         record.add("probe", probe_rel.num_rows)
 
-        build_codes, probe_codes, domain = self._join_key_codes(
-            node, build_rel, probe_rel, metrics
-        )
-        build_idx, probe_idx = _expand_matches(build_codes, probe_codes, domain)
+        # One shared dictionary-join context serves both paths: the
+        # parallel probe consumes it directly, and a failed parallel
+        # attempt hands it (possibly None) to the serial path so the
+        # build-side encoding is never computed twice.
+        build_idx = probe_idx = None
+        context = _UNSET
+        if build_rel.num_rows and probe_rel.num_rows:
+            ranges = self._ranges(probe_rel.num_rows)
+            if ranges is not None:
+                context = self._dictionary_join_context(
+                    node, build_rel, probe_rel
+                )
+                if context is not None:
+                    metrics.dictionary_hits += len(node.build_keys)
+                    build_idx, probe_idx = self._parallel_probe_match(
+                        context, probe_rel, ranges, metrics
+                    )
+        if build_idx is None:
+            build_codes, probe_codes, domain = self._join_key_codes(
+                node, build_rel, probe_rel, metrics, context
+            )
+            build_idx, probe_idx = _expand_matches(
+                build_codes, probe_codes, domain
+            )
         result = self._settle(
             probe_rel.merged_with(build_rel, probe_idx, build_idx)
         )
@@ -260,12 +416,45 @@ class Executor:
         record.rows_out = result.num_rows
         return result
 
+    def _parallel_probe_match(
+        self,
+        context,
+        probe_rel: Relation,
+        ranges: list[tuple[int, int]],
+        metrics: ExecutionMetrics,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Morsel-parallel probe of one hash join.
+
+        The build side is encoded and sorted once on the main thread
+        (single-build-then-shared); each morsel encodes its slice of
+        the probe keys through the table-resident dictionaries and
+        matches against the shared immutable build structures.  Match
+        pairs concatenate in morsel order, reproducing the serial
+        output order exactly.  Requires the dictionary fast path —
+        joint factorization needs both whole sides at once and stays
+        serial.
+        """
+        build_combined, encode_probe, domain = context
+        matcher = _BuildMatcher(build_combined, domain)
+
+        def task(start: int, stop: int, worker: ExecutionMetrics):
+            view = probe_rel.range_view(start, stop, counters=worker)
+            build_idx, probe_idx = matcher.match(encode_probe(view))
+            return build_idx, probe_idx + start
+
+        parts = self._map_morsels(metrics, ranges, task)
+        return (
+            np.concatenate([part[0] for part in parts]),
+            np.concatenate([part[1] for part in parts]),
+        )
+
     def _join_key_codes(
         self,
         node: HashJoinNode,
         build_rel: Relation,
         probe_rel: Relation,
         metrics: ExecutionMetrics,
+        context=_UNSET,
     ) -> tuple[np.ndarray, np.ndarray, int | None]:
         """int64 codes for both key sides; equal codes <=> equal tuples.
 
@@ -277,6 +466,10 @@ class Executor:
         provenance is missing (derived columns) or the combined key
         domain would overflow the mixed radix.
 
+        ``context`` carries a dictionary-join context the caller
+        already computed (or ``None`` if that attempt failed), so the
+        parallel probe's fallback never re-encodes the build side.
+
         The third element is the combined code domain size when the
         dictionary path produced the codes (all codes < domain), else
         ``None``; :func:`_expand_matches` uses it for counting-sort
@@ -286,7 +479,16 @@ class Executor:
             empty = np.array([], dtype=np.int64)
             return empty, empty, None
         if not self._eager:
-            coded = self._dictionary_codes(node, build_rel, probe_rel)
+            if context is _UNSET:
+                context = self._dictionary_join_context(
+                    node, build_rel, probe_rel
+                )
+            coded = None
+            if context is not None:
+                build_combined, encode_probe, domain = context
+                probe_combined = encode_probe(probe_rel)
+                if probe_combined is not None:
+                    coded = (build_combined, probe_combined, domain)
             if coded is not None:
                 metrics.dictionary_hits += len(node.build_keys)
                 return coded
@@ -300,15 +502,25 @@ class Executor:
         build_codes, probe_codes = joint_codes(build_keys, probe_keys)
         return build_codes, probe_codes, None
 
-    def _dictionary_codes(
+    def _dictionary_join_context(
         self,
         node: HashJoinNode,
         build_rel: Relation,
         probe_rel: Relation,
-    ) -> tuple[np.ndarray, np.ndarray, int] | None:
-        """Dictionary-encoded join keys, or None when inapplicable."""
+    ):
+        """Shared dictionary-encoding context for one join, or None.
+
+        Returns ``(build_combined, encode_probe, domain)``: the build
+        side's combined codes (computed once), a closure encoding the
+        probe keys of any view of ``probe_rel`` — the whole relation or
+        one morsel — and the combined code domain size.  Per-key
+        artifacts (dictionaries, domain translations) are resolved once
+        here and shared read-only by every morsel, which is the
+        "per-partition dictionary reuse" the partitioned storage layer
+        is built around.
+        """
+        per_key: list[tuple[str, str, object, np.ndarray | None]] = []
         build_code_columns: list[np.ndarray] = []
-        probe_code_columns: list[np.ndarray] = []
         radices: list[int] = []
         for (b_alias, b_col), (p_alias, p_col) in zip(
             node.build_keys, node.probe_keys
@@ -332,24 +544,35 @@ class Executor:
             build_codes = build_dict.codes
             if build_src[2] is not None:
                 build_codes = build_codes[build_src[2]]
-            probe_codes = probe_dict.codes
-            if probe_src[2] is not None:
-                probe_codes = probe_codes[probe_src[2]]
             if probe_dict is not build_dict:
                 # Re-express probe codes in the build column's domain;
                 # values absent from it become -1 (can never match).
-                probe_codes = probe_dict.translate_to(build_dict)[probe_codes]
+                translate = probe_dict.translate_to(build_dict)
+            else:
+                translate = None
+            per_key.append((p_alias, p_col, probe_dict, translate))
             build_code_columns.append(build_codes)
-            probe_code_columns.append(probe_codes)
             radices.append(build_dict.num_values)
         build_combined = combine_codes(build_code_columns, radices)
-        probe_combined = combine_codes(probe_code_columns, radices)
-        if build_combined is None or probe_combined is None:
+        if build_combined is None:
             return None
         domain = 1
         for radix in radices:
             domain *= max(radix, 1)
-        return build_combined, probe_combined, domain
+
+        def encode_probe(view: Relation) -> np.ndarray | None:
+            probe_code_columns: list[np.ndarray] = []
+            for p_alias, p_col, probe_dict, translate in per_key:
+                source = view.base_source(p_alias, p_col)
+                codes = probe_dict.codes
+                if source[2] is not None:
+                    codes = codes[source[2]]
+                if translate is not None:
+                    codes = translate[codes]
+                probe_code_columns.append(codes)
+            return combine_codes(probe_code_columns, radices)
+
+        return build_combined, encode_probe, domain
 
     def _cacheable_filter_key(
         self,
@@ -391,7 +614,7 @@ class Executor:
         record = metrics.node(node.node_id, node.label, OPERATOR_KIND_OTHER)
         relation = self._run(node.child, metrics, filters, needed, overrides)
         relation = self._apply_bitvectors(
-            node.applied_bitvectors, relation, record, filters
+            node.applied_bitvectors, relation, record, filters, metrics
         )
         record.rows_out = relation.num_rows
         return relation
@@ -402,10 +625,13 @@ class Executor:
         relation: Relation,
         record,
         filters: dict[int, BitvectorFilter],
+        metrics: ExecutionMetrics,
     ) -> Relation:
         if self._adaptive_filter_order and len(definitions) > 1:
             from repro.engine.lip import order_filters_adaptively
 
+            # Ordering is decided once on the main thread (sampled pass
+            # rates); the chosen order is then shared by every morsel.
             definitions = order_filters_adaptively(
                 definitions, filters, relation.column_head, relation.num_rows
             )
@@ -416,11 +642,27 @@ class Executor:
                     f"bitvector {definition!r} applied before creation; "
                     "plan scheduling is broken"
                 )
+            record.add("filter_check", relation.num_rows)
+            # Filters are immutable after construction, so per-morsel
+            # probes are lock-free reads of one shared structure.
+            selection = self._parallel_selection(
+                relation, metrics,
+                lambda view, definition=definition, bitvector=bitvector: (
+                    bitvector.contains(
+                        [
+                            view.column(alias, column)
+                            for alias, column in definition.probe_keys
+                        ]
+                    )
+                ),
+            )
+            if selection is not None:
+                relation = self._settle(relation.gather(selection))
+                continue
             key_columns = [
                 relation.column(alias, column)
                 for alias, column in definition.probe_keys
             ]
-            record.add("filter_check", relation.num_rows)
             if self._eager and hasattr(bitvector, "contains_legacy"):
                 # Baseline mode: the seed engine's per-probe joint
                 # re-factorization instead of the indexed probe.
@@ -535,6 +777,69 @@ def _match_keys(
 _DENSE_DOMAIN_CAP = 1 << 20
 
 
+class _BuildMatcher:
+    """Immutable build-side match structure shared across probe morsels.
+
+    Construction sorts the build codes once (and, for dense dictionary
+    domains, builds the counting-sort histogram).  :meth:`match` is a
+    pure read — every morsel worker probes the same structure
+    lock-free, the single-build-then-shared contract the parallel hash
+    join relies on.
+    """
+
+    __slots__ = ("_order", "_sorted", "_histogram", "_range_ends")
+
+    def __init__(self, build_codes: np.ndarray, domain: int | None) -> None:
+        self._order = np.argsort(build_codes, kind="stable")
+        if domain is not None and dense_table_worthwhile(
+            domain, len(build_codes), _DENSE_DOMAIN_CAP
+        ):
+            self._sorted = None
+            self._histogram = np.bincount(build_codes, minlength=domain)
+            self._range_ends = np.cumsum(self._histogram)
+        else:
+            self._sorted = build_codes[self._order]
+            self._histogram = None
+            self._range_ends = None
+
+    def match(self, probe_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All matching (build_row, probe_row) pairs for these probes.
+
+        Negative probe codes mark values absent from the build domain;
+        they produce empty match ranges naturally.  With a dense
+        histogram the per-probe match ranges are O(probe rows) gathers;
+        otherwise two binary-search passes over the sorted build side.
+        ``probe_idx`` is ascending, and per probe row the build matches
+        come in stable sorted order — so concatenating morsel results
+        equals one whole-relation call.
+        """
+        if len(self._order) == 0 or len(probe_codes) == 0:
+            empty = np.array([], dtype=np.int64)
+            return empty, empty
+        if self._histogram is not None:
+            valid = probe_codes >= 0
+            clipped = np.where(valid, probe_codes, 0)
+            counts = np.where(valid, self._histogram[clipped], 0)
+            lo = self._range_ends[clipped] - self._histogram[clipped]
+        else:
+            lo = np.searchsorted(self._sorted, probe_codes, side="left")
+            hi = np.searchsorted(self._sorted, probe_codes, side="right")
+            counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.array([], dtype=np.int64)
+            return empty, empty
+        probe_idx = np.repeat(
+            np.arange(len(probe_codes), dtype=np.int64), counts
+        )
+        starts = np.repeat(lo, counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        build_idx = self._order[starts + offsets]
+        return build_idx, probe_idx
+
+
 def _expand_matches(
     build_codes: np.ndarray,
     probe_codes: np.ndarray,
@@ -542,44 +847,13 @@ def _expand_matches(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Match ranges for pre-encoded keys (equal codes <=> equal tuples).
 
-    Negative probe codes mark values absent from the build domain; they
-    produce empty match ranges naturally.  With a known dense code
-    ``domain`` (dictionary-encoded keys) the per-probe match ranges
-    come from a histogram over the domain — O(probe rows + domain)
-    gathers — replacing the two binary-search passes over the sorted
-    build side, which profiling shows dominate at fact-table probe
-    sizes.  The build side is ordered with numpy's stable argsort
-    (radix sort for integer codes) in both branches.
+    Serial entry point: builds the match structure and probes the whole
+    probe side in one call (see :class:`_BuildMatcher`).
     """
     if len(build_codes) == 0 or len(probe_codes) == 0:
         empty = np.array([], dtype=np.int64)
         return empty, empty
-    order = np.argsort(build_codes, kind="stable")
-    if domain is not None and dense_table_worthwhile(
-        domain, len(build_codes), _DENSE_DOMAIN_CAP
-    ):
-        histogram = np.bincount(build_codes, minlength=domain)
-        range_ends = np.cumsum(histogram)
-        valid = probe_codes >= 0
-        clipped = np.where(valid, probe_codes, 0)
-        counts = np.where(valid, histogram[clipped], 0)
-        lo = range_ends[clipped] - histogram[clipped]
-    else:
-        sorted_codes = build_codes[order]
-        lo = np.searchsorted(sorted_codes, probe_codes, side="left")
-        hi = np.searchsorted(sorted_codes, probe_codes, side="right")
-        counts = hi - lo
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.array([], dtype=np.int64)
-        return empty, empty
-    probe_idx = np.repeat(np.arange(len(probe_codes), dtype=np.int64), counts)
-    starts = np.repeat(lo, counts)
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(
-        np.cumsum(counts) - counts, counts
-    )
-    build_idx = order[starts + offsets]
-    return build_idx, probe_idx
+    return _BuildMatcher(build_codes, domain).match(probe_codes)
 
 
 def _needed_columns(

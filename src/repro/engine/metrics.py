@@ -80,6 +80,22 @@ class ExecutionMetrics:
         self.rows_copied += int(rows)
         self.bytes_gathered += int(nbytes)
 
+    def merge_counters(self, worker: "ExecutionMetrics") -> None:
+        """Fold one morsel worker's flat counters into this metrics.
+
+        Parallel regions hand each worker a private ``ExecutionMetrics``
+        so counter updates never race; the executor merges them on the
+        main thread after the barrier.  Only the flat counters move —
+        per-node component counts are recorded by the main thread, which
+        sees whole-relation row counts regardless of morsel shape.
+        """
+        self.rows_copied += worker.rows_copied
+        self.bytes_gathered += worker.bytes_gathered
+        self.dictionary_hits += worker.dictionary_hits
+        self.dictionary_misses += worker.dictionary_misses
+        self.filter_cache_hits += worker.filter_cache_hits
+        self.filter_cache_misses += worker.filter_cache_misses
+
     def node(self, node_id: int, label: str, kind: str) -> NodeMetrics:
         metrics = self._nodes.get(node_id)
         if metrics is None:

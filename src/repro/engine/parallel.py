@@ -1,0 +1,97 @@
+"""Shared morsel worker pool for intra-query parallelism.
+
+One process-wide thread pool serves every executor: morsel tasks are
+short, numpy-kernel-dominated, and never block on each other, so a
+single shared pool (grown to the widest ``parallelism`` requested so
+far) beats per-executor pools that would multiply idle threads.  Worker
+threads release the GIL inside the numpy kernels that dominate morsel
+work — fancy-index gathers, ``searchsorted``, ``argsort``, ufunc
+comparisons — which is where the parallel speedup comes from.
+
+Deadlock discipline: a morsel task must never submit to the pool it
+runs on.  The executor enforces this structurally — per-morsel relation
+views carry no parallel-gather hook, so nothing a worker calls can
+re-enter the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.storage.partition import DEFAULT_MORSEL_ROWS  # re-export  # noqa: F401
+
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+_pool_width = 0
+
+
+def shared_worker_pool(workers: int) -> ThreadPoolExecutor:
+    """The process-wide morsel pool, at least ``workers`` wide.
+
+    The pool only ever grows: asking for more workers than the current
+    width replaces the pool (in-flight tasks on the old pool finish;
+    new submissions land on the wider one).  Callers should re-fetch
+    the pool per parallel region rather than holding one reference for
+    the executor's lifetime.
+    """
+    global _pool, _pool_width
+    workers = max(int(workers), 1)
+    with _pool_lock:
+        if _pool is None or _pool_width < workers:
+            retired = _pool
+            _pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-morsel"
+            )
+            _pool_width = workers
+            if retired is not None:
+                retired.shutdown(wait=False)
+        return _pool
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared pool (tests / interpreter shutdown)."""
+    global _pool, _pool_width
+    with _pool_lock:
+        retired = _pool
+        _pool = None
+        _pool_width = 0
+    if retired is not None:
+        retired.shutdown(wait=True)
+
+
+def run_morsel_tasks(workers: int, tasks: Sequence[Callable[[], object]]) -> list:
+    """Run ``tasks`` on the shared pool; results in task order.
+
+    This is a barrier: it returns only after every task finished.  The
+    first exception (in task order) propagates after all futures are
+    awaited, so no worker is left writing into shared output buffers.
+    A pool retired by a concurrent grow can reject new submissions
+    (tasks it already accepted still run and their futures stay
+    valid), so each rejected submit is retried individually on a fresh
+    pool — never the whole batch, which would execute accepted tasks
+    twice.
+    """
+    if len(tasks) == 1:
+        return [tasks[0]()]
+    pool = shared_worker_pool(workers)
+    futures = []
+    for task in tasks:
+        try:
+            futures.append(pool.submit(task))
+        except RuntimeError:
+            pool = shared_worker_pool(workers)
+            futures.append(pool.submit(task))
+    results = []
+    error: BaseException | None = None
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if error is None:
+                error = exc
+            results.append(None)
+    if error is not None:
+        raise error
+    return results

@@ -30,9 +30,11 @@ class _ColumnGroup:
     """A set of equally-selected columns sharing one selection vector.
 
     ``base`` maps ``(alias, column)`` to a base array; ``selection`` is
-    either ``None`` (identity: the view is the base rows themselves) or
-    an int64 index array into the base arrays.  All groups of one
-    relation describe the same number of rows.
+    ``None`` (identity: the view is the base rows themselves), a
+    contiguous ``slice`` (a morsel: the view is one row range of the
+    base, materializable as a numpy view without copying), or an int64
+    index array into the base arrays.  All groups of one relation
+    describe the same number of rows.
     """
 
     __slots__ = ("base", "sources", "selection")
@@ -41,7 +43,7 @@ class _ColumnGroup:
         self,
         base: dict[tuple[str, str], np.ndarray],
         sources: dict[tuple[str, str], tuple[str, str]],
-        selection: np.ndarray | None,
+        selection: np.ndarray | slice | None,
     ) -> None:
         self.base = base
         self.sources = sources
@@ -52,8 +54,23 @@ class _ColumnGroup:
         of data columns — only the int64 selection is gathered)."""
         if self.selection is None:
             selection = indices
+        elif isinstance(self.selection, slice):
+            selection = indices + self.selection.start
         else:
             selection = self.selection[indices]
+        return _ColumnGroup(self.base, self.sources, selection)
+
+    def compose_range(self, start: int, stop: int) -> "_ColumnGroup":
+        """Group viewing rows ``[start, stop)`` of ``self`` — the morsel
+        primitive.  Never copies: identity and slice selections stay
+        slices, index-array selections are sliced (a numpy view)."""
+        if self.selection is None:
+            selection: np.ndarray | slice = slice(start, stop)
+        elif isinstance(self.selection, slice):
+            offset = self.selection.start
+            selection = slice(offset + start, offset + stop)
+        else:
+            selection = self.selection[start:stop]
         return _ColumnGroup(self.base, self.sources, selection)
 
 
@@ -71,6 +88,7 @@ class Relation:
         num_rows: int,
         sources: dict[tuple[str, str], tuple[str, str]] | None = None,
         counters=None,
+        parallel_gather=None,
     ) -> None:
         self._groups = (
             [_ColumnGroup(dict(columns), dict(sources or {}), None)]
@@ -79,12 +97,18 @@ class Relation:
         )
         self.num_rows = num_rows
         self._counters = counters
+        # Optional ``fn(base, selection) -> array | None`` installed by
+        # a parallel executor: large index-array materializations are
+        # gathered morsel-wise on the worker pool.  ``None`` from the
+        # hook means "not worth parallelizing, gather inline".
+        self._parallel_gather = parallel_gather
         self._materialized: dict[tuple[str, str], np.ndarray] = {}
 
     @classmethod
     def _from_groups(cls, groups: list[_ColumnGroup], num_rows: int,
-                     counters) -> "Relation":
-        relation = cls({}, num_rows, counters=counters)
+                     counters, parallel_gather=None) -> "Relation":
+        relation = cls({}, num_rows, counters=counters,
+                       parallel_gather=parallel_gather)
         relation._groups = groups
         return relation
 
@@ -111,10 +135,16 @@ class Relation:
         if cached is not None:
             return cached
         group = self._group_of(key)
-        if group.selection is None:
-            values = group.base[key]
+        if group.selection is None or isinstance(group.selection, slice):
+            # Identity and contiguous-range views are numpy views of the
+            # base array: zero copies, nothing to count.
+            values = group.base[key][group.selection or slice(None)]
         else:
-            values = group.base[key][group.selection]
+            values = None
+            if self._parallel_gather is not None:
+                values = self._parallel_gather(group.base[key], group.selection)
+            if values is None:
+                values = group.base[key][group.selection]
             if self._counters is not None:
                 self._counters.count_copy(len(values), values.nbytes)
         self._materialized[key] = values
@@ -133,6 +163,10 @@ class Relation:
         group = self._group_of(key)
         if group.selection is None:
             return group.base[key][:count]
+        if isinstance(group.selection, slice):
+            start = group.selection.start
+            stop = min(group.selection.stop, start + count)
+            return group.base[key][start:stop]
         return group.base[key][group.selection[:count]]
 
     def provider(self, alias: str, name: str) -> np.ndarray:
@@ -141,10 +175,11 @@ class Relation:
 
     def base_source(
         self, alias: str, name: str
-    ) -> tuple[str, str, np.ndarray | None] | None:
+    ) -> tuple[str, str, np.ndarray | slice | None] | None:
         """Provenance of a column: ``(table, column, selection)``.
 
-        ``selection is None`` means the view is the whole base column.
+        ``selection is None`` means the view is the whole base column; a
+        ``slice`` means one contiguous row range of it (a morsel view).
         Returns ``None`` for columns without table provenance.
         """
         key = (alias, name)
@@ -170,10 +205,28 @@ class Relation:
     def gather(self, indices: np.ndarray) -> "Relation":
         indices = np.asarray(indices, dtype=np.int64)
         groups = [group.compose(indices) for group in self._groups]
-        return Relation._from_groups(groups, int(len(indices)), self._counters)
+        return Relation._from_groups(
+            groups, int(len(indices)), self._counters, self._parallel_gather
+        )
 
     def mask(self, mask: np.ndarray) -> "Relation":
         return self.gather(np.flatnonzero(mask))
+
+    def range_view(self, start: int, stop: int, counters=None) -> "Relation":
+        """Zero-copy view of rows ``[start, stop)`` — one morsel.
+
+        Identity and range selections stay contiguous slices (columns
+        materialize as numpy views); index-array selections are sliced.
+        ``counters`` lets a parallel worker account its copies into its
+        own :class:`~repro.engine.metrics.ExecutionMetrics`, merged
+        after the barrier.  Morsel views deliberately drop the
+        parallel-gather hook: a worker must never re-enter the pool it
+        runs on.
+        """
+        groups = [group.compose_range(start, stop) for group in self._groups]
+        return Relation._from_groups(
+            groups, stop - start, counters or self._counters
+        )
 
     def merged_with(self, other: "Relation", self_idx: np.ndarray,
                     other_idx: np.ndarray) -> "Relation":
@@ -189,7 +242,8 @@ class Relation:
         groups = [group.compose(self_idx) for group in self._groups]
         groups.extend(group.compose(other_idx) for group in other._groups)
         return Relation._from_groups(
-            groups, int(len(self_idx)), self._counters or other._counters
+            groups, int(len(self_idx)), self._counters or other._counters,
+            self._parallel_gather or other._parallel_gather,
         )
 
     # ------------------------------------------------------------------

@@ -20,7 +20,11 @@ The service owns three pieces of cross-query state:
 Both caches are invalidated automatically when the database's
 ``schema_version`` moves (a table or foreign key was added).  All entry
 points are thread-safe; :meth:`QueryService.run_many` executes a batch
-on a thread pool.
+on a persistent per-service thread pool (created lazily, grown to the
+widest batch seen, shut down by :meth:`QueryService.close`), so
+hot-path batches do not pay pool startup/teardown.  With
+``parallelism > 1`` each query additionally runs morsel-parallel
+inside the executor (see :mod:`repro.engine.parallel`).
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.cost.constants import DEFAULT_LAMBDA_THRESH
 from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.parallel import DEFAULT_MORSEL_ROWS
 from repro.errors import ServiceError
 from repro.expr.expressions import substitute_parameters
 from repro.filters.cache import BitvectorFilterCache
@@ -76,6 +81,14 @@ class QueryService:
         LRU bounds for the two caches.
     max_workers:
         Default thread-pool width for :meth:`run_many`.
+    parallelism / morsel_rows:
+        Morsel-driven intra-query parallelism, passed through to the
+        :class:`~repro.engine.executor.Executor`.  The default 1 keeps
+        each query on its serving thread (byte-identical to the serial
+        engine); cross-query (``max_workers``, per-service batch pool)
+        and intra-query (``parallelism``, the process-wide morsel
+        pool) parallelism compose, with the morsel pool bounded by the
+        widest ``parallelism`` in the process.
     """
 
     def __init__(
@@ -88,6 +101,8 @@ class QueryService:
         plan_cache_size: int = 128,
         filter_cache_size: int = 64,
         max_workers: int = 4,
+        parallelism: int = 1,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
     ) -> None:
         if pipeline not in PIPELINES:
             raise ServiceError(
@@ -104,10 +119,18 @@ class QueryService:
             filter_kind=filter_kind,
             filter_options=filter_options,
             filter_cache=self.filter_cache,
+            parallelism=parallelism,
+            morsel_rows=morsel_rows,
         )
         self._stats = ServiceStats()
         self._lock = threading.Lock()
         self._schema_version = database.schema_version
+        # Persistent run_many pool: created lazily on the first batch,
+        # grown when a batch asks for more workers, reused until
+        # close().  Hot-path batches stop paying pool startup/teardown.
+        self._batch_pool: ThreadPoolExecutor | None = None
+        self._batch_pool_width = 0
+        self._batch_pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Entry points
@@ -152,19 +175,71 @@ class QueryService:
         max_workers: int | None = None,
         pipeline: str | None = None,
     ) -> list[ServiceResult]:
-        """Execute a batch concurrently; results keep input order."""
+        """Execute a batch concurrently; results keep input order.
+
+        Batches run on the service's persistent pool — created on the
+        first call, grown to the widest ``max_workers`` requested so
+        far, and reused across batches until :meth:`close`.
+        """
         workers = max_workers or self._max_workers
         if workers <= 1 or len(sqls) <= 1:
             return [
                 self.execute(sql, name=f"batch_{i}", pipeline=pipeline)
                 for i, sql in enumerate(sqls)
             ]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(self.execute, sql, f"batch_{i}", pipeline)
-                for i, sql in enumerate(sqls)
-            ]
-            return [future.result() for future in futures]
+        pool = self._ensure_batch_pool(workers)
+        futures = []
+        for i, sql in enumerate(sqls):
+            try:
+                futures.append(
+                    pool.submit(self.execute, sql, f"batch_{i}", pipeline)
+                )
+            except RuntimeError:
+                # A concurrent wider batch (or close()) retired this
+                # pool between our lookup and this submit; queries it
+                # already accepted still run, so only this statement
+                # moves to the fresh pool.
+                pool = self._ensure_batch_pool(workers)
+                futures.append(
+                    pool.submit(self.execute, sql, f"batch_{i}", pipeline)
+                )
+        return [future.result() for future in futures]
+
+    def _ensure_batch_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The persistent batch pool, at least ``workers`` wide."""
+        with self._batch_pool_lock:
+            if self._batch_pool is None or self._batch_pool_width < workers:
+                retired = self._batch_pool
+                self._batch_pool = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix=f"svc-{self._database.name}",
+                )
+                self._batch_pool_width = workers
+                if retired is not None:
+                    # In-flight batches on the narrower pool finish;
+                    # new submissions land on the wider one.
+                    retired.shutdown(wait=False)
+            return self._batch_pool
+
+    def close(self) -> None:
+        """Shut down the persistent batch pool (idempotent).
+
+        The service remains usable afterwards — the next ``run_many``
+        lazily recreates the pool — but long-lived deployments should
+        close once at teardown to release the worker threads.
+        """
+        with self._batch_pool_lock:
+            retired = self._batch_pool
+            self._batch_pool = None
+            self._batch_pool_width = 0
+        if retired is not None:
+            retired.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def explain(self, sql: str, pipeline: str | None = None) -> str:
         """Render the plan ``sql`` would run, with bitvector annotations.
@@ -190,6 +265,9 @@ class QueryService:
             f"{self.filter_cache.build_seconds_saved * 1e3:.2f} ms build amortized",
             f"-- dictionary indexes: {dictionaries['entries']} columns resident "
             f"({dictionaries['builds']} builds / {dictionaries['lookups']} lookups)",
+            f"-- parallel execution: parallelism={self._executor.parallelism} "
+            f"morsel_rows={self._executor.morsel_rows}"
+            + ("" if self._executor.parallelism > 1 else " (serial)"),
         ]
         return "\n".join(header) + "\n" + format_plan(entry.plan)
 

@@ -8,6 +8,12 @@ PKFK joins.
 """
 
 from repro.storage.types import ColumnType, infer_column_type
+from repro.storage.partition import (
+    DEFAULT_MORSEL_ROWS,
+    Morsel,
+    morsel_ranges,
+    partition_table,
+)
 from repro.storage.table import Table
 from repro.storage.schema import ColumnDef, TableSchema, ForeignKey
 from repro.storage.catalog import Catalog
@@ -17,6 +23,10 @@ from repro.storage.csvio import table_to_csv, table_from_csv
 __all__ = [
     "ColumnType",
     "infer_column_type",
+    "DEFAULT_MORSEL_ROWS",
+    "Morsel",
+    "morsel_ranges",
+    "partition_table",
     "Table",
     "ColumnDef",
     "TableSchema",

@@ -6,6 +6,7 @@ import threading
 
 from repro.errors import DataError, SchemaError
 from repro.storage.catalog import Catalog
+from repro.storage.partition import DEFAULT_MORSEL_ROWS, Morsel
 from repro.storage.schema import ForeignKey
 from repro.storage.table import Table
 from repro.util.keycodes import ColumnDictionary
@@ -30,6 +31,10 @@ class Database:
         # via explicit invalidate_dictionaries() (see dictionary()).
         self._dictionaries: dict[tuple[str, str], ColumnDictionary] = {}
         self._dictionary_lock = threading.Lock()
+        # Single-flight coordination: one Event per key currently being
+        # factorized, so concurrent requesters wait instead of building
+        # duplicates (see dictionary()).
+        self._dictionary_pending: dict[tuple[str, str], threading.Event] = {}
         self.dictionary_builds = 0
         self.dictionary_lookups = 0
 
@@ -76,6 +81,23 @@ class Database:
         return sum(t.num_rows for t in self._tables.values())
 
     # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+
+    def morsels(
+        self,
+        table_name: str,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        min_morsels: int = 1,
+    ) -> tuple[Morsel, ...]:
+        """Row-range morsels of one table (see :meth:`Table.morsels`).
+
+        The database is the object the executor already holds, so this
+        is the entry point parallel scans partition through.
+        """
+        return self.table(table_name).morsels(morsel_rows, min_morsels)
+
+    # ------------------------------------------------------------------
     # Dictionary indexes
     # ------------------------------------------------------------------
 
@@ -90,21 +112,51 @@ class Database:
         go stale in-place; a data reload that swaps databases or tables
         must call :meth:`invalidate_dictionaries`, mirroring
         :meth:`invalidate_stats`.
+
+        Construction is *single-flight*: factorization runs outside the
+        lock (it is the slow part), but concurrent requesters of the
+        same key wait on the in-flight build instead of duplicating it,
+        so ``dictionary_builds`` counts exactly one build per resident
+        entry — the invariant the morsel workers rely on when they all
+        hit one fact-table column at once.
         """
         key = (table_name, column_name)
         with self._dictionary_lock:
             self.dictionary_lookups += 1
-            cached = self._dictionaries.get(key)
-            if cached is not None:
-                return cached
-        # Build outside the lock: factorization is the slow part, and a
-        # duplicated build between racing threads is harmless (last
-        # writer wins; both dictionaries are identical).
-        built = ColumnDictionary.build(self.table(table_name).column(column_name))
-        with self._dictionary_lock:
-            self._dictionaries[key] = built
-            self.dictionary_builds += 1
-        return built
+        while True:
+            with self._dictionary_lock:
+                cached = self._dictionaries.get(key)
+                if cached is not None:
+                    return cached
+                pending = self._dictionary_pending.get(key)
+                if pending is None:
+                    pending = threading.Event()
+                    self._dictionary_pending[key] = pending
+                    is_builder = True
+                else:
+                    is_builder = False
+            if not is_builder:
+                # Another thread owns the build; wait, then re-check the
+                # cache (looping covers an invalidation racing the
+                # publish, in which case this thread becomes the
+                # builder on the next pass).
+                pending.wait()
+                continue
+            try:
+                built = ColumnDictionary.build(
+                    self.table(table_name).column(column_name)
+                )
+            except BaseException:
+                with self._dictionary_lock:
+                    self._dictionary_pending.pop(key, None)
+                pending.set()
+                raise
+            with self._dictionary_lock:
+                self._dictionaries[key] = built
+                self.dictionary_builds += 1
+                self._dictionary_pending.pop(key, None)
+            pending.set()
+            return built
 
     def dictionary_cache_info(self) -> dict[str, int]:
         """Counters for observability (explain output, tests)."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DataError, SchemaError
+from repro.storage.partition import DEFAULT_MORSEL_ROWS, Morsel, partition_table
 from repro.storage.schema import ColumnDef, TableSchema
 from repro.storage.types import ColumnType, coerce_to_type, infer_column_type
 from repro.util.keycodes import single_table_codes
@@ -49,6 +50,9 @@ class Table:
                 values, column_def.column_type
             )
         self._num_rows = num_rows or 0
+        # Partitioning is logical (row ranges over immutable arrays), so
+        # morsel lists are tiny and cached per requested shape.
+        self._partitions: dict[tuple[int, int], tuple[Morsel, ...]] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -95,6 +99,34 @@ class Table:
 
     def column_type(self, name: str) -> ColumnType:
         return self.schema.column_type(name)
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+
+    def morsels(
+        self,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        min_morsels: int = 1,
+    ) -> tuple[Morsel, ...]:
+        """Row-range morsels covering this table.
+
+        Purely logical: each :class:`~repro.storage.partition.Morsel`
+        is a ``[start, stop)`` range over the table's immutable column
+        arrays.  Scans slice both the base columns and any
+        table-resident dictionary codes by the same range, so every
+        partition reuses the shared per-column artifacts instead of
+        rebuilding them.  The morsel list for a given shape is computed
+        once and cached (the table is immutable).
+        """
+        key = (int(morsel_rows), int(min_morsels))
+        cached = self._partitions.get(key)
+        if cached is None:
+            cached = partition_table(
+                self.name, self._num_rows, morsel_rows, min_morsels
+            )
+            self._partitions[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Row-set operations (return new tables)

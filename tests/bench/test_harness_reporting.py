@@ -12,7 +12,6 @@ from repro.bench.reporting import (
     table3_rows,
     table4_rows,
 )
-from repro.workloads import tpcds_lite
 
 
 @pytest.fixture(scope="module")

@@ -7,8 +7,8 @@ import pytest
 from repro.engine.executor import Executor
 from repro.errors import ExecutionError
 from repro.expr.expressions import Comparison, col, lit
-from repro.plan.builder import attach_aggregate, build_right_deep, join_nodes, scan_for
-from repro.plan.nodes import FilterNode, ScanNode
+from repro.plan.builder import attach_aggregate, build_right_deep, scan_for
+from repro.plan.nodes import FilterNode
 from repro.plan.pushdown import push_down_bitvectors
 from repro.query.joingraph import JoinGraph
 from repro.query.spec import Aggregate, JoinPredicate, QuerySpec, RelationRef

@@ -8,7 +8,7 @@ from repro.engine.lip import order_filters_adaptively
 from repro.expr.expressions import Comparison, col, lit
 from repro.filters.exact import ExactFilter
 from repro.plan.builder import attach_aggregate, build_right_deep
-from repro.plan.nodes import BitvectorDef, HashJoinNode, ScanNode
+from repro.plan.nodes import BitvectorDef
 from repro.plan.pushdown import push_down_bitvectors
 from repro.query.joingraph import JoinGraph
 from repro.query.spec import Aggregate, JoinPredicate, QuerySpec, RelationRef

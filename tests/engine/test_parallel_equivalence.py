@@ -1,0 +1,214 @@
+"""Parallel-vs-serial equivalence: morsel-driven execution must be
+byte-identical to the serial engine for every filter kind (exact,
+bloom, blocked bloom) and for LIP-style adaptive filter ordering.
+
+Morsel decomposition is order-preserving by construction — per-morsel
+``flatnonzero`` offsets concatenate to the serial selection, and join
+match pairs concatenate in probe order — so the assertion is exact
+byte equality, not approximate agreement.  The parallel threshold is
+monkeypatched down so the randomized workloads (small on purpose) still
+split into many morsels per operator.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engine.executor as executor_module
+from repro.bench.harness import _checksum
+from repro.engine.executor import Executor
+from repro.expr.expressions import Comparison, col, lit
+from repro.filters import FILTER_KINDS
+from repro.plan.builder import attach_aggregate, build_right_deep
+from repro.plan.pushdown import push_down_bitvectors
+from repro.query.joingraph import JoinGraph
+from repro.query.spec import Aggregate, JoinPredicate, QuerySpec, RelationRef
+from repro.storage.database import Database
+from repro.storage.schema import ForeignKey
+from repro.storage.table import Table
+
+
+@pytest.fixture(autouse=True)
+def _tiny_parallel_threshold(monkeypatch):
+    """Force morsel splits on test-sized relations."""
+    monkeypatch.setattr(executor_module, "_MIN_PARALLEL_ROWS", 64)
+    monkeypatch.setattr("repro.storage.partition.MIN_MORSEL_ROWS", 16)
+
+
+def _random_star(seed: int) -> tuple[Database, QuerySpec, list[list[str]]]:
+    rng = np.random.default_rng(seed)
+    n_dim1 = int(rng.integers(30, 150))
+    n_dim2 = int(rng.integers(30, 150))
+    n_fact = int(rng.integers(2000, 8000))
+
+    database = Database(f"par_{seed}")
+    database.add_table(
+        Table.from_arrays(
+            "dim1",
+            {
+                "id": np.arange(n_dim1),
+                "v": rng.integers(0, 10, n_dim1),
+                "tag": rng.choice(
+                    np.array(["x", "y", "z"], dtype=object), n_dim1
+                ),
+            },
+            key=("id",),
+        )
+    )
+    database.add_table(
+        Table.from_arrays(
+            "dim2",
+            {"id": np.arange(n_dim2), "w": rng.integers(0, 8, n_dim2)},
+            key=("id",),
+        )
+    )
+    database.add_table(
+        Table.from_arrays(
+            "fact",
+            {
+                "fk1": rng.integers(0, n_dim1, n_fact),
+                "fk2": rng.integers(0, n_dim2, n_fact),
+                "m": np.round(rng.normal(size=n_fact), 6),
+            },
+        )
+    )
+    database.add_foreign_key(ForeignKey("fact", ("fk1",), "dim1", ("id",)))
+    database.add_foreign_key(ForeignKey("fact", ("fk2",), "dim2", ("id",)))
+
+    spec = QuerySpec(
+        name=f"q_{seed}",
+        relations=(
+            RelationRef("f", "fact"),
+            RelationRef("a", "dim1"),
+            RelationRef("b", "dim2"),
+        ),
+        join_predicates=(
+            JoinPredicate("f", ("fk1",), "a", ("id",)),
+            JoinPredicate("f", ("fk2",), "b", ("id",)),
+        ),
+        local_predicates={
+            "a": Comparison("<", col("a", "v"), lit(int(rng.integers(2, 9)))),
+            "b": Comparison("<", col("b", "w"), lit(int(rng.integers(2, 7)))),
+        },
+        aggregates=(
+            Aggregate("count", label="cnt"),
+            Aggregate("sum", col("f", "m"), label="total"),
+            Aggregate("min", col("f", "m"), label="lo"),
+        ),
+        group_by=(col("a", "tag"),),
+    )
+    orders = [["f", "a", "b"], ["a", "f", "b"], ["b", "f", "a"]]
+    return database, spec, orders
+
+
+def _relation_plans(database, spec, orders):
+    graph = JoinGraph(spec, database.catalog)
+    return [
+        push_down_bitvectors(build_right_deep(graph, order))
+        for order in orders
+    ]
+
+
+def _aggregate_plans(database, spec, orders):
+    return [
+        attach_aggregate(plan, spec)
+        for plan in _relation_plans(database, spec, orders)
+    ]
+
+
+@pytest.mark.parametrize("filter_kind", sorted(FILTER_KINDS))
+@pytest.mark.parametrize("seed", range(5))
+def test_parallel_matches_serial_byte_identical(filter_kind, seed):
+    database, spec, orders = _random_star(seed)
+    serial = Executor(database, filter_kind=filter_kind)
+    parallel = Executor(
+        database, filter_kind=filter_kind, parallelism=4, morsel_rows=512
+    )
+    for plan in _aggregate_plans(database, spec, orders):
+        serial_result = serial.execute(plan)
+        parallel_result = parallel.execute(plan)
+        keys = serial_result.aggregates.keys()
+        assert keys == parallel_result.aggregates.keys()
+        for label in keys:
+            expected = serial_result.aggregates[label]
+            actual = parallel_result.aggregates[label]
+            assert actual.dtype == expected.dtype
+            assert actual.tobytes() == expected.tobytes(), (
+                f"{label} diverged for filter={filter_kind} seed={seed}"
+            )
+        assert _checksum(parallel_result) == _checksum(serial_result)
+
+
+@pytest.mark.parametrize("filter_kind", sorted(FILTER_KINDS))
+def test_parallel_relation_output_identical(filter_kind):
+    """Non-aggregate plans: every output column, row order included."""
+    database, spec, orders = _random_star(11)
+    serial = Executor(database, filter_kind=filter_kind)
+    parallel = Executor(
+        database, filter_kind=filter_kind, parallelism=3, morsel_rows=700
+    )
+    for plan in _relation_plans(database, spec, orders):
+        serial_columns = serial.execute(plan).relation.columns
+        parallel_columns = parallel.execute(plan).relation.columns
+        assert serial_columns.keys() == parallel_columns.keys()
+        for key, expected in serial_columns.items():
+            actual = parallel_columns[key]
+            assert actual.dtype == expected.dtype
+            assert np.array_equal(actual, expected), f"{key} diverged"
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_parallel_matches_serial_with_lip_ordering(seed):
+    """LIP adaptive filter ordering is decided once on the main thread
+    and shared by every morsel — results stay byte-identical."""
+    database, spec, orders = _random_star(seed + 50)
+    serial = Executor(database, adaptive_filter_order=True)
+    parallel = Executor(
+        database, adaptive_filter_order=True, parallelism=4, morsel_rows=512
+    )
+    for plan in _aggregate_plans(database, spec, orders):
+        serial_result = serial.execute(plan)
+        parallel_result = parallel.execute(plan)
+        for label in serial_result.aggregates:
+            assert (
+                parallel_result.aggregates[label].tobytes()
+                == serial_result.aggregates[label].tobytes()
+            )
+
+
+def test_parallel_metrics_counters_merged():
+    """Worker counters land in the main metrics after the barrier."""
+    database, spec, orders = _random_star(5)
+    plan = _aggregate_plans(database, spec, orders)[0]
+    serial_metrics = Executor(database).execute(plan).metrics
+    parallel_metrics = (
+        Executor(database, parallelism=4, morsel_rows=512)
+        .execute(plan)
+        .metrics
+    )
+    # Metered tuple counts are recorded on the main thread and must be
+    # mode-independent.
+    assert parallel_metrics.metered_cpu() == serial_metrics.metered_cpu()
+    # Copy accounting flows back from the per-worker metrics; the
+    # parallel engine still gathers *something* (join keys, aggregate
+    # inputs), so merged counters must be non-zero.
+    assert parallel_metrics.rows_copied > 0
+    assert parallel_metrics.bytes_gathered > 0
+    assert parallel_metrics.dictionary_hits == serial_metrics.dictionary_hits
+
+
+def test_parallelism_one_is_serial_engine():
+    """parallelism=1 must take the exact serial code path."""
+    database, spec, orders = _random_star(17)
+    plan = _aggregate_plans(database, spec, orders)[0]
+    default_result = Executor(database).execute(plan)
+    configured = Executor(database, parallelism=1, morsel_rows=512)
+    configured_result = configured.execute(plan)
+    for label in default_result.aggregates:
+        assert (
+            configured_result.aggregates[label].tobytes()
+            == default_result.aggregates[label].tobytes()
+        )
+    assert (
+        configured_result.metrics.rows_copied
+        == default_result.metrics.rows_copied
+    )

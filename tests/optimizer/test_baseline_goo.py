@@ -7,7 +7,7 @@ from repro.optimizer.baseline import optimize_baseline
 from repro.optimizer.blindcard import BlindCardModel
 from repro.plan.properties import base_aliases, join_count
 from repro.query.joingraph import JoinGraph
-from repro.query.spec import JoinPredicate, QuerySpec, RelationRef
+from repro.query.spec import QuerySpec, RelationRef
 from repro.stats.estimator import CardinalityEstimator
 from repro.workloads.synthetic import random_snowflake, random_star
 

@@ -11,7 +11,7 @@ from repro.optimizer.pipelines import PIPELINES, optimize_query
 from repro.plan.builder import build_right_deep
 from repro.plan.nodes import HashJoinNode
 from repro.query.joingraph import JoinGraph
-from repro.query.spec import Aggregate, JoinPredicate, QuerySpec, RelationRef
+from repro.query.spec import JoinPredicate, QuerySpec, RelationRef
 from repro.stats.estimator import CardinalityEstimator
 from repro.storage.database import Database
 from repro.storage.schema import ForeignKey

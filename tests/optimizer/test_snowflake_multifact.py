@@ -1,8 +1,6 @@
 """Tests for Algorithm 2 (OptimizeSnowflake) and Algorithm 3
 (OptimizeJoinGraph)."""
 
-import pytest
-
 from repro.cost.truecard import true_cout
 from repro.optimizer.enumerate import right_deep_orders
 from repro.optimizer.multifact import optimize_join_graph
@@ -13,7 +11,7 @@ from repro.plan.properties import base_aliases, join_count
 from repro.plan.pushdown import push_down_bitvectors
 from repro.query.joingraph import JoinGraph
 from repro.stats.estimator import CardinalityEstimator
-from repro.workloads.synthetic import random_snowflake, random_star
+from repro.workloads.synthetic import random_snowflake
 
 
 def setup(db, spec):

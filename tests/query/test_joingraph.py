@@ -5,7 +5,7 @@ import pytest
 from repro.errors import QueryError
 from repro.query.joingraph import JoinGraph
 from repro.query.spec import JoinPredicate, QuerySpec, RelationRef
-from repro.workloads.synthetic import random_snowflake, random_star
+from repro.workloads.synthetic import random_snowflake
 
 
 class TestStarGraph:

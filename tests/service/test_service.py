@@ -215,3 +215,67 @@ def test_run_many_concurrent_dictionary_builds(star_db):
     results = service.run_many(sqls, max_workers=8)
     expected = [_expected_count(star_db, t) for t in range(2, 10)] * 3
     assert [r.scalar("cnt") for r in results] == expected
+    # Single-flight construction: exactly one build per resident column
+    # despite 8 threads racing on a cold cache.
+    info = star_db.dictionary_cache_info()
+    assert info["builds"] == info["entries"]
+
+
+def test_run_many_reuses_persistent_pool(star_db):
+    """Batches share one lazily created pool until close()."""
+    service = QueryService(star_db)
+    assert service._batch_pool is None  # lazy: no batch yet
+    sqls = [_count_sql(t) for t in (2, 3, 4, 5)]
+    service.run_many(sqls, max_workers=2)
+    pool = service._batch_pool
+    assert pool is not None
+    service.run_many(sqls, max_workers=2)
+    assert service._batch_pool is pool  # reused, not rebuilt
+    # A wider batch grows the pool once; later narrow batches keep it.
+    service.run_many(sqls, max_workers=4)
+    wider = service._batch_pool
+    assert wider is not pool
+    service.run_many(sqls, max_workers=2)
+    assert service._batch_pool is wider
+    service.close()
+    assert service._batch_pool is None
+    service.close()  # idempotent
+    # The service stays usable: the pool is recreated lazily.
+    results = service.run_many(sqls, max_workers=2)
+    assert len(results) == len(sqls)
+    service.close()
+
+
+def test_service_context_manager_closes_pool(star_db):
+    with QueryService(star_db) as service:
+        service.run_many([_count_sql(t) for t in (2, 3)], max_workers=2)
+        assert service._batch_pool is not None
+    assert service._batch_pool is None
+
+
+def test_serial_batches_skip_pool(star_db):
+    service = QueryService(star_db)
+    service.run_many([_count_sql(2)], max_workers=4)  # single statement
+    service.run_many([_count_sql(2), _count_sql(3)], max_workers=1)
+    assert service._batch_pool is None
+
+
+def test_parallel_service_matches_serial(star_db):
+    """Intra-query parallelism changes nothing about the answers."""
+    sqls = [_count_sql(t) for t in (2, 3, 4, 5, 6)]
+    serial = QueryService(star_db)
+    parallel = QueryService(star_db, parallelism=4, morsel_rows=512)
+    expected = [serial.execute(sql).scalar("cnt") for sql in sqls]
+    observed = [parallel.execute(sql).scalar("cnt") for sql in sqls]
+    assert observed == expected
+
+
+def test_explain_reports_parallel_configuration(star_db):
+    serial = QueryService(star_db)
+    rendered = serial.explain(_count_sql(3))
+    assert "parallelism=1" in rendered and "(serial)" in rendered
+    parallel = QueryService(star_db, parallelism=4, morsel_rows=8192)
+    rendered = parallel.explain(_count_sql(3))
+    assert "parallelism=4" in rendered
+    assert "morsel_rows=8192" in rendered
+    assert "(serial)" not in rendered

@@ -1,0 +1,230 @@
+"""Concurrency stress: dictionary construction and filter-cache races.
+
+Two shared-artifact paths get hammered by many threads at once:
+
+* ``Database.dictionary`` — construction is single-flight, so a
+  thundering herd on one column must produce exactly one build (no
+  duplicate builds leaking into ``dictionary_builds``), and every
+  caller must receive the same object;
+* ``BitvectorFilterCache.get_or_build`` racing ``clear()`` — the LRU
+  generation guard must keep a build that straddled an invalidation
+  from re-publishing, while hit/miss accounting stays consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.filters.cache import BitvectorFilterCache, filter_cache_key
+from repro.filters.registry import create_filter
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+_THREADS = 16
+_ROUNDS = 30
+
+
+def _barrier_run(worker, count: int = _THREADS) -> list:
+    """Start ``count`` threads through a barrier; re-raise first error."""
+    barrier = threading.Barrier(count)
+    results: list = [None] * count
+    errors: list = []
+
+    def runner(slot: int) -> None:
+        try:
+            barrier.wait()
+            results[slot] = worker(slot)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(slot,)) for slot in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+@pytest.fixture
+def database():
+    rng = np.random.default_rng(7)
+    db = Database("stress")
+    db.add_table(
+        Table.from_arrays(
+            "fact",
+            {
+                "k": rng.integers(0, 5000, 200_000),
+                "g": rng.integers(0, 64, 200_000),
+            },
+        )
+    )
+    return db
+
+
+class TestDictionarySingleFlight:
+    def test_thundering_herd_builds_once(self, database):
+        results = _barrier_run(lambda _: database.dictionary("fact", "k"))
+        assert all(result is results[0] for result in results)
+        info = database.dictionary_cache_info()
+        assert info["builds"] == 1, (
+            f"duplicate builds leaked into metrics: {info}"
+        )
+        assert info["entries"] == 1
+        assert info["lookups"] == _THREADS
+
+    def test_distinct_columns_build_independently(self, database):
+        columns = ["k", "g"]
+        _barrier_run(
+            lambda slot: database.dictionary("fact", columns[slot % 2])
+        )
+        info = database.dictionary_cache_info()
+        assert info["builds"] == 2
+        assert info["entries"] == 2
+
+    def test_build_vs_invalidate_race(self, database):
+        """Readers racing invalidations: every returned dictionary must
+        decode its column, and builds never exceed one per epoch."""
+        stop = threading.Event()
+        invalidations = 0
+
+        def invalidator() -> None:
+            nonlocal invalidations
+            while not stop.is_set():
+                database.invalidate_dictionaries("fact")
+                invalidations += 1
+
+        column = database.table("fact").column("k")
+        churner = threading.Thread(target=invalidator)
+        churner.start()
+        try:
+            def reader(_slot: int) -> None:
+                for _ in range(_ROUNDS):
+                    dictionary = database.dictionary("fact", "k")
+                    # Spot-check correctness on a slice: a stale or
+                    # half-built dictionary would decode wrongly.
+                    assert np.array_equal(
+                        dictionary.values[dictionary.codes[:64]], column[:64]
+                    )
+
+            _barrier_run(reader, count=8)
+        finally:
+            stop.set()
+            churner.join()
+        info = database.dictionary_cache_info()
+        # Single-flight bound: at most one build per invalidation epoch
+        # (+1 for the initial build), never one per caller.
+        assert info["builds"] <= invalidations + 1
+        assert info["builds"] >= 1
+
+
+class TestFilterCacheRaces:
+    def _key(self, tag: str) -> tuple:
+        return filter_cache_key(
+            table_name="fact",
+            key_columns=("k",),
+            predicate_key=tag,
+            filter_kind="exact",
+        )
+
+    def test_concurrent_get_or_build_single_entry(self):
+        cache = BitvectorFilterCache(8)
+        keys = np.arange(1000)
+        builds = []
+        build_lock = threading.Lock()
+
+        def builder():
+            with build_lock:
+                builds.append(1)
+            return create_filter("exact", [keys])
+
+        key = self._key("p")
+        results = _barrier_run(lambda _: cache.get_or_build(key, builder))
+        filters = {id(bitvector) for bitvector, _ in results}
+        hits = sum(1 for _, was_cached in results if was_cached)
+        misses = _THREADS - hits
+        # Racing builders may each build once (builder runs outside the
+        # lock, bounded duplicate work) but exactly one filter wins the
+        # slot, and accounting matches what callers observed.
+        assert len(cache) == 1
+        assert misses == len(builds)
+        assert misses >= 1
+        # Every returned filter answers identically, winner or not.
+        probe = np.array([0, 999, 1000, -1])
+        expected = [True, True, False, False]
+        for bitvector, _ in results:
+            assert bitvector.contains([probe]).tolist() == expected
+        assert len(filters) <= len(builds)
+
+    def test_build_vs_clear_never_republishes_stale(self):
+        """A build that straddles a clear() must not re-publish."""
+        cache = BitvectorFilterCache(8)
+        keys = np.arange(500)
+        key = self._key("q")
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_builder():
+            entered.set()
+            assert release.wait(timeout=5.0)
+            return create_filter("exact", [keys])
+
+        worker_result: list = []
+
+        def worker() -> None:
+            worker_result.append(cache.get_or_build(key, slow_builder))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        cache.clear()  # invalidation lands mid-build
+        release.set()
+        thread.join()
+        bitvector, was_cached = worker_result[0]
+        assert was_cached is False
+        # The stale build served its own caller but was not published.
+        assert cache.get(key) is None
+        assert len(cache) == 0
+        # The next request rebuilds cleanly and does publish.
+        rebuilt, was_cached = cache.get_or_build(
+            key, lambda: create_filter("exact", [keys])
+        )
+        assert was_cached is False
+        assert cache.get(key) is rebuilt
+
+    def test_clear_churn_stays_consistent(self):
+        cache = BitvectorFilterCache(8)
+        keys = np.arange(2000)
+        stop = threading.Event()
+
+        def clearer() -> None:
+            while not stop.is_set():
+                cache.clear()
+
+        churner = threading.Thread(target=clearer)
+        churner.start()
+        try:
+            def worker(slot: int) -> None:
+                key = self._key(f"r{slot % 4}")
+                for _ in range(_ROUNDS):
+                    bitvector, _ = cache.get_or_build(
+                        key, lambda: create_filter("exact", [keys])
+                    )
+                    assert bitvector.contains(
+                        [np.array([0, 2000])]
+                    ).tolist() == [True, False]
+
+            _barrier_run(worker, count=8)
+        finally:
+            stop.set()
+            churner.join()
+        # After the churn settles the cache is internally consistent:
+        # bounded, and every resident filter is a published winner.
+        assert len(cache) <= 4
+        assert cache.size_bits() >= 0

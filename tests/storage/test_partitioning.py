@@ -1,0 +1,78 @@
+"""Horizontal partitioning: morsel ranges and table morsels."""
+
+import numpy as np
+import pytest
+
+from repro.storage.database import Database
+from repro.storage.partition import (
+    MIN_MORSEL_ROWS,
+    Morsel,
+    morsel_ranges,
+    partition_table,
+)
+from repro.storage.table import Table
+
+
+class TestMorselRanges:
+    def test_covers_rows_disjoint_and_ordered(self):
+        for num_rows in (1, 1023, 1024, 4097, 100_000, 1_000_001):
+            for morsel_rows in (1024, 4096, 65536):
+                ranges = morsel_ranges(num_rows, morsel_rows)
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == num_rows
+                for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                    assert stop == start  # contiguous, disjoint
+
+    def test_balanced_within_one_row(self):
+        ranges = morsel_ranges(100_001, 10_000)
+        sizes = {stop - start for start, stop in ranges}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_min_morsels_widens_split(self):
+        # One 65536-row morsel would cover all rows; four workers ask
+        # for at least four.
+        assert len(morsel_ranges(65_536, 65_536)) == 1
+        assert len(morsel_ranges(65_536, 65_536, min_morsels=4)) == 4
+
+    def test_never_splits_below_floor(self):
+        ranges = morsel_ranges(MIN_MORSEL_ROWS * 2, 16, min_morsels=64)
+        assert all(stop - start >= MIN_MORSEL_ROWS for start, stop in ranges)
+        # ... except when the table itself is smaller than the floor.
+        assert morsel_ranges(10, 4) == [(0, 10)]
+
+    def test_empty(self):
+        assert morsel_ranges(0) == []
+        assert morsel_ranges(-5) == []
+
+
+class TestTableMorsels:
+    @pytest.fixture
+    def table(self):
+        return Table.from_arrays(
+            "fact", {"k": np.arange(10_000), "v": np.ones(10_000)}
+        )
+
+    def test_morsels_cover_table(self, table):
+        morsels = table.morsels(morsel_rows=3000)
+        assert all(isinstance(m, Morsel) for m in morsels)
+        assert morsels[0].start == 0
+        assert morsels[-1].stop == table.num_rows
+        assert sum(m.num_rows for m in morsels) == table.num_rows
+        assert [m.index for m in morsels] == list(range(len(morsels)))
+        assert all(m.table_name == "fact" for m in morsels)
+
+    def test_morsel_list_cached_per_shape(self, table):
+        assert table.morsels(3000) is table.morsels(3000)
+        assert table.morsels(3000) is not table.morsels(2000)
+        assert table.morsels(3000, min_morsels=8) is not table.morsels(3000)
+
+    def test_database_delegates(self, table):
+        database = Database("part")
+        database.add_table(table, validate_key=False)
+        assert database.morsels("fact", 3000) is table.morsels(3000)
+
+    def test_partition_table_helper(self):
+        morsels = partition_table("t", 5000, 2000)
+        assert [(m.start, m.stop) for m in morsels] == [
+            (0, 1667), (1667, 3334), (3334, 5000)
+        ]

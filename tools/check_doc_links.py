@@ -15,7 +15,6 @@ Run standalone::
 from __future__ import annotations
 
 import re
-import sys
 from pathlib import Path
 
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
