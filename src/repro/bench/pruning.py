@@ -1,0 +1,243 @@
+"""Zone-map pruning experiment: morsel-level data skipping vs. layout.
+
+Zone maps skip work only where value ranges correlate with storage
+order, so the experiment runs one selective workload over two physical
+layouts of the same data:
+
+* **clustered** — the fact table is sorted by its key, so a selective
+  band predicate (and the bitvector filter a selective dimension
+  induces) touches a handful of morsels and zone maps prune the rest;
+* **shuffled** — the same rows in random order: every morsel spans the
+  full key range, nothing can be pruned, and the run measures the pure
+  overhead of consulting the synopses.
+
+Both layouts execute with ``zone_maps`` on and off at each requested
+parallelism level; answers must be byte-identical everywhere (pruning
+is conservative by construction — drift is a correctness bug).  Used by
+``benchmarks/test_zonemap_pruning.py`` and by the CLI::
+
+    python -m repro.bench --experiment zonemap-pruning \
+        --output BENCH_zonemap_pruning.json
+
+so the skipping trajectory accumulates in-repo as a JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.executor import Executor
+from repro.filters.cache import BitvectorFilterCache
+from repro.optimizer.pipelines import optimize_query
+from repro.sql.binder import parse_query
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+DEFAULT_ROWS = 2_000_000
+
+# The selective band: predicates and the dimension filter keep this
+# fraction of the key domain, so a clustered layout can prune ~1 - BAND
+# of its morsels.
+_BAND_FRACTION = 0.05
+
+
+def build_pruning_database(
+    rows: int = DEFAULT_ROWS, layout: str = "clustered", seed: int = 7
+) -> Database:
+    """One fact + one dimension over a shared integer key domain.
+
+    ``layout`` is ``"clustered"`` (fact sorted by key — the layout a
+    date-partitioned decision-support fact table naturally has) or
+    ``"shuffled"`` (identical rows, random order).  Measures are a
+    deterministic function of the key so both layouts hold exactly the
+    same multiset of rows and every aggregate must agree.
+    """
+    if layout not in ("clustered", "shuffled"):
+        raise ValueError(f"unknown layout {layout!r}")
+    rng = np.random.default_rng(seed)
+    domain = max(rows // 20, 1)
+    keys = rng.integers(0, domain, rows)
+    if layout == "clustered":
+        keys = np.sort(keys)
+    values = (keys % 97).astype(np.float64) + 0.25
+    database = Database(f"pruning_{layout}")
+    database.add_table(
+        Table.from_arrays("fact", {"f_key": keys, "f_val": values}),
+        validate_key=False,
+    )
+    database.add_table(
+        Table.from_arrays("dim", {"d_key": np.arange(domain)}, key=("d_key",))
+    )
+    return database
+
+
+def pruning_workload_sqls(rows: int = DEFAULT_ROWS) -> list[str]:
+    """A selective band scan and a band join (bitvector-filtered)."""
+    domain = max(rows // 20, 1)
+    low = int(domain * 0.50)
+    high = low + max(int(domain * _BAND_FRACTION), 1) - 1
+    return [
+        # Predicate pruning: the scan's BETWEEN can discard whole
+        # morsels on a clustered layout.
+        "SELECT COUNT(*) AS cnt, SUM(f.f_val) AS rev "
+        f"FROM fact f WHERE f.f_key BETWEEN {low} AND {high}",
+        # Filter pruning: the selective dimension induces a bitvector
+        # on the fact scan; the filter's key bounds cover only the band,
+        # so zone maps skip morsels before the probe runs.
+        "SELECT COUNT(*) AS cnt, SUM(f.f_val) AS rev "
+        "FROM fact f, dim d WHERE f.f_key = d.d_key "
+        f"AND d.d_key BETWEEN {low} AND {high}",
+    ]
+
+
+def _checksum(results) -> float:
+    from repro.bench.harness import _checksum as harness_checksum
+
+    return round(sum(harness_checksum(result) for result in results), 6)
+
+
+def _best_of_interleaved(
+    executors: dict[bool, Executor], plans: list, rounds: int
+) -> dict[bool, float]:
+    """Best-of-N warm wall clock per executor, rounds interleaved.
+
+    Alternating on/off passes inside each round exposes both
+    configurations to the same scheduler/frequency drift, so their
+    *ratio* — the quantity the overhead and speedup bars assert on —
+    is far more stable than two sequentially timed blocks.
+    """
+    best = {key: float("inf") for key in executors}
+    for _ in range(rounds):
+        for key, executor in executors.items():
+            started = time.perf_counter()
+            for plan in plans:
+                executor.execute(plan)
+            best[key] = min(best[key], time.perf_counter() - started)
+    return best
+
+
+def run_zonemap_pruning(
+    rows: int = DEFAULT_ROWS,
+    parallelism_levels: tuple[int, ...] = (1, 4),
+    morsel_rows: int = 16384,
+    rounds: int = 5,
+) -> dict:
+    """Measure warm wall-clock with zone maps on vs. off, per layout.
+
+    Every (layout, parallelism, zone_maps) combination runs the same
+    optimized plans warm (one untimed pass builds dictionaries, filters,
+    and — with zone maps on — the synopses) and reports best-of-N
+    seconds plus the pruning counters of one steady-state pass.
+    Convenience top-level fields summarize the parallelism-1 result:
+    ``clustered_speedup`` (off/on), ``clustered_skip_fraction`` (rows
+    skipped over rows eligible), and ``shuffled_overhead_fraction``
+    (on/off - 1 — the cost of consulting synopses that never prune).
+    """
+    layouts: dict[str, dict] = {}
+    for layout in ("clustered", "shuffled"):
+        database = build_pruning_database(rows, layout)
+        plans = [
+            optimize_query(
+                database, parse_query(database, sql, f"{layout}_{i}"), "bqo"
+            ).plan
+            for i, sql in enumerate(pruning_workload_sqls(rows))
+        ]
+        eligible_rows = database.table("fact").num_rows * len(plans)
+        levels = []
+        checksums: list[float] = []
+        for parallelism in parallelism_levels:
+            executors = {
+                zone_maps: Executor(
+                    database,
+                    filter_cache=BitvectorFilterCache(64),
+                    parallelism=parallelism,
+                    morsel_rows=morsel_rows,
+                    zone_maps=zone_maps,
+                )
+                for zone_maps in (True, False)
+            }
+            counters: dict[bool, tuple[int, int]] = {}
+            for zone_maps, executor in executors.items():
+                warm = [executor.execute(plan) for plan in plans]
+                checksums.append(_checksum(warm))
+                counters[zone_maps] = (
+                    sum(r.metrics.morsels_pruned for r in warm),
+                    sum(r.metrics.rows_skipped for r in warm),
+                )
+            timings = _best_of_interleaved(executors, plans, rounds)
+            morsels_pruned, rows_skipped = counters[True]
+            levels.append(
+                {
+                    "parallelism": parallelism,
+                    "zone_on_seconds": round(timings[True], 6),
+                    "zone_off_seconds": round(timings[False], 6),
+                    "speedup": round(
+                        timings[False] / max(timings[True], 1e-9), 3
+                    ),
+                    "morsels_pruned": morsels_pruned,
+                    "rows_skipped": rows_skipped,
+                    "skip_fraction": round(
+                        rows_skipped / max(eligible_rows, 1), 4
+                    ),
+                }
+            )
+        layouts[layout] = {
+            "levels": levels,
+            "eligible_rows": eligible_rows,
+            "checksums": checksums,
+            "checksums_identical": len(set(checksums)) == 1,
+        }
+    # Headline fields summarize the serial (parallelism=1) run wherever
+    # it appears in the requested levels, falling back to the first
+    # level so the artifact is always populated.
+    def _serial_level(layout: str) -> dict:
+        levels = layouts[layout]["levels"]
+        return next(
+            (level for level in levels if level["parallelism"] == 1),
+            levels[0],
+        )
+
+    clustered_base = _serial_level("clustered")
+    shuffled_base = _serial_level("shuffled")
+    return {
+        "experiment": "zonemap_pruning",
+        "workload": "band-select + band-join over one fact table",
+        "rows": rows,
+        "band_fraction": _BAND_FRACTION,
+        "morsel_rows": morsel_rows,
+        "rounds": rounds,
+        "parallelism_levels": list(parallelism_levels),
+        "cpu_cores": _available_cores(),
+        "layouts": layouts,
+        "clustered_speedup": clustered_base["speedup"],
+        "clustered_skip_fraction": clustered_base["skip_fraction"],
+        "shuffled_overhead_fraction": round(
+            shuffled_base["zone_on_seconds"]
+            / max(shuffled_base["zone_off_seconds"], 1e-9)
+            - 1.0,
+            4,
+        ),
+        "checksums_identical": all(
+            entry["checksums_identical"] for entry in layouts.values()
+        ),
+    }
+
+
+def _available_cores() -> int:
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def write_pruning_report(payload: dict, path: str | Path) -> Path:
+    """Write the pruning payload as JSON (the in-repo perf artifact)."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -24,7 +24,7 @@ from repro.engine.relation import Relation
 from repro.errors import ExecutionError
 from repro.expr.eval import evaluate_predicate
 from repro.expr.expressions import referenced_columns
-from repro.filters.base import BitvectorFilter
+from repro.filters.base import BitvectorFilter, compute_key_bounds
 from repro.filters.registry import create_filter
 from repro.plan.nodes import (
     AggregateNode,
@@ -36,6 +36,7 @@ from repro.plan.nodes import (
 )
 from repro.storage.database import Database
 from repro.storage.partition import DEFAULT_MORSEL_ROWS, morsel_ranges
+from repro.storage.zonemaps import filter_prune_flags, predicate_prune_flags
 from repro.util.keycodes import combine_codes, dense_table_worthwhile, joint_codes
 
 # Below this row count a relation is processed serially even at
@@ -109,6 +110,15 @@ class Executor:
         built once and shared immutably, so probes are lock-free.
     morsel_rows:
         Target rows per morsel when splitting relations for the pool.
+    zone_maps:
+        Consult per-morsel min/max synopses (see
+        :mod:`repro.storage.zonemaps`) before dispatching morsel work:
+        scan predicates, bitvector filter applications, and hash-join
+        probes skip whole morsels whose value bounds provably cannot
+        qualify.  Pruning is conservative, so output stays
+        byte-identical at every parallelism level; ``zone_maps=False``
+        preserves the exact unpruned code path (and the eager baseline
+        never prunes, mirroring the seed engine).
     """
 
     def __init__(
@@ -121,6 +131,7 @@ class Executor:
         eager_materialization: bool = False,
         parallelism: int = 1,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        zone_maps: bool = True,
     ) -> None:
         self._database = database
         self._filter_kind = filter_kind
@@ -133,8 +144,9 @@ class Executor:
         self._parallelism = max(int(parallelism), 1)
         self._morsel_rows = max(int(morsel_rows), 1)
         # The eager baseline exists to reproduce the seed engine, so it
-        # never takes a parallel path.
+        # never takes a parallel path and never prunes.
         self._parallel = self._parallelism > 1 and not self._eager
+        self._zone_maps = bool(zone_maps) and not self._eager
 
     @property
     def parallelism(self) -> int:
@@ -143,6 +155,10 @@ class Executor:
     @property
     def morsel_rows(self) -> int:
         return self._morsel_rows
+
+    @property
+    def zone_maps(self) -> bool:
+        return self._zone_maps
 
     # ------------------------------------------------------------------
     # Entry point
@@ -255,13 +271,15 @@ class Executor:
 
     def _scan_ranges(self, table) -> list[tuple[int, int]] | None:
         """Morsels of a base table, via the storage-layer partitioning
-        (cached on the immutable table) rather than an ad-hoc split."""
+        (cached on the immutable table) rather than an ad-hoc split.
+        Delegates to :meth:`_table_ranges` — the same shape zone maps
+        are keyed by, which the pruning soundness argument relies on."""
         if not self._parallel or table.num_rows < _MIN_PARALLEL_ROWS:
             return None
-        parts = table.morsels(self._morsel_rows, min_morsels=self._parallelism)
-        if len(parts) < 2:
+        ranges = self._table_ranges(table)
+        if len(ranges) < 2:
             return None
-        return [(part.start, part.stop) for part in parts]
+        return ranges
 
     def _parallel_selection(self, relation: Relation,
                             metrics: ExecutionMetrics, mask_fn,
@@ -284,6 +302,295 @@ class Executor:
             return np.flatnonzero(mask_fn(view)) + start
 
         return np.concatenate(self._map_morsels(metrics, ranges, task))
+
+    # ------------------------------------------------------------------
+    # Zone-map pruning (see repro.storage.zonemaps)
+    # ------------------------------------------------------------------
+
+    def _table_ranges(self, table) -> list[tuple[int, int]]:
+        """The morsel partitioning zone maps are keyed by: the same
+        shape the parallel scan dispatches (``_scan_ranges``)."""
+        return [
+            (part.start, part.stop)
+            for part in table.morsels(
+                self._morsel_rows, min_morsels=self._parallelism
+            )
+        ]
+
+    def _zone_map(self, table_name: str, column: str):
+        return self._database.zone_map(
+            table_name, column, self._morsel_rows, self._parallelism
+        )
+
+    @staticmethod
+    def _split_pruned(metrics: ExecutionMetrics,
+                      ranges: list[tuple[int, int]],
+                      pruned: list[bool]) -> list[tuple[int, int]]:
+        """Account the pruned morsels into ``metrics``; return the kept."""
+        kept = []
+        for row_range, flag in zip(ranges, pruned):
+            if flag:
+                metrics.morsels_pruned += 1
+                metrics.rows_skipped += row_range[1] - row_range[0]
+            else:
+                kept.append(row_range)
+        return kept
+
+    def _selection_over_ranges(self, relation: Relation,
+                               ranges: list[tuple[int, int]],
+                               metrics: ExecutionMetrics,
+                               mask_fn) -> np.ndarray:
+        """Surviving-row selection evaluated over the kept morsels only.
+
+        The pruned counterpart of :meth:`_parallel_selection`: morsels
+        absent from ``ranges`` were proven empty, so concatenating the
+        kept morsels' offsets still reproduces the serial whole-relation
+        ``flatnonzero`` exactly.  Dispatches to the pool when the kept
+        work is big enough, else evaluates inline (also the serial
+        executor's path — pruning works at any parallelism).
+        """
+        if not ranges:
+            return np.array([], dtype=np.int64)
+        total = sum(stop - start for start, stop in ranges)
+        if self._parallel and len(ranges) >= 2 and total >= _MIN_PARALLEL_ROWS:
+
+            def task(start: int, stop: int,
+                     worker: ExecutionMetrics) -> np.ndarray:
+                view = relation.range_view(start, stop, counters=worker)
+                return np.flatnonzero(mask_fn(view)) + start
+
+            return np.concatenate(self._map_morsels(metrics, ranges, task))
+        parts = []
+        for start, stop in ranges:
+            view = relation.range_view(start, stop, counters=metrics)
+            parts.append(np.flatnonzero(mask_fn(view)) + start)
+        return np.concatenate(parts)
+
+    def _scan_zone_pruning(
+        self, alias: str, table, predicate
+    ) -> tuple[list[tuple[int, int]], list[bool]] | None:
+        """Morsels of ``table`` the scan predicate provably rejects.
+
+        Returns ``(ranges, pruned_flags)`` when at least one morsel can
+        be skipped, else ``None`` (callers then run the unpruned path
+        unchanged).  Zone maps are fetched lazily per referenced
+        column, so predicates the interval logic cannot use (LIKE,
+        NOT) never trigger a synopsis build.
+        """
+        if not self._zone_maps or table.num_rows == 0:
+            return None
+        if any(a != alias for a, _ in referenced_columns(predicate)):
+            return None
+        ranges = self._table_ranges(table)
+        if not ranges:
+            return None
+        pruned = predicate_prune_flags(
+            predicate, alias,
+            lambda column: self._zone_map(table.name, column),
+            len(ranges),
+        )
+        if not any(pruned):
+            return None
+        return ranges, pruned
+
+    def _bitvector_zone_pruning(
+        self,
+        definitions: list[BitvectorDef],
+        relation: Relation,
+        filters: dict[int, BitvectorFilter],
+    ) -> tuple[list[tuple[int, int]], list[bool], dict[int, float]] | None:
+        """Zone-map pruning for a stack of applied bitvector filters.
+
+        Only relations whose probe key columns are whole base-table
+        columns (identity scans — the fact-table case the paper's
+        filters target) can be pruned: zone maps describe base row
+        ranges.  Because stacked filters are conjunctive, a morsel
+        pruned by *any* filter in the stack contributes nothing to the
+        stack's output, so one combined keep/prune partition serves the
+        whole application sequence.  Returns ``(ranges, pruned_flags,
+        skip_fraction_by_filter_id)``, or ``None`` when nothing can be
+        pruned.
+        """
+        if not self._zone_maps or relation.num_rows == 0:
+            return None
+        table_name: str | None = None
+        per_definition: list[tuple[BitvectorDef, list[str]] | None] = []
+        for definition in definitions:
+            columns: list[str] | None = []
+            for alias, column in definition.probe_keys:
+                source = relation.base_source(alias, column)
+                if source is None or source[2] is not None or (
+                    table_name is not None and source[0] != table_name
+                ):
+                    columns = None
+                    break
+                table_name = source[0]
+                columns.append(source[1])
+            per_definition.append(
+                (definition, columns) if columns is not None else None
+            )
+        if table_name is None:
+            return None
+        table = self._database.table(table_name)
+        if table.num_rows != relation.num_rows:
+            return None
+        ranges = self._table_ranges(table)
+        if not ranges:
+            return None
+        combined = [False] * len(ranges)
+        skip_fractions: dict[int, float] = {}
+        zones: dict[str, object] = {}
+        for entry in per_definition:
+            if entry is None:
+                continue
+            definition, columns = entry
+            bitvector = filters.get(definition.filter_id)
+            if bitvector is None:
+                continue  # missing filters fail loudly in the apply loop
+            if bitvector.num_keys == 0:
+                # Nothing was inserted; contains() is all-False and
+                # every morsel is provably empty.
+                pruned = [True] * len(ranges)
+            else:
+                key_bounds = bitvector.key_bounds()
+                if key_bounds is None or all(b is None for b in key_bounds):
+                    skip_fractions[definition.filter_id] = 0.0
+                    continue
+                for column in columns:
+                    if column not in zones:
+                        zones[column] = self._zone_map(table_name, column)
+                column_zones = [zones[column] for column in columns]
+                pruned = filter_prune_flags(
+                    key_bounds, column_zones, len(ranges)
+                )
+            skipped_rows = 0
+            for index, flag in enumerate(pruned):
+                if flag:
+                    combined[index] = True
+                    skipped_rows += ranges[index][1] - ranges[index][0]
+            skip_fractions[definition.filter_id] = (
+                skipped_rows / relation.num_rows
+            )
+        if not any(combined):
+            return None
+        return ranges, combined, skip_fractions
+
+    def _join_zone_pruning(
+        self,
+        node: HashJoinNode,
+        build_rel: Relation,
+        probe_rel: Relation,
+        filters: dict[int, BitvectorFilter],
+    ) -> tuple[list[tuple[int, int]], list[bool]] | None:
+        """Probe morsels whose key range matches no build-side key.
+
+        The join-level analogue of bitvector pruning: even when the
+        optimizer deployed no filter on this join, the build side's key
+        bounds let the executor skip probe morsels that cannot produce
+        a single match.  Requires the probe keys to be whole base-table
+        columns (see :meth:`_bitvector_zone_pruning`).
+        """
+        if not self._zone_maps:
+            return None
+        table_name: str | None = None
+        probe_columns: list[str] = []
+        for alias, column in node.probe_keys:
+            source = probe_rel.base_source(alias, column)
+            if source is None or source[2] is not None or (
+                table_name is not None and source[0] != table_name
+            ):
+                return None
+            table_name = source[0]
+            probe_columns.append(source[1])
+        if table_name is None:
+            return None
+        table = self._database.table(table_name)
+        if table.num_rows != probe_rel.num_rows:
+            return None
+        bounds = self._build_key_bounds(node, build_rel, filters)
+        if bounds is None or all(b is None for b in bounds):
+            return None
+        ranges = self._table_ranges(table)
+        if not ranges:
+            return None
+        zones = [
+            self._zone_map(table_name, column) for column in probe_columns
+        ]
+        pruned = filter_prune_flags(bounds, zones, len(ranges))
+        if not any(pruned):
+            return None
+        return ranges, pruned
+
+    def _build_key_bounds(
+        self,
+        node: HashJoinNode,
+        build_rel: Relation,
+        filters: dict[int, BitvectorFilter],
+    ) -> list[tuple | None] | None:
+        """Bounds of the build side's key columns, as cheaply as possible.
+
+        Preference order: the bounds the join's own bitvector filter
+        already holds (free — its dictionaries are sorted), else a
+        min/max pass over identity build columns (zero-copy views of a
+        dimension table).  Filtered build sides without a filter would
+        force a gather just to compute bounds, so they report ``None``.
+        """
+        definition = node.created_bitvector
+        if definition is not None and tuple(definition.build_keys) == tuple(
+            node.build_keys
+        ):
+            bitvector = filters.get(definition.filter_id)
+            if bitvector is not None:
+                return bitvector.key_bounds()
+        columns: list[np.ndarray] = []
+        for alias, column in node.build_keys:
+            source = build_rel.base_source(alias, column)
+            if source is None or source[2] is not None:
+                return None
+            columns.append(build_rel.column(alias, column))
+        return compute_key_bounds(columns)
+
+    def _morsel_probe_match(
+        self,
+        context,
+        probe_rel: Relation,
+        kept_ranges: list[tuple[int, int]],
+        metrics: ExecutionMetrics,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Hash-join probe over the kept morsels only.
+
+        The pruned counterpart of :meth:`_parallel_probe_match`:
+        skipped morsels were proven matchless, so concatenating the
+        kept morsels' match pairs (probe offsets rebased per morsel)
+        reproduces the whole-relation probe order exactly.  Runs inline
+        when serial or when too little work survives pruning.
+        """
+        empty = np.array([], dtype=np.int64)
+        if not kept_ranges:
+            return empty, empty
+        build_combined, encode_probe, domain = context
+        matcher = _BuildMatcher(build_combined, domain)
+
+        def task(start: int, stop: int, worker: ExecutionMetrics):
+            view = probe_rel.range_view(start, stop, counters=worker)
+            build_idx, probe_idx = matcher.match(encode_probe(view))
+            return build_idx, probe_idx + start
+
+        total = sum(stop - start for start, stop in kept_ranges)
+        if (
+            self._parallel
+            and len(kept_ranges) >= 2
+            and total >= _MIN_PARALLEL_ROWS
+        ):
+            parts = self._map_morsels(metrics, kept_ranges, task)
+        else:
+            parts = [
+                task(start, stop, metrics) for start, stop in kept_ranges
+            ]
+        return (
+            np.concatenate([part[0] for part in parts]),
+            np.concatenate([part[1] for part in parts]),
+        )
 
     # ------------------------------------------------------------------
     # Operators
@@ -312,20 +619,34 @@ class Executor:
 
         predicate = overrides.get(node.alias, node.predicate)
         if predicate is not None:
-            selection = self._parallel_selection(
-                relation, metrics,
-                lambda view: evaluate_predicate(
+            def mask_fn(view, predicate=predicate):
+                return evaluate_predicate(
                     predicate, view.provider, view.num_rows
-                ),
-                ranges=self._scan_ranges(table),
-            )
-            if selection is not None:
+                )
+
+            pruning = self._scan_zone_pruning(node.alias, table, predicate)
+            if pruning is not None:
+                # Zone maps proved some morsels empty: evaluate the
+                # predicate over the kept morsels only.  Kept-morsel
+                # offsets concatenate to exactly the unpruned selection.
+                ranges, pruned = pruning
+                kept = self._split_pruned(metrics, ranges, pruned)
+                selection = self._selection_over_ranges(
+                    relation, kept, metrics, mask_fn
+                )
                 relation = self._settle(relation.gather(selection))
             else:
-                mask = evaluate_predicate(
-                    predicate, relation.provider, relation.num_rows
+                selection = self._parallel_selection(
+                    relation, metrics, mask_fn,
+                    ranges=self._scan_ranges(table),
                 )
-                relation = self._settle(relation.mask(mask))
+                if selection is not None:
+                    relation = self._settle(relation.gather(selection))
+                else:
+                    mask = evaluate_predicate(
+                        predicate, relation.provider, relation.num_rows
+                    )
+                    relation = self._settle(relation.mask(mask))
 
         relation = self._apply_bitvectors(
             node.applied_bitvectors, relation, record, filters, metrics
@@ -385,23 +706,39 @@ class Executor:
         probe_rel = self._run(node.probe, metrics, filters, needed, overrides)
         record.add("probe", probe_rel.num_rows)
 
-        # One shared dictionary-join context serves both paths: the
-        # parallel probe consumes it directly, and a failed parallel
-        # attempt hands it (possibly None) to the serial path so the
-        # build-side encoding is never computed twice.
+        # One shared dictionary-join context serves every path: the
+        # zone-pruned and parallel probes consume it directly, and a
+        # failed attempt hands it (possibly None) to the serial path so
+        # the build-side encoding is never computed twice.
         build_idx = probe_idx = None
         context = _UNSET
         if build_rel.num_rows and probe_rel.num_rows:
-            ranges = self._ranges(probe_rel.num_rows)
-            if ranges is not None:
+            pruning = self._join_zone_pruning(
+                node, build_rel, probe_rel, filters
+            )
+            if pruning is not None:
                 context = self._dictionary_join_context(
                     node, build_rel, probe_rel
                 )
                 if context is not None:
+                    ranges, pruned = pruning
+                    kept = self._split_pruned(metrics, ranges, pruned)
                     metrics.dictionary_hits += len(node.build_keys)
-                    build_idx, probe_idx = self._parallel_probe_match(
-                        context, probe_rel, ranges, metrics
+                    build_idx, probe_idx = self._morsel_probe_match(
+                        context, probe_rel, kept, metrics
                     )
+            if build_idx is None:
+                ranges = self._ranges(probe_rel.num_rows)
+                if ranges is not None:
+                    if context is _UNSET:
+                        context = self._dictionary_join_context(
+                            node, build_rel, probe_rel
+                        )
+                    if context is not None:
+                        metrics.dictionary_hits += len(node.build_keys)
+                        build_idx, probe_idx = self._parallel_probe_match(
+                            context, probe_rel, ranges, metrics
+                        )
         if build_idx is None:
             build_codes, probe_codes, domain = self._join_key_codes(
                 node, build_rel, probe_rel, metrics, context
@@ -627,14 +964,27 @@ class Executor:
         filters: dict[int, BitvectorFilter],
         metrics: ExecutionMetrics,
     ) -> Relation:
+        if not definitions:
+            return relation
+        pruning = self._bitvector_zone_pruning(definitions, relation, filters)
         if self._adaptive_filter_order and len(definitions) > 1:
             from repro.engine.lip import order_filters_adaptively
 
             # Ordering is decided once on the main thread (sampled pass
-            # rates); the chosen order is then shared by every morsel.
+            # rates, discounted by each filter's zone-skip fraction);
+            # the chosen order is then shared by every morsel.
             definitions = order_filters_adaptively(
-                definitions, filters, relation.column_head, relation.num_rows
+                definitions, filters, relation.column_head, relation.num_rows,
+                zone_skip=pruning[2] if pruning is not None else None,
             )
+        pending_ranges: list[tuple[int, int]] | None = None
+        if pruning is not None:
+            # Stacked filters are conjunctive, so one combined pruning
+            # partition (a morsel skipped by ANY filter contributes
+            # nothing) is applied with the first filter's evaluation;
+            # later filters see the already-gathered survivors.
+            ranges, pruned, _ = pruning
+            pending_ranges = self._split_pruned(metrics, ranges, pruned)
         for definition in definitions:
             bitvector = filters.get(definition.filter_id)
             if bitvector is None:
@@ -643,19 +993,25 @@ class Executor:
                     "plan scheduling is broken"
                 )
             record.add("filter_check", relation.num_rows)
+
+            def mask_fn(view, definition=definition, bitvector=bitvector):
+                return bitvector.contains(
+                    [
+                        view.column(alias, column)
+                        for alias, column in definition.probe_keys
+                    ]
+                )
+
+            if pending_ranges is not None:
+                selection = self._selection_over_ranges(
+                    relation, pending_ranges, metrics, mask_fn
+                )
+                pending_ranges = None
+                relation = self._settle(relation.gather(selection))
+                continue
             # Filters are immutable after construction, so per-morsel
             # probes are lock-free reads of one shared structure.
-            selection = self._parallel_selection(
-                relation, metrics,
-                lambda view, definition=definition, bitvector=bitvector: (
-                    bitvector.contains(
-                        [
-                            view.column(alias, column)
-                            for alias, column in definition.probe_keys
-                        ]
-                    )
-                ),
-            )
+            selection = self._parallel_selection(relation, metrics, mask_fn)
             if selection is not None:
                 relation = self._settle(relation.gather(selection))
                 continue

@@ -74,6 +74,13 @@ class ExecutionMetrics:
         # indexes vs. falling back to per-call joint factorization.
         self.dictionary_hits = 0
         self.dictionary_misses = 0
+        # Zone-map data skipping (see repro.storage.zonemaps): whole
+        # morsels whose [min, max] provably cannot satisfy a predicate,
+        # pass a bitvector filter, or match any join key are dropped
+        # before any row is read.  rows_skipped counts the rows those
+        # morsels would otherwise have fed through the kernels.
+        self.morsels_pruned = 0
+        self.rows_skipped = 0
 
     def count_copy(self, rows: int, nbytes: int) -> None:
         """Record one column materialization (called by Relation)."""
@@ -95,6 +102,8 @@ class ExecutionMetrics:
         self.dictionary_misses += worker.dictionary_misses
         self.filter_cache_hits += worker.filter_cache_hits
         self.filter_cache_misses += worker.filter_cache_misses
+        self.morsels_pruned += worker.morsels_pruned
+        self.rows_skipped += worker.rows_skipped
 
     def node(self, node_id: int, label: str, kind: str) -> NodeMetrics:
         metrics = self._nodes.get(node_id)

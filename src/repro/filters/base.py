@@ -51,6 +51,49 @@ class BitvectorFilter(abc.ABC):
         """Estimated probability a non-member passes the filter."""
         return 0.0
 
+    def key_bounds(self) -> list[tuple | None] | None:
+        """Per-key-column ``(min, max)`` of the inserted keys, or None.
+
+        The zone-map pruning contract (see
+        :mod:`repro.storage.zonemaps`): a probe morsel whose value
+        range is disjoint from a column's bounds holds no tuple that
+        was inserted, so the whole probe can be skipped — sound even
+        for approximate filters, because bounds describe the *inserted*
+        keys exactly.  A column entry is ``None`` when bounds are
+        unavailable; float key columns containing NaN report ``None``
+        (the engine's join fallback matches NaN to NaN, so interval
+        reasoning would be unsound there).  Implementations without any
+        bounds return ``None`` outright.
+        """
+        return None
+
+
+def compute_key_bounds(key_columns: list[np.ndarray]) -> list[tuple | None]:
+    """Per-column ``(min, max)`` of build keys, honoring the
+    :meth:`BitvectorFilter.key_bounds` contract (NaN => ``None``)."""
+    bounds: list[tuple | None] = []
+    for column in key_columns:
+        column = np.asarray(column)
+        if len(column) == 0:
+            bounds.append(None)
+            continue
+        kind = column.dtype.kind
+        if kind == "f":
+            if np.isnan(column).any():
+                bounds.append(None)
+            else:
+                bounds.append((float(column.min()), float(column.max())))
+        elif kind in "iub":
+            bounds.append((int(column.min()), int(column.max())))
+        elif kind in "OUS":
+            try:
+                bounds.append((column.min(), column.max()))
+            except TypeError:  # mixed-type object column: no total order
+                bounds.append(None)
+        else:
+            bounds.append(None)
+    return bounds
+
 
 def validate_key_columns(key_columns: list[np.ndarray]) -> int:
     """Validate shape constraints and return the row count."""

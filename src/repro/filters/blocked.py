@@ -14,7 +14,11 @@ import math
 
 import numpy as np
 
-from repro.filters.base import BitvectorFilter, validate_key_columns
+from repro.filters.base import (
+    BitvectorFilter,
+    compute_key_bounds,
+    validate_key_columns,
+)
 from repro.util.hashing import hash_columns, hash_int64
 
 _BLOCK_BITS = 64
@@ -26,11 +30,13 @@ class BlockedBloomFilter(BitvectorFilter):
     """Bloom filter where each key lives in one 64-bit block."""
 
     def __init__(self, num_blocks: int, bits_per_key: int, num_keys: int,
-                 blocks: np.ndarray) -> None:
+                 blocks: np.ndarray,
+                 key_bounds: list[tuple | None] | None = None) -> None:
         self._num_blocks = num_blocks
         self._bits_per_key = bits_per_key
         self._num_keys = num_keys
         self._blocks = blocks
+        self._key_bounds = key_bounds
 
     @classmethod
     def build(
@@ -46,7 +52,8 @@ class BlockedBloomFilter(BitvectorFilter):
         if num_keys:
             block_index, masks = cls._positions(key_columns, num_blocks)
             np.bitwise_or.at(blocks, block_index, masks)
-        return cls(num_blocks, _DEFAULT_BITS_PER_BLOCK_KEY, num_keys, blocks)
+        return cls(num_blocks, _DEFAULT_BITS_PER_BLOCK_KEY, num_keys, blocks,
+                   key_bounds=compute_key_bounds(key_columns))
 
     def contains(self, key_columns: list[np.ndarray]) -> np.ndarray:
         num_rows = validate_key_columns(key_columns)
@@ -79,6 +86,9 @@ class BlockedBloomFilter(BitvectorFilter):
     @property
     def num_keys(self) -> int:
         return self._num_keys
+
+    def key_bounds(self) -> list[tuple | None] | None:
+        return self._key_bounds
 
     def false_positive_rate(self) -> float:
         if self._num_blocks == 0:

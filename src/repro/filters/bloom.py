@@ -6,7 +6,11 @@ import math
 
 import numpy as np
 
-from repro.filters.base import BitvectorFilter, validate_key_columns
+from repro.filters.base import (
+    BitvectorFilter,
+    compute_key_bounds,
+    validate_key_columns,
+)
 from repro.util.hashing import hash_columns, hash_int64
 
 _DEFAULT_BITS_PER_KEY = 10
@@ -29,11 +33,13 @@ class BloomFilter(BitvectorFilter):
     """
 
     def __init__(self, num_bits: int, num_hashes: int, num_keys: int,
-                 words: np.ndarray) -> None:
+                 words: np.ndarray,
+                 key_bounds: list[tuple | None] | None = None) -> None:
         self._num_bits = num_bits
         self._num_hashes = num_hashes
         self._num_keys = num_keys
         self._words = words
+        self._key_bounds = key_bounds
 
     @classmethod
     def build(
@@ -61,7 +67,10 @@ class BloomFilter(BitvectorFilter):
         packed = np.packbits(bits, bitorder="little")
         padded = np.zeros(num_words * 8, dtype=np.uint8)
         padded[: len(packed)] = packed
-        return cls(num_bits, num_hashes, num_keys, padded.view(np.uint64))
+        # Key bounds cost one min/max pass at build time and let zone
+        # maps skip whole probe morsels that cannot contain any key.
+        return cls(num_bits, num_hashes, num_keys, padded.view(np.uint64),
+                   key_bounds=compute_key_bounds(key_columns))
 
     def contains(self, key_columns: list[np.ndarray]) -> np.ndarray:
         num_rows = validate_key_columns(key_columns)
@@ -86,6 +95,9 @@ class BloomFilter(BitvectorFilter):
     @property
     def num_hashes(self) -> int:
         return self._num_hashes
+
+    def key_bounds(self) -> list[tuple | None] | None:
+        return self._key_bounds
 
     def fill_fraction(self) -> float:
         """Fraction of bits set; drives the realized FP rate."""

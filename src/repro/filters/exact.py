@@ -159,6 +159,26 @@ class ExactFilter(BitvectorFilter):
     def num_keys(self) -> int:
         return self._num_keys
 
+    def key_bounds(self) -> list[tuple | None] | None:
+        """Bounds straight off the sorted per-column dictionaries.
+
+        Free in indexed mode — ``values`` is sorted, so the bounds are
+        its first and last entries.  The legacy float path keeps no
+        dictionaries and reports ``None`` (NaN keys forbid interval
+        reasoning anyway; see the base-class contract).
+        """
+        if self._dictionaries is None:
+            return None
+        bounds: list[tuple | None] = []
+        for dictionary in self._dictionaries:
+            if dictionary.num_values == 0:
+                bounds.append(None)
+            else:
+                bounds.append(
+                    (dictionary.values[0], dictionary.values[-1])
+                )
+        return bounds
+
     @property
     def may_have_false_positives(self) -> bool:
         return False

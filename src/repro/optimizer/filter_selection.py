@@ -26,6 +26,7 @@ def apply_cost_based_filters(
     plan: PlanNode,
     estimator: CardinalityEstimator,
     lambda_thresh: float = DEFAULT_LAMBDA_THRESH,
+    zone_aware: bool = False,
 ) -> PlanNode:
     """Disable bitvector creation for joins below the threshold.
 
@@ -33,6 +34,19 @@ def apply_cost_based_filters(
     distinct-value containment between the build side's (reduced) keys
     and the probe side's raw keys — the anti-semi-join selectivity.
     Returns the same plan object with flags updated (no push-down yet).
+
+    With ``zone_aware=True`` the estimate additionally accounts for
+    morsel-level data skipping: probe rows living in morsels whose zone
+    maps are disjoint from the build key range are eliminated *for
+    free* (skipped, never checked), so the filter is only credited with
+    the elimination it adds **on top of** skipping — its residual
+    elimination among the rows that actually get probed.  A filter
+    whose work zone maps already do falls below ``lambda_thresh`` and
+    is not created.  The adjustment consults only synopses the executor
+    has already built (see
+    :meth:`~repro.stats.estimator.CardinalityEstimator.bitvector_zone_skip_fraction`),
+    so cold optimizations are unchanged; it is opt-in to keep the
+    default pipelines faithful to the paper's Section 6.3 rule.
     """
     copy, mapping = clone_plan(plan)
     push_down_bitvectors(copy)
@@ -50,8 +64,37 @@ def apply_cost_based_filters(
             continue
         clone = clone_by_original[original.node_id]
         elimination = _estimated_elimination(clone, model, estimator)
+        if zone_aware:
+            elimination = _residual_elimination(clone, estimator, elimination)
         original.creates_bitvector = elimination >= lambda_thresh
     return plan
+
+
+def _residual_elimination(
+    join: HashJoinNode,
+    estimator: CardinalityEstimator,
+    elimination: float,
+) -> float:
+    """Elimination net of zone-map skipping, renormalized to probed rows.
+
+    If zone maps skip fraction ``z`` of the probe side and the filter
+    would eliminate fraction ``e`` overall (``e >= z`` — every skipped
+    row is also a filter-eliminated row), the filter's own contribution
+    among the ``1 - z`` rows it actually checks is ``(e - z)/(1 - z)``.
+    """
+    probe_aliases = {alias for alias, _ in join.probe_keys}
+    build_aliases = {alias for alias, _ in join.build_keys}
+    if len(probe_aliases) != 1 or len(build_aliases) != 1:
+        return elimination
+    skip = estimator.bitvector_zone_skip_fraction(
+        next(iter(probe_aliases)),
+        tuple(column for _, column in join.probe_keys),
+        next(iter(build_aliases)),
+        tuple(column for _, column in join.build_keys),
+    )
+    if skip >= 1.0:
+        return 0.0
+    return max(0.0, (elimination - skip) / (1.0 - skip))
 
 
 def _estimated_elimination(

@@ -37,6 +37,10 @@ class ServiceMetrics:
     bytes_gathered: int = 0
     dictionary_hits: int = 0
     dictionary_misses: int = 0
+    # Zone-map data skipping (repro.storage.zonemaps): whole morsels
+    # proven non-qualifying and dropped before any row was read.
+    morsels_pruned: int = 0
+    rows_skipped: int = 0
 
 
 @dataclasses.dataclass
@@ -56,6 +60,8 @@ class ServiceStats:
     total_bytes_gathered: int = 0
     dictionary_hits: int = 0
     dictionary_misses: int = 0
+    total_morsels_pruned: int = 0
+    total_rows_skipped: int = 0
 
     def fold(self, metrics: ServiceMetrics) -> None:
         self.queries += 1
@@ -72,6 +78,8 @@ class ServiceStats:
         self.total_bytes_gathered += metrics.bytes_gathered
         self.dictionary_hits += metrics.dictionary_hits
         self.dictionary_misses += metrics.dictionary_misses
+        self.total_morsels_pruned += metrics.morsels_pruned
+        self.total_rows_skipped += metrics.rows_skipped
 
     @property
     def plan_cache_hit_rate(self) -> float:

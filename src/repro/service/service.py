@@ -89,6 +89,13 @@ class QueryService:
         and intra-query (``parallelism``, the process-wide morsel
         pool) parallelism compose, with the morsel pool bounded by the
         widest ``parallelism`` in the process.
+    zone_maps:
+        Morsel-level data skipping via per-column min/max synopses
+        (:mod:`repro.storage.zonemaps`), on by default; pruning is
+        conservative and answers stay byte-identical.  ``explain()``
+        reports the resident synopses, and per-query
+        ``morsels_pruned`` / ``rows_skipped`` land in
+        :class:`~repro.service.metrics.ServiceMetrics`.
     """
 
     def __init__(
@@ -103,6 +110,7 @@ class QueryService:
         max_workers: int = 4,
         parallelism: int = 1,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        zone_maps: bool = True,
     ) -> None:
         if pipeline not in PIPELINES:
             raise ServiceError(
@@ -121,6 +129,7 @@ class QueryService:
             filter_cache=self.filter_cache,
             parallelism=parallelism,
             morsel_rows=morsel_rows,
+            zone_maps=zone_maps,
         )
         self._stats = ServiceStats()
         self._lock = threading.Lock()
@@ -164,6 +173,8 @@ class QueryService:
             bytes_gathered=result.metrics.bytes_gathered,
             dictionary_hits=result.metrics.dictionary_hits,
             dictionary_misses=result.metrics.dictionary_misses,
+            morsels_pruned=result.metrics.morsels_pruned,
+            rows_skipped=result.metrics.rows_skipped,
         )
         with self._lock:
             self._stats.fold(metrics)
@@ -255,6 +266,8 @@ class QueryService:
             f"?{i}={value!r}" for i, value in enumerate(fingerprint.parameters)
         )
         dictionaries = self._database.dictionary_cache_info()
+        zone_maps_info = self._database.zone_map_cache_info()
+        stats = self.stats()
         header = [
             f"-- fingerprint {entry.fingerprint}  plan cache {'HIT' if hit else 'MISS'}",
             f"-- pipeline {pipeline}  estimated C_out {entry.estimated_cout:.1f}"
@@ -268,6 +281,14 @@ class QueryService:
             f"-- parallel execution: parallelism={self._executor.parallelism} "
             f"morsel_rows={self._executor.morsel_rows}"
             + ("" if self._executor.parallelism > 1 else " (serial)"),
+            (
+                f"-- zone maps: on — {zone_maps_info['entries']} synopses "
+                f"resident ({zone_maps_info['builds']} builds), "
+                f"{stats.total_morsels_pruned} morsels / "
+                f"{stats.total_rows_skipped} rows pruned so far"
+                if self._executor.zone_maps
+                else "-- zone maps: off"
+            ),
         ]
         return "\n".join(header) + "\n" + format_plan(entry.plan)
 

@@ -15,6 +15,7 @@ from repro.storage.partition import (
     partition_table,
 )
 from repro.storage.table import Table
+from repro.storage.zonemaps import ColumnZoneMap, MorselBounds
 from repro.storage.schema import ColumnDef, TableSchema, ForeignKey
 from repro.storage.catalog import Catalog
 from repro.storage.database import Database
@@ -28,6 +29,8 @@ __all__ = [
     "morsel_ranges",
     "partition_table",
     "Table",
+    "ColumnZoneMap",
+    "MorselBounds",
     "ColumnDef",
     "TableSchema",
     "ForeignKey",

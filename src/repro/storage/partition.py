@@ -36,17 +36,31 @@ def morsel_ranges(
 ) -> list[tuple[int, int]]:
     """Split ``[0, num_rows)`` into contiguous, balanced row ranges.
 
-    The split targets ``morsel_rows`` rows per range but widens to at
-    least ``min_morsels`` ranges (one per worker) when the row count
-    supports it, and never produces ranges smaller than
-    :data:`MIN_MORSEL_ROWS` (except when ``num_rows`` itself is
-    smaller, which yields a single range).  Ranges are balanced to
-    within one row so no worker inherits a remainder-sized straggler.
+    Precedence of the three sizing inputs, strongest first:
+
+    1. ``num_rows`` — there are never more ranges than rows (each range
+       holds at least one row), and an empty input yields no ranges;
+    2. ``min_morsels`` — an explicit demand for parallelism (one morsel
+       per worker) is honored even when the :data:`MIN_MORSEL_ROWS`
+       floor would prefer fewer, larger morsels: the caller knows it
+       has workers to feed, and under-splitting would idle them;
+    3. ``morsel_rows`` — the target size; the split it implies is
+       clamped so no range drops below :data:`MIN_MORSEL_ROWS` (tiny
+       morsels pay more in scheduling than their kernels cost).
+
+    Ranges are balanced to within one row so no worker inherits a
+    remainder-sized straggler.
 
     >>> morsel_ranges(10_000, morsel_rows=4096)
     [(0, 3334), (3334, 6667), (6667, 10000)]
     >>> morsel_ranges(10, morsel_rows=4)  # too small to split
     [(0, 10)]
+    >>> morsel_ranges(4096, morsel_rows=16)  # floor caps the target split
+    [(0, 1024), (1024, 2048), (2048, 3072), (3072, 4096)]
+    >>> morsel_ranges(4096, morsel_rows=4096, min_morsels=8)  # workers win
+    [(0, 512), (512, 1024), (1024, 1536), (1536, 2048), (2048, 2560), (2560, 3072), (3072, 3584), (3584, 4096)]
+    >>> morsel_ranges(3, morsel_rows=4096, min_morsels=8)  # never > num_rows
+    [(0, 1), (1, 2), (2, 3)]
     >>> morsel_ranges(0)
     []
     """
@@ -54,9 +68,11 @@ def morsel_ranges(
         return []
     morsel_rows = max(int(morsel_rows), 1)
     count = -(-num_rows // morsel_rows)  # ceil division
-    if min_morsels > count:
-        count = min_morsels
     count = min(count, max(num_rows // MIN_MORSEL_ROWS, 1))
+    if min_morsels > count:
+        # The explicit worker demand overrides the size floor (but can
+        # never exceed one row per range).
+        count = min(min_morsels, num_rows)
     base, extra = divmod(num_rows, count)
     ranges: list[tuple[int, int]] = []
     start = 0

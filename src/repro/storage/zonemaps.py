@@ -1,0 +1,447 @@
+"""Zone maps: per-morsel min/max synopses for morsel-level data skipping.
+
+A *zone map* is the classic small-materialized-aggregate synopsis
+(Moerkotte, VLDB 1998): for every morsel of a stored column it records
+the minimum, maximum, null count, and whether the morsel is constant.
+The executor consults zone maps before dispatching morsel work — a
+morsel whose ``[min, max]`` provably cannot satisfy a scan predicate,
+pass an applied bitvector filter, or match any build-side join key is
+skipped without reading a single row.  This is the partition-level
+analogue of the paper's row-level bitvector filtering: the filter
+eliminates non-qualifying *rows* inside a morsel, the zone map
+eliminates non-qualifying *morsels* before the filter even runs.
+
+Zone maps are purely derived state: built lazily from the immutable
+column arrays (one vectorized pass per column), cached on
+:class:`repro.storage.database.Database` keyed by ``(table, column,
+morsel shape)`` with the same single-flight construction discipline as
+the dictionary indexes, and invalidated alongside them.
+
+Pruning is *conservative by construction*: every helper in this module
+answers "is this predicate/filter provably false for **every** row of
+the morsel?", and anything it cannot reason about (``NOT``, ``LIKE``,
+column-vs-column comparisons, mismatched value types) answers "no".
+Skipped morsels therefore contribute exactly the rows the full
+evaluation would have contributed — none — and pruned execution stays
+byte-identical to unpruned execution.
+
+NaN discipline: bounds are computed over non-NaN values (NaN compares
+false under every ordered predicate, so it can never rescue a morsel
+from pruning), and an all-NaN morsel reports ``min is None`` — which
+ordered comparisons, equality, ``BETWEEN``, and ``IN`` prune outright
+(``<>`` does not: numpy's ``!=`` is *true* for NaN).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.expr.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    Not,
+    Or,
+)
+
+__all__ = [
+    "ColumnZoneMap",
+    "MorselBounds",
+    "predicate_prunes_morsel",
+    "filter_prunes_morsel",
+    "predicate_prune_flags",
+    "filter_prune_flags",
+    "pruned_row_fraction",
+]
+
+
+class MorselBounds:
+    """Bounds of one column over one morsel: ``(min, max, null_count)``.
+
+    ``low``/``high`` are ``None`` when the morsel holds no comparable
+    values (all-NaN float runs, or an empty range) — a state every
+    comparison-style predicate treats as unsatisfiable.
+    """
+
+    __slots__ = ("low", "high", "null_count")
+
+    def __init__(self, low, high, null_count: int) -> None:
+        self.low = low
+        self.high = high
+        self.null_count = null_count
+
+    @property
+    def all_null(self) -> bool:
+        return self.low is None
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether every described row holds one identical value."""
+        return (
+            self.low is not None
+            and self.low == self.high
+            and self.null_count == 0
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MorselBounds({self.low!r}, {self.high!r}, "
+            f"nulls={self.null_count})"
+        )
+
+
+class ColumnZoneMap:
+    """Per-morsel min/max/null-count/constant synopses of one column.
+
+    Construction is one pass over the column — ``O(rows)`` ufunc
+    reductions per morsel slice, no sorting, no allocation proportional
+    to the data — and the result is a few machine words per morsel.
+    Like every storage-side artifact, the zone map describes *base
+    table* row ranges; views that still map rows contiguously onto the
+    base (identity scans) can therefore be pruned morsel-by-morsel.
+    """
+
+    __slots__ = ("ranges", "mins", "maxs", "null_counts", "known")
+
+    def __init__(
+        self,
+        ranges: tuple[tuple[int, int], ...],
+        mins: tuple,
+        maxs: tuple,
+        null_counts: tuple[int, ...],
+        known: tuple[bool, ...] | None = None,
+    ) -> None:
+        self.ranges = ranges
+        self.mins = mins
+        self.maxs = maxs
+        self.null_counts = null_counts
+        # ``known[i]`` False means the morsel yielded no usable synopsis
+        # (unorderable mixed-type object values): "no information", which
+        # must never prune — distinct from the all-NaN state, which is
+        # definite knowledge that no comparable value exists.
+        self.known = known if known is not None else (True,) * len(ranges)
+
+    @classmethod
+    def build(
+        cls, column: np.ndarray, ranges: list[tuple[int, int]]
+    ) -> "ColumnZoneMap":
+        """Compute the synopsis of ``column`` over the given row ranges.
+
+        >>> import numpy as np
+        >>> zm = ColumnZoneMap.build(np.array([3, 1, 2, 9, 9, 9]),
+        ...                          [(0, 3), (3, 6)])
+        >>> zm.bounds(0).low, zm.bounds(0).high
+        (1, 3)
+        >>> zm.is_constant(1)
+        True
+        """
+        column = np.asarray(column)
+        is_float = column.dtype.kind == "f"
+        mins: list = []
+        maxs: list = []
+        nulls: list[int] = []
+        known: list[bool] = []
+        for start, stop in ranges:
+            values = column[start:stop]
+            if len(values) == 0:
+                mins.append(None)
+                maxs.append(None)
+                nulls.append(0)
+                known.append(True)
+                continue
+            if is_float:
+                nan_count = int(np.count_nonzero(np.isnan(values)))
+                nulls.append(nan_count)
+                known.append(True)
+                if nan_count == len(values):
+                    mins.append(None)
+                    maxs.append(None)
+                    continue
+                mins.append(float(np.nanmin(values)))
+                maxs.append(float(np.nanmax(values)))
+            else:
+                nulls.append(0)
+                try:
+                    low, high = values.min(), values.max()
+                except TypeError:
+                    # Mixed-type object column: no total order, hence no
+                    # information — bounds() reports None so nothing is
+                    # ever pruned off this morsel.
+                    mins.append(None)
+                    maxs.append(None)
+                    known.append(False)
+                    continue
+                known.append(True)
+                if column.dtype.kind in "iub":
+                    mins.append(int(low))
+                    maxs.append(int(high))
+                else:
+                    mins.append(low)
+                    maxs.append(high)
+        return cls(
+            tuple((int(a), int(b)) for a, b in ranges),
+            tuple(mins),
+            tuple(maxs),
+            tuple(nulls),
+            tuple(known),
+        )
+
+    @property
+    def num_morsels(self) -> int:
+        return len(self.ranges)
+
+    def bounds(self, index: int) -> MorselBounds | None:
+        """The morsel's bounds, or ``None`` when nothing is known."""
+        if not self.known[index]:
+            return None
+        return MorselBounds(
+            self.mins[index], self.maxs[index], self.null_counts[index]
+        )
+
+    def is_constant(self, index: int) -> bool:
+        """Whether every row of the morsel holds one identical value."""
+        bounds = self.bounds(index)
+        return bounds is not None and bounds.is_constant
+
+    def __repr__(self) -> str:
+        return f"ColumnZoneMap(morsels={self.num_morsels})"
+
+
+# ----------------------------------------------------------------------
+# Interval reasoning
+# ----------------------------------------------------------------------
+
+
+def _definitely_outside(low, high, value) -> bool:
+    """``value`` provably outside ``[low, high]`` (False when types
+    are not comparable — conservative, never prunes on a guess)."""
+    try:
+        return bool(value < low) or bool(value > high)
+    except TypeError:
+        return False
+
+
+def _literal(expression: Expression) -> object | None:
+    if isinstance(expression, Literal):
+        return expression.value
+    return None
+
+
+def predicate_prunes_morsel(predicate: Expression, bounds_of) -> bool:
+    """True iff ``predicate`` is provably false for every morsel row.
+
+    ``bounds_of(alias, column)`` returns the :class:`MorselBounds` of
+    one column over the morsel under test, or ``None`` when no zone map
+    is available for it.  The reasoning mirrors the vectorized
+    evaluator (:mod:`repro.expr.eval`) exactly:
+
+    * ``AND`` prunes when any conjunct prunes; ``OR`` when all branches
+      do;
+    * ordered comparisons, equality, ``BETWEEN``, and ``IN`` prune when
+      the morsel's value interval is disjoint from the predicate's —
+      and an all-NaN morsel always prunes them, because NaN compares
+      false under those operators;
+    * ``NOT``, ``LIKE``, ``<>`` over all-NaN morsels, column-vs-column
+      comparisons, and anything else never prune (numpy's ``~`` and
+      ``!=`` are *true* for NaN rows, so guessing would be unsound).
+    """
+    if isinstance(predicate, And):
+        return any(
+            predicate_prunes_morsel(operand, bounds_of)
+            for operand in predicate.operands
+        )
+    if isinstance(predicate, Or):
+        return bool(predicate.operands) and all(
+            predicate_prunes_morsel(operand, bounds_of)
+            for operand in predicate.operands
+        )
+    if isinstance(predicate, Comparison):
+        return _comparison_prunes(predicate, bounds_of)
+    if isinstance(predicate, Between):
+        if not isinstance(predicate.operand, ColumnRef):
+            return False
+        bounds = bounds_of(predicate.operand.alias, predicate.operand.column)
+        if bounds is None:
+            return False
+        if bounds.all_null:
+            return True
+        low = _literal(predicate.low)
+        high = _literal(predicate.high)
+        if low is None or high is None:
+            return False
+        try:
+            return bool(bounds.high < low) or bool(bounds.low > high)
+        except TypeError:
+            return False
+    if isinstance(predicate, InList):
+        if not isinstance(predicate.operand, ColumnRef):
+            return False
+        bounds = bounds_of(predicate.operand.alias, predicate.operand.column)
+        if bounds is None:
+            return False
+        if bounds.all_null or not predicate.values:
+            return True
+        return all(
+            _definitely_outside(bounds.low, bounds.high, value)
+            for value in predicate.values
+        )
+    if isinstance(predicate, Not):
+        # NOT flips false to true, and NaN rows satisfy e.g. NOT(x = 5);
+        # never prune through a negation.
+        return False
+    return False
+
+
+def _comparison_prunes(predicate: Comparison, bounds_of) -> bool:
+    column, literal, flipped = _split_comparison(predicate)
+    if column is None:
+        return False
+    bounds = bounds_of(column.alias, column.column)
+    if bounds is None:
+        return False
+    op = predicate.op
+    if flipped:
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+              "=": "=", "<>": "<>"}[op]
+    if bounds.all_null:
+        # NaN compares false under the ordered operators and equality,
+        # but the evaluator's numpy ``!=`` yields *True* for NaN — an
+        # all-NaN morsel satisfies <> everywhere and must never prune it.
+        return op != "<>"
+    value = literal.value
+    try:
+        if op == "=":
+            return bool(value < bounds.low) or bool(value > bounds.high)
+        if op == "<>":
+            # All-false only when every row equals the literal.
+            return bounds.is_constant and bool(bounds.low == value)
+        if op == "<":
+            return bool(bounds.low >= value)
+        if op == "<=":
+            return bool(bounds.low > value)
+        if op == ">":
+            return bool(bounds.high <= value)
+        if op == ">=":
+            return bool(bounds.high < value)
+    except TypeError:
+        return False
+    return False
+
+
+def _split_comparison(
+    predicate: Comparison,
+) -> tuple[ColumnRef | None, Literal | None, bool]:
+    if isinstance(predicate.left, ColumnRef) and isinstance(
+        predicate.right, Literal
+    ):
+        return predicate.left, predicate.right, False
+    if isinstance(predicate.right, ColumnRef) and isinstance(
+        predicate.left, Literal
+    ):
+        return predicate.right, predicate.left, True
+    return None, None, False
+
+
+def predicate_prune_flags(
+    predicate: Expression,
+    alias: str,
+    zone_of,
+    num_morsels: int,
+) -> list[bool]:
+    """Per-morsel prune flags of ``predicate`` over one relation alias.
+
+    ``zone_of(column)`` supplies the :class:`ColumnZoneMap` of one
+    column (or ``None`` when unavailable) and is called lazily — at
+    most once per column, and never for columns only referenced by
+    constructs the interval logic cannot use (``NOT``, ``LIKE``).
+    This is the one sweep both the executor's pruning sites and the
+    estimator's skip-fraction peek share, so their notions of "provably
+    empty" can never diverge.
+    """
+    zones: dict[str, ColumnZoneMap | None] = {}
+
+    def zone(column: str) -> ColumnZoneMap | None:
+        if column not in zones:
+            zones[column] = zone_of(column)
+        return zones[column]
+
+    flags = []
+    for index in range(num_morsels):
+        def bounds_of(bounds_alias: str, column: str, index=index):
+            if bounds_alias != alias:
+                return None
+            column_zone = zone(column)
+            if column_zone is None:
+                return None
+            return column_zone.bounds(index)
+
+        flags.append(predicate_prunes_morsel(predicate, bounds_of))
+    return flags
+
+
+def filter_prune_flags(
+    key_bounds: list[tuple | None] | None,
+    column_zones: list["ColumnZoneMap"],
+    num_morsels: int,
+) -> list[bool]:
+    """Per-morsel prune flags against a filter's (or join's) key bounds."""
+    return [
+        filter_prunes_morsel(
+            key_bounds, [zone.bounds(index) for zone in column_zones]
+        )
+        for index in range(num_morsels)
+    ]
+
+
+def pruned_row_fraction(
+    ranges, flags: list[bool], total_rows: int
+) -> float:
+    """Fraction of ``total_rows`` living in flagged (pruned) morsels."""
+    if total_rows <= 0:
+        return 0.0
+    skipped = sum(
+        stop - start
+        for (start, stop), pruned in zip(ranges, flags)
+        if pruned
+    )
+    return min(1.0, skipped / total_rows)
+
+
+def filter_prunes_morsel(
+    key_bounds: list[tuple | None] | None,
+    morsel_bounds: list[MorselBounds | None],
+) -> bool:
+    """True iff no morsel row can pass a bitvector filter's key bounds.
+
+    ``key_bounds[i]`` is the ``(min, max)`` of the filter's i-th
+    inserted key column (``None`` when unavailable — float keys with
+    NaN, or a filter kind that kept no bounds); ``morsel_bounds[i]`` is
+    the probe column's synopsis over the morsel.  One provably disjoint
+    key column is enough: the key *tuple* cannot match.
+
+    Soundness relies on the bounds contract of
+    :meth:`repro.filters.base.BitvectorFilter.key_bounds`: bounds are
+    only reported for columns with no NaN build keys, so a NaN probe
+    row — which falls outside every interval — can never match an
+    inserted key anyway.
+    """
+    if key_bounds is None:
+        return False
+    for column_key_bounds, bounds in zip(key_bounds, morsel_bounds):
+        if column_key_bounds is None or bounds is None:
+            continue
+        if bounds.all_null:
+            # Every probe key in this morsel is NaN; the build side has
+            # none (else its bounds would be None).
+            return True
+        low, high = column_key_bounds
+        try:
+            if bool(bounds.high < low) or bool(bounds.low > high):
+                return True
+        except TypeError:
+            continue
+    return False

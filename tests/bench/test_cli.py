@@ -29,6 +29,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--workload", "nope"])
 
+    def test_unknown_experiment_lists_valid_names(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--experiment", "nope"])
+        err = capsys.readouterr().err
+        for name in ("paper", "parallel-scaling", "zonemap-pruning"):
+            assert name in err
+
+    def test_experiment_help_enumerates_registry(self):
+        from repro.bench.cli import EXPERIMENTS
+
+        parser = build_parser()
+        help_text = parser.format_help()
+        for name in EXPERIMENTS:
+            assert name in help_text
+
+    def test_zonemap_pruning_arguments(self):
+        args = build_parser().parse_args(
+            ["--experiment", "zonemap-pruning", "--parallelism", "1",
+             "--output", "prune.json"]
+        )
+        assert args.experiment == "zonemap-pruning"
+        assert args.parallelism == [1]
+        assert args.output == "prune.json"
+
     def test_all_selects_every_workload(self):
         args = build_parser().parse_args(["--workload", "all"])
         assert args.workload == "all"
@@ -60,6 +84,22 @@ class TestMain:
         assert payload["checksums_identical"] is True
         assert [level["parallelism"] for level in payload["levels"]] == [1, 2]
         assert payload["levels"][0]["speedup"] == 1.0
+
+    def test_zonemap_pruning_experiment(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "pruning.json"
+        exit_code = main(
+            ["--experiment", "zonemap-pruning", "--scale", "0.02",
+             "--parallelism", "1", "--output", str(out_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "zone-map pruning" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["checksums_identical"] is True
+        assert set(payload["layouts"]) == {"clustered", "shuffled"}
+        assert payload["clustered_skip_fraction"] > 0.0
 
     def test_custom_pipelines_skip_tables(self, capsys):
         exit_code = main(

@@ -1,0 +1,171 @@
+"""Zone-aware cost-based filter selection and estimator skip fractions.
+
+The optimizer side of morsel skipping: the estimator *peeks* at zone
+maps the executor has already built (never triggering construction)
+and quantifies rows the engine will skip for free; with
+``zone_aware=True``, ``apply_cost_based_filters`` credits a bitvector
+only with the elimination it adds on top of that skipping.
+"""
+
+import numpy as np
+
+from repro.cost.constants import DEFAULT_LAMBDA_THRESH
+from repro.engine.executor import Executor
+from repro.expr.expressions import Between, col, lit
+from repro.optimizer.filter_selection import apply_cost_based_filters
+from repro.optimizer.pipelines import optimize_query
+from repro.plan.nodes import HashJoinNode
+from repro.sql.binder import parse_query
+from repro.stats.estimator import CardinalityEstimator
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+_ROWS = 40_000
+_MORSEL_ROWS = 2_048
+
+
+def _clustered_database() -> Database:
+    database = Database("zaf")
+    database.add_table(
+        Table.from_arrays(
+            "fact",
+            {"k": np.sort(np.arange(_ROWS) % 1000), "v": np.ones(_ROWS)},
+        ),
+        validate_key=False,
+    )
+    database.add_table(
+        Table.from_arrays("dim", {"d": np.arange(1000)}, key=("d",))
+    )
+    return database
+
+
+def _estimator(database) -> CardinalityEstimator:
+    return CardinalityEstimator(database, {"f": "fact", "d": "dim"})
+
+
+class TestEstimatorSkipFractions:
+    def test_zero_without_resident_zone_maps(self):
+        estimator = _estimator(_clustered_database())
+        band = Between(col("f", "k"), lit(100), lit(149))
+        assert estimator.zone_map_skip_fraction("f", band) == 0.0
+        assert estimator.bitvector_zone_skip_fraction(
+            "f", ("k",), "d", ("d",)
+        ) == 0.0
+
+    def test_predicate_skip_fraction_after_warmup(self):
+        database = _clustered_database()
+        database.zone_map("fact", "k", _MORSEL_ROWS, 1)
+        estimator = _estimator(database)
+        band = Between(col("f", "k"), lit(100), lit(149))
+        fraction = estimator.zone_map_skip_fraction("f", band)
+        # A 5% band over a clustered key leaves only the boundary
+        # morsels unprunable.
+        assert 0.5 < fraction < 1.0
+        impossible = Between(col("f", "k"), lit(5000), lit(6000))
+        assert estimator.zone_map_skip_fraction("f", impossible) == 1.0
+
+    def test_bitvector_skip_uses_build_stats_bounds(self):
+        database = _clustered_database()
+        database.zone_map("fact", "k", _MORSEL_ROWS, 1)
+        estimator = _estimator(database)
+        # The dim key spans the full fact domain: nothing is disjoint.
+        assert estimator.bitvector_zone_skip_fraction(
+            "f", ("k",), "d", ("d",)
+        ) == 0.0
+
+    def test_bitvector_skip_with_narrow_build_domain(self):
+        database = _clustered_database()
+        database.add_table(
+            Table.from_arrays(
+                "band_dim", {"b": np.arange(100, 150)}, key=("b",)
+            )
+        )
+        database.zone_map("fact", "k", _MORSEL_ROWS, 1)
+        estimator = CardinalityEstimator(
+            database, {"f": "fact", "b": "band_dim"}
+        )
+        fraction = estimator.bitvector_zone_skip_fraction(
+            "f", ("k",), "b", ("b",)
+        )
+        assert 0.5 < fraction < 1.0
+
+
+class TestZoneAwareFilterSelection:
+    def _optimized_plan(self, database, sql):
+        spec = parse_query(database, sql, "q")
+        return optimize_query(database, spec, "bqo").plan
+
+    def _joins(self, plan):
+        return [
+            node for node in plan.walk() if isinstance(node, HashJoinNode)
+        ]
+
+    def test_default_behavior_unchanged(self):
+        database = _clustered_database()
+        database.zone_map("fact", "k", _MORSEL_ROWS, 1)
+        sql = "SELECT COUNT(*) AS c FROM fact f, dim d WHERE f.k = d.d"
+        plan = self._optimized_plan(database, sql)
+        estimator = _estimator(database)
+        before = [j.creates_bitvector for j in self._joins(plan)]
+        apply_cost_based_filters(plan, estimator, DEFAULT_LAMBDA_THRESH)
+        assert [j.creates_bitvector for j in self._joins(plan)] == before
+
+    def test_zone_aware_drops_filter_when_skipping_covers_it(self):
+        # A dimension covering exactly the band zone maps already skip:
+        # the filter's residual elimination is ~0, so zone-aware
+        # selection refuses to build it, while the default keeps it.
+        database = _clustered_database()
+        database.add_table(
+            Table.from_arrays(
+                "band_dim", {"b": np.arange(100, 150)}, key=("b",)
+            )
+        )
+        sql = "SELECT COUNT(*) AS c FROM fact f, band_dim b WHERE f.k = b.b"
+        estimator = CardinalityEstimator(
+            database, {"f": "fact", "b": "band_dim"}
+        )
+        plan = self._optimized_plan(database, sql)
+        apply_cost_based_filters(plan, estimator, DEFAULT_LAMBDA_THRESH)
+        assert any(j.creates_bitvector for j in self._joins(plan))
+
+        # Warm the synopsis the way the executor would, then re-select.
+        database.zone_map("fact", "k", _MORSEL_ROWS, 1)
+        plan = self._optimized_plan(database, sql)
+        apply_cost_based_filters(
+            plan, estimator, DEFAULT_LAMBDA_THRESH, zone_aware=True
+        )
+        assert not any(j.creates_bitvector for j in self._joins(plan))
+
+        # And the zone-aware decision without a resident synopsis is
+        # identical to the default (peeking never builds).
+        database.invalidate_zone_maps()
+        plan = self._optimized_plan(database, sql)
+        apply_cost_based_filters(
+            plan, estimator, DEFAULT_LAMBDA_THRESH, zone_aware=True
+        )
+        assert any(j.creates_bitvector for j in self._joins(plan))
+
+    def test_executor_results_agree_either_way(self):
+        database = _clustered_database()
+        database.add_table(
+            Table.from_arrays(
+                "band_dim", {"b": np.arange(100, 150)}, key=("b",)
+            )
+        )
+        database.zone_map("fact", "k", _MORSEL_ROWS, 1)
+        sql = "SELECT COUNT(*) AS c FROM fact f, band_dim b WHERE f.k = b.b"
+        estimator = CardinalityEstimator(
+            database, {"f": "fact", "b": "band_dim"}
+        )
+        executor = Executor(database, morsel_rows=_MORSEL_ROWS)
+        answers = []
+        for zone_aware in (False, True):
+            plan = self._optimized_plan(database, sql)
+            apply_cost_based_filters(
+                plan, estimator, DEFAULT_LAMBDA_THRESH, zone_aware=zone_aware
+            )
+            from repro.plan.pushdown import push_down_bitvectors
+
+            push_down_bitvectors(plan)
+            answers.append(executor.execute(plan).scalar("c"))
+        assert answers[0] == answers[1]

@@ -34,11 +34,23 @@ class TestMorselRanges:
         assert len(morsel_ranges(65_536, 65_536)) == 1
         assert len(morsel_ranges(65_536, 65_536, min_morsels=4)) == 4
 
-    def test_never_splits_below_floor(self):
-        ranges = morsel_ranges(MIN_MORSEL_ROWS * 2, 16, min_morsels=64)
+    def test_floor_caps_target_derived_splits(self):
+        # The MIN_MORSEL_ROWS floor applies to the morsel_rows-implied
+        # split: a tiny target cannot shatter the table.
+        ranges = morsel_ranges(MIN_MORSEL_ROWS * 2, 16)
         assert all(stop - start >= MIN_MORSEL_ROWS for start, stop in ranges)
         # ... except when the table itself is smaller than the floor.
         assert morsel_ranges(10, 4) == [(0, 10)]
+
+    def test_min_morsels_overrides_floor(self):
+        # An explicit per-worker demand is honored even when the floor
+        # would clamp below it: 2048 rows / 64 workers = 32-row morsels.
+        ranges = morsel_ranges(MIN_MORSEL_ROWS * 2, 16, min_morsels=64)
+        assert len(ranges) == 64
+        # A mid-sized table asked to split one-per-worker actually does.
+        assert len(morsel_ranges(4096, 65_536, min_morsels=4)) == 4
+        # ... but never beyond one row per range.
+        assert len(morsel_ranges(3, 65_536, min_morsels=8)) == 3
 
     def test_empty(self):
         assert morsel_ranges(0) == []

@@ -1,0 +1,352 @@
+"""Zone maps: synopsis construction, pruning logic, database cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.expr.expressions import (
+    And,
+    Between,
+    InList,
+    Like,
+    Not,
+    Or,
+    col,
+    lit,
+    Comparison,
+)
+from repro.storage.database import Database
+from repro.storage.table import Table
+from repro.storage.zonemaps import (
+    ColumnZoneMap,
+    filter_prunes_morsel,
+    predicate_prunes_morsel,
+)
+
+
+def cmp(op, column, value):
+    return Comparison(op, col("t", column), lit(value))
+
+
+class TestColumnZoneMap:
+    def test_int_bounds_per_morsel(self):
+        zone = ColumnZoneMap.build(
+            np.array([5, 1, 3, 10, 10, 10, 7, 8]), [(0, 3), (3, 6), (6, 8)]
+        )
+        assert zone.num_morsels == 3
+        assert (zone.bounds(0).low, zone.bounds(0).high) == (1, 5)
+        assert (zone.bounds(1).low, zone.bounds(1).high) == (10, 10)
+        assert zone.is_constant(1)
+        assert not zone.is_constant(0)
+        assert zone.bounds(0).null_count == 0
+
+    def test_float_nan_handling(self):
+        column = np.array([1.5, np.nan, 2.5, np.nan, np.nan, np.nan])
+        zone = ColumnZoneMap.build(column, [(0, 3), (3, 6)])
+        assert zone.bounds(0).low == 1.5
+        assert zone.bounds(0).high == 2.5
+        assert zone.bounds(0).null_count == 1
+        # All-NaN morsel: no comparable values at all.
+        assert zone.bounds(1).all_null
+        assert zone.bounds(1).null_count == 3
+        assert not zone.is_constant(1)
+
+    def test_text_bounds(self):
+        zone = ColumnZoneMap.build(
+            np.array(["pear", "apple", "fig"], dtype=object), [(0, 3)]
+        )
+        assert (zone.bounds(0).low, zone.bounds(0).high) == ("apple", "pear")
+
+    def test_empty_range(self):
+        zone = ColumnZoneMap.build(np.array([1, 2, 3]), [(1, 1)])
+        assert zone.bounds(0).all_null
+
+    def test_unorderable_object_morsel_yields_no_information(self):
+        # A text morsel containing None (or mixed types) has no total
+        # order: its synopsis must read as "unknown", never as "empty",
+        # because x = 'a' still matches real rows there.
+        column = np.array(["a", None, "b", "c", "d", "e"], dtype=object)
+        zone = ColumnZoneMap.build(column, [(0, 3), (3, 6)])
+        assert zone.bounds(0) is None
+        assert not zone.is_constant(0)
+        assert (zone.bounds(1).low, zone.bounds(1).high) == ("c", "e")
+
+        def provider(alias, col_name):
+            return zone.bounds(0)
+
+        assert not predicate_prunes_morsel(cmp("=", "k", "zzz"), provider)
+        assert not predicate_prunes_morsel(
+            InList(col("t", "k"), ("zzz",)), provider
+        )
+        assert not filter_prunes_morsel([("x", "y")], [zone.bounds(0)])
+
+
+class TestPredicatePruning:
+    def bounds_of(self, low, high, nulls=0):
+        zone = ColumnZoneMap(((0, 4),), (low,), (high,), (nulls,))
+
+        def provider(alias, column):
+            assert alias == "t"
+            return zone.bounds(0) if column == "k" else None
+
+        return provider
+
+    def test_equality(self):
+        assert predicate_prunes_morsel(cmp("=", "k", 99), self.bounds_of(1, 10))
+        assert not predicate_prunes_morsel(
+            cmp("=", "k", 5), self.bounds_of(1, 10)
+        )
+
+    def test_ordered_comparisons(self):
+        bounds = self.bounds_of(10, 20)
+        assert predicate_prunes_morsel(cmp("<", "k", 10), bounds)
+        assert not predicate_prunes_morsel(cmp("<=", "k", 10), bounds)
+        assert predicate_prunes_morsel(cmp(">", "k", 20), bounds)
+        assert not predicate_prunes_morsel(cmp(">=", "k", 20), bounds)
+        # Flipped literal-on-the-left form: 5 > k  <=>  k < 5.
+        flipped = Comparison(">", lit(5), col("t", "k"))
+        assert predicate_prunes_morsel(flipped, bounds)
+
+    def test_not_equal_only_on_constant(self):
+        assert predicate_prunes_morsel(cmp("<>", "k", 7), self.bounds_of(7, 7))
+        assert not predicate_prunes_morsel(
+            cmp("<>", "k", 7), self.bounds_of(7, 8)
+        )
+        # NaN rows satisfy <>; a morsel with nulls can never prune it.
+        assert not predicate_prunes_morsel(
+            cmp("<>", "k", 7), self.bounds_of(7, 7, nulls=1)
+        )
+
+    def test_between_and_inlist(self):
+        bounds = self.bounds_of(10, 20)
+        assert predicate_prunes_morsel(
+            Between(col("t", "k"), lit(30), lit(40)), bounds
+        )
+        assert not predicate_prunes_morsel(
+            Between(col("t", "k"), lit(15), lit(40)), bounds
+        )
+        assert predicate_prunes_morsel(
+            InList(col("t", "k"), (1, 2, 99)), bounds
+        )
+        assert not predicate_prunes_morsel(
+            InList(col("t", "k"), (1, 2, 15)), bounds
+        )
+        assert predicate_prunes_morsel(InList(col("t", "k"), ()), bounds)
+
+    def test_all_null_morsel_prunes_comparisons(self):
+        bounds = self.bounds_of(None, None, nulls=4)
+        assert predicate_prunes_morsel(cmp("=", "k", 1), bounds)
+        assert predicate_prunes_morsel(cmp("<", "k", 1), bounds)
+        assert predicate_prunes_morsel(cmp(">=", "k", 1), bounds)
+        assert predicate_prunes_morsel(
+            Between(col("t", "k"), lit(0), lit(9)), bounds
+        )
+        assert predicate_prunes_morsel(InList(col("t", "k"), (1,)), bounds)
+
+    def test_all_null_morsel_never_prunes_not_equal(self):
+        # numpy's != is TRUE for NaN: every all-NaN row satisfies <>,
+        # so pruning it would drop rows the evaluator keeps.
+        bounds = self.bounds_of(None, None, nulls=4)
+        assert not predicate_prunes_morsel(cmp("<>", "k", 1), bounds)
+        flipped = Comparison("<>", lit(1), col("t", "k"))
+        assert not predicate_prunes_morsel(flipped, bounds)
+
+    def test_boolean_composition(self):
+        bounds = self.bounds_of(10, 20)
+        pruning = cmp("=", "k", 99)
+        passing = cmp("=", "k", 15)
+        assert predicate_prunes_morsel(And((passing, pruning)), bounds)
+        assert not predicate_prunes_morsel(Or((passing, pruning)), bounds)
+        assert predicate_prunes_morsel(Or((pruning, pruning)), bounds)
+        # Negation and LIKE are opaque to interval reasoning.
+        assert not predicate_prunes_morsel(Not(pruning), bounds)
+        assert not predicate_prunes_morsel(
+            Like(col("t", "k"), "x%"), bounds
+        )
+
+    def test_type_mismatch_never_prunes(self):
+        assert not predicate_prunes_morsel(
+            cmp("=", "k", "text"), self.bounds_of(1, 10)
+        )
+
+    def test_missing_zone_map_never_prunes(self):
+        assert not predicate_prunes_morsel(
+            cmp("=", "other", 99), self.bounds_of(1, 10)
+        )
+
+
+class TestFilterPruning:
+    def morsel(self, low, high, nulls=0):
+        zone = ColumnZoneMap(((0, 4),), (low,), (high,), (nulls,))
+        return zone.bounds(0)
+
+    def test_disjoint_prunes(self):
+        assert filter_prunes_morsel([(100, 200)], [self.morsel(1, 50)])
+        assert filter_prunes_morsel([(0, 0)], [self.morsel(1, 50)])
+        assert not filter_prunes_morsel([(40, 60)], [self.morsel(1, 50)])
+
+    def test_any_key_column_suffices(self):
+        assert filter_prunes_morsel(
+            [(0, 100), (500, 600)],
+            [self.morsel(10, 20), self.morsel(10, 20)],
+        )
+
+    def test_unavailable_bounds_never_prune(self):
+        assert not filter_prunes_morsel(None, [self.morsel(1, 5)])
+        assert not filter_prunes_morsel([None], [self.morsel(1, 5)])
+        assert not filter_prunes_morsel([(100, 200)], [None])
+
+    def test_all_null_morsel_prunes(self):
+        assert filter_prunes_morsel([(1, 5)], [self.morsel(None, None, 4)])
+
+    def test_type_mismatch_skips_column(self):
+        assert not filter_prunes_morsel(
+            [("a", "b")], [self.morsel(1, 5)]
+        )
+
+
+@pytest.fixture
+def database():
+    db = Database("zm")
+    db.add_table(
+        Table.from_arrays(
+            "fact",
+            {"k": np.arange(10_000), "v": np.ones(10_000)},
+        ),
+        validate_key=False,
+    )
+    return db
+
+
+class TestDatabaseZoneMaps:
+    def test_cached_per_shape(self, database):
+        first = database.zone_map("fact", "k", 2048, 1)
+        assert database.zone_map("fact", "k", 2048, 1) is first
+        assert database.zone_map("fact", "k", 4096, 1) is not first
+        assert database.zone_map("fact", "k", 2048, 4) is not first
+        info = database.zone_map_cache_info()
+        assert info["entries"] == 3
+        assert info["builds"] == 3
+        assert info["lookups"] == 4
+
+    def test_ranges_match_table_morsels(self, database):
+        zone = database.zone_map("fact", "k", 2048, 1)
+        expected = [
+            (m.start, m.stop) for m in database.table("fact").morsels(2048, 1)
+        ]
+        assert list(zone.ranges) == expected
+        # Clustered arange: each morsel's bounds are its row endpoints.
+        for index, (start, stop) in enumerate(expected):
+            assert zone.bounds(index).low == start
+            assert zone.bounds(index).high == stop - 1
+
+    def test_peek_never_builds(self, database):
+        assert database.zone_map_if_built("fact", "k") is None
+        assert database.zone_map_cache_info()["builds"] == 0
+        built = database.zone_map("fact", "k", 2048, 1)
+        assert database.zone_map_if_built("fact", "k") is built
+        assert database.zone_map_if_built("fact", "k", 2048, 1) is built
+        assert database.zone_map_if_built("fact", "k", 9999, 1) is None
+        # A partially specified shape constrains the match — it never
+        # falls back to a differently-shaped (misaligned) entry.
+        assert database.zone_map_if_built("fact", "k", morsel_rows=2048) is built
+        assert database.zone_map_if_built("fact", "k", morsel_rows=9999) is None
+        assert database.zone_map_if_built("fact", "k", min_morsels=1) is built
+        assert database.zone_map_if_built("fact", "k", min_morsels=8) is None
+
+    def test_invalidation_alongside_dictionaries(self, database):
+        database.zone_map("fact", "k", 2048, 1)
+        database.invalidate_zone_maps("other")
+        assert database.zone_map_cache_info()["entries"] == 1
+        database.invalidate_dictionaries("fact")
+        assert database.zone_map_cache_info()["entries"] == 0
+        database.zone_map("fact", "k", 2048, 1)
+        database.invalidate_zone_maps()
+        assert database.zone_map_cache_info()["entries"] == 0
+
+    def test_unknown_table_or_column_raises(self, database):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            database.zone_map("nope", "k")
+        with pytest.raises(SchemaError):
+            database.zone_map("fact", "nope")
+        # A failed build must not wedge the single-flight machinery.
+        database.zone_map("fact", "k", 2048, 1)
+
+
+class TestZoneMapSingleFlight:
+    _THREADS = 16
+
+    def _barrier_run(self, worker):
+        barrier = threading.Barrier(self._THREADS)
+        results = [None] * self._THREADS
+        errors = []
+
+        def runner(slot):
+            try:
+                barrier.wait()
+                results[slot] = worker(slot)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=runner, args=(slot,))
+            for slot in range(self._THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    def test_thundering_herd_builds_once(self, database):
+        results = self._barrier_run(
+            lambda _: database.zone_map("fact", "k", 2048, 1)
+        )
+        assert all(result is results[0] for result in results)
+        info = database.zone_map_cache_info()
+        assert info["builds"] == 1, (
+            f"duplicate builds leaked into metrics: {info}"
+        )
+        assert info["entries"] == 1
+        assert info["lookups"] == self._THREADS
+
+    def test_distinct_keys_build_independently(self, database):
+        columns = ["k", "v"]
+        self._barrier_run(
+            lambda slot: database.zone_map("fact", columns[slot % 2], 2048, 1)
+        )
+        info = database.zone_map_cache_info()
+        assert info["builds"] == 2
+        assert info["entries"] == 2
+
+    def test_build_vs_invalidate_race(self, database):
+        stop = threading.Event()
+        invalidations = 0
+
+        def invalidator():
+            nonlocal invalidations
+            while not stop.is_set():
+                database.invalidate_zone_maps("fact")
+                invalidations += 1
+
+        churner = threading.Thread(target=invalidator)
+        churner.start()
+        try:
+            def reader(_slot):
+                for _ in range(20):
+                    zone = database.zone_map("fact", "k", 2048, 1)
+                    # A half-built or stale synopsis would misdescribe
+                    # the clustered column.
+                    assert zone.bounds(0).low == 0
+
+            self._barrier_run(reader)
+        finally:
+            stop.set()
+            churner.join()
+        info = database.zone_map_cache_info()
+        assert 1 <= info["builds"] <= invalidations + 1
