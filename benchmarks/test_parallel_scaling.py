@@ -53,13 +53,6 @@ MORSEL_ROWS = 16384
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def _available_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:
-        return os.cpu_count() or 1
-
-
 def test_parallel_equivalence_and_scaling(benchmark):
     database = star.build_database(scale=SCALING_SCALE)
     plans = star_workload_plans(database)
@@ -118,7 +111,7 @@ def test_parallel_equivalence_and_scaling(benchmark):
 
     by_level = {level["parallelism"]: level for level in payload["levels"]}
     speedup_at_4 = by_level[4]["speedup"]
-    cores = _available_cores()
+    cores = payload["cpu_cores"]
     if cores >= 4:
         # The acceptance bar: >= 2x warm wall-clock at 4 workers.
         assert speedup_at_4 >= 2.0, (

@@ -71,8 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--parallelism", type=int, nargs="+", default=None,
-        help="worker counts for the parallel-scaling (default: 1 2 4) "
-        "and zonemap-pruning (default: 1 4) experiments",
+        help="worker counts for the parallel-scaling (default: 1 2 4), "
+        "zonemap-pruning, and build-parallel (default: 1 4) experiments",
     )
     parser.add_argument(
         "--morsel-rows", type=int, default=16384,
@@ -115,6 +115,47 @@ def run_scaling(args) -> None:
     ))
     print(f"checksums identical: {payload['checksums_identical']}")
     path = write_scaling_report(payload, _artifact_path(args))
+    print(f"wrote {path}")
+
+
+def run_build_parallel(args) -> None:
+    from repro.bench.build_parallel import (
+        DEFAULT_DIM_ROWS,
+        DEFAULT_FACT_ROWS,
+        run_build_parallel as run_experiment,
+        write_build_parallel_report,
+    )
+
+    scale = args.scale if args.scale is not None else 1.0
+    payload = run_experiment(
+        dim_rows=max(int(DEFAULT_DIM_ROWS * scale), 1),
+        fact_rows=max(int(DEFAULT_FACT_ROWS * scale), 1),
+        parallelism_levels=tuple(args.parallelism or (1, 4)),
+        morsel_rows=args.morsel_rows,
+    )
+    for kind, entry in payload["kinds"].items():
+        rows = [
+            {
+                "parallelism": level["parallelism"],
+                "build_s": level["build_seconds"],
+                "total_s": level["total_seconds"],
+                "build_speedup": level["build_speedup"],
+                "partitioned": level["partitioned_builds"],
+            }
+            for level in entry["levels"]
+        ]
+        print(render_table(
+            rows,
+            f"\n=== parallel filter builds — {kind} "
+            f"({payload['dim_rows']} dim rows, {payload['fact_rows']} fact "
+            f"rows, {payload['cpu_cores']} cores) ===",
+        ))
+    print(f"results identical: {payload['results_identical']}")
+    print(
+        f"exact build-phase speedup at {payload['top_parallelism']} "
+        f"workers: {payload['build_speedup_at_top']}x"
+    )
+    path = write_build_parallel_report(payload, _artifact_path(args))
     print(f"wrote {path}")
 
 
@@ -188,6 +229,11 @@ EXPERIMENTS: dict[str, _Experiment] = {
         "zone-map morsel skipping on clustered vs. shuffled layouts",
         "BENCH_zonemap_pruning.json",
         run_pruning,
+    ),
+    "build-parallel": _Experiment(
+        "partitioned bitvector filter builds vs. serial (build phase)",
+        "BENCH_build_parallel.json",
+        run_build_parallel,
     ),
 }
 

@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench.reporting import available_cores
 from repro.engine.executor import Executor
 from repro.filters.cache import BitvectorFilterCache
 from repro.optimizer.pipelines import optimize_query
@@ -211,7 +212,7 @@ def run_zonemap_pruning(
         "morsel_rows": morsel_rows,
         "rounds": rounds,
         "parallelism_levels": list(parallelism_levels),
-        "cpu_cores": _available_cores(),
+        "cpu_cores": available_cores(),
         "layouts": layouts,
         "clustered_speedup": clustered_base["speedup"],
         "clustered_skip_fraction": clustered_base["skip_fraction"],
@@ -225,15 +226,6 @@ def run_zonemap_pruning(
             entry["checksums_identical"] for entry in layouts.values()
         ),
     }
-
-
-def _available_cores() -> int:
-    import os
-
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux platforms
-        return os.cpu_count() or 1
 
 
 def write_pruning_report(payload: dict, path: str | Path) -> Path:

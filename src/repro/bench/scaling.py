@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import itertools
 import json
-import os
 import time
 from pathlib import Path
 
+from repro.bench.reporting import available_cores
 from repro.engine.executor import Executor
 from repro.filters.cache import BitvectorFilterCache
 from repro.optimizer.pipelines import optimize_query
@@ -153,18 +153,11 @@ def run_parallel_scaling(
         "queries": len(plans),
         "morsel_rows": morsel_rows,
         "rounds": rounds,
-        "cpu_cores": _available_cores(),
+        "cpu_cores": available_cores(),
         "levels": levels,
         "checksums": checksums,
         "checksums_identical": len(set(checksums)) == 1,
     }
-
-
-def _available_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux platforms
-        return os.cpu_count() or 1
 
 
 def write_scaling_report(payload: dict, path: str | Path) -> Path:

@@ -10,6 +10,7 @@ filter populated — the same scheduling property real engines rely on.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
@@ -25,7 +26,7 @@ from repro.errors import ExecutionError
 from repro.expr.eval import evaluate_predicate
 from repro.expr.expressions import referenced_columns
 from repro.filters.base import BitvectorFilter, compute_key_bounds
-from repro.filters.registry import create_filter
+from repro.filters.registry import FILTER_KINDS, create_filter
 from repro.plan.nodes import (
     AggregateNode,
     BitvectorDef,
@@ -35,14 +36,20 @@ from repro.plan.nodes import (
     ScanNode,
 )
 from repro.storage.database import Database
-from repro.storage.partition import DEFAULT_MORSEL_ROWS, morsel_ranges
-from repro.storage.zonemaps import filter_prune_flags, predicate_prune_flags
+from repro.storage.partition import (
+    DEFAULT_MORSEL_ROWS,
+    MIN_PARALLEL_ROWS,
+    AdaptiveMorselSizer,
+    morsel_ranges,
+)
+from repro.storage.zonemaps import filter_prune_flags, scan_morsel_decisions
 from repro.util.keycodes import combine_codes, dense_table_worthwhile, joint_codes
 
-# Below this row count a relation is processed serially even at
-# parallelism > 1: per-morsel dispatch would cost more than the numpy
-# kernels it splits.
-_MIN_PARALLEL_ROWS = 8192
+# Serial-below-this threshold, re-exported under the historical name so
+# tests can monkeypatch the executor's copy (the storage layer owns the
+# canonical value — the estimator's build-parallelism discount reads it
+# from there).
+_MIN_PARALLEL_ROWS = MIN_PARALLEL_ROWS
 
 # "No dictionary-join context computed yet" marker, distinct from None
 # ("computed, not applicable") so a failed attempt is never repeated.
@@ -110,6 +117,19 @@ class Executor:
         built once and shared immutably, so probes are lock-free.
     morsel_rows:
         Target rows per morsel when splitting relations for the pool.
+    adaptive_morsels:
+        Resize morsels mid-pipeline from observed per-morsel wall time
+        and selectivity (see
+        :class:`~repro.storage.partition.AdaptiveMorselSizer`): each
+        parallel region's first few morsels run at ``morsel_rows``, and
+        the remaining rows are re-split — small morsels for selective,
+        skew-prone pipelines, large ones for cheap scans.  Applies to
+        regions over intermediate relations (bitvector applications,
+        hash-join probes); base-table scans keep the configured shape
+        so zone maps stay aligned with the dispatched ranges.  Sizing
+        moves range boundaries only, never which rows a region covers,
+        so output is byte-identical either way.  Ignored (no effect)
+        at ``parallelism=1``.
     zone_maps:
         Consult per-morsel min/max synopses (see
         :mod:`repro.storage.zonemaps`) before dispatching morsel work:
@@ -131,6 +151,7 @@ class Executor:
         eager_materialization: bool = False,
         parallelism: int = 1,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        adaptive_morsels: bool = True,
         zone_maps: bool = True,
     ) -> None:
         self._database = database
@@ -146,6 +167,7 @@ class Executor:
         # The eager baseline exists to reproduce the seed engine, so it
         # never takes a parallel path and never prunes.
         self._parallel = self._parallelism > 1 and not self._eager
+        self._adaptive_morsels = bool(adaptive_morsels) and self._parallel
         self._zone_maps = bool(zone_maps) and not self._eager
 
     @property
@@ -155,6 +177,10 @@ class Executor:
     @property
     def morsel_rows(self) -> int:
         return self._morsel_rows
+
+    @property
+    def adaptive_morsels(self) -> bool:
+        return self._adaptive_morsels
 
     @property
     def zone_maps(self) -> bool:
@@ -179,6 +205,11 @@ class Executor:
         same plan concurrently from many threads.
         """
         metrics = ExecutionMetrics()
+        if self._adaptive_morsels:
+            # One sizer per execution (pipeline): observations from this
+            # plan's morsels resize only this plan's later regions, and
+            # concurrent executions of one executor never share state.
+            metrics.morsel_sizer = AdaptiveMorselSizer(self._morsel_rows)
         filters: dict[int, BitvectorFilter] = {}
         overrides = predicate_overrides or {}
         needed = _needed_columns(plan, overrides)
@@ -227,24 +258,95 @@ class Executor:
         return ranges if len(ranges) >= 2 else None
 
     def _map_morsels(self, metrics: ExecutionMetrics,
-                     ranges: list[tuple[int, int]], fn) -> list:
+                     ranges: list[tuple[int, int]], fn,
+                     sizer: AdaptiveMorselSizer | None = None,
+                     out_rows=None) -> list:
         """Run ``fn(start, stop, worker_metrics)`` per morsel (barrier).
 
         Results come back in morsel order, so concatenating them
         reproduces the serial row order exactly.  Each worker gets a
         private :class:`ExecutionMetrics`; the flat counters are merged
         into ``metrics`` after the barrier.
+
+        With a ``sizer``, each task is wall-clocked on its worker and
+        the observations (rows in, seconds, ``out_rows(result)``
+        surviving rows) are folded into the sizer on the main thread
+        after the barrier — the feedback adaptive sizing runs on.
         """
         workers = [ExecutionMetrics() for _ in ranges]
-        results = run_morsel_tasks(
-            self._parallelism,
-            [
+        if sizer is None:
+            tasks = [
                 (lambda s=start, e=stop, w=worker: fn(s, e, w))
                 for (start, stop), worker in zip(ranges, workers)
-            ],
-        )
+            ]
+        else:
+            def timed(start: int, stop: int, worker: ExecutionMetrics):
+                began = time.perf_counter()
+                result = fn(start, stop, worker)
+                return result, time.perf_counter() - began
+
+            tasks = [
+                (lambda s=start, e=stop, w=worker: timed(s, e, w))
+                for (start, stop), worker in zip(ranges, workers)
+            ]
+        results = run_morsel_tasks(self._parallelism, tasks)
+        if sizer is not None:
+            unwrapped = []
+            for (start, stop), (result, seconds) in zip(ranges, results):
+                sizer.observe(
+                    stop - start, seconds,
+                    out_rows(result) if out_rows is not None else None,
+                )
+                unwrapped.append(result)
+            results = unwrapped
         for worker in workers:
             metrics.merge_counters(worker)
+        return results
+
+    def _adaptive_map(self, metrics: ExecutionMetrics, num_rows: int,
+                      task, out_rows=None) -> list | None:
+        """Morsel-map ``task`` over ``[0, num_rows)``, or None (serial).
+
+        The adaptive-sizing dispatcher for regions over *intermediate*
+        relations: when the execution carries a morsel sizer and it is
+        not yet calibrated, the first few morsels run at the configured
+        ``morsel_rows`` and the remaining rows are re-split at the size
+        their observations propose; calibrated regions split at the
+        proposal outright.  Ranges always cover ``[0, num_rows)`` in
+        order regardless of sizing, so concatenated results equal the
+        statically-sized (and the serial) computation byte for byte.
+        """
+        if not self._parallel or num_rows < _MIN_PARALLEL_ROWS:
+            return None
+        sizer = metrics.morsel_sizer
+        target = sizer.morsel_rows() if sizer is not None else self._morsel_rows
+        ranges = morsel_ranges(num_rows, target, min_morsels=self._parallelism)
+        if len(ranges) < 2:
+            return None
+        if sizer is None or sizer.calibrated:
+            return self._map_morsels(
+                metrics, ranges, task, sizer=sizer, out_rows=out_rows
+            )
+        # Calibration phase: enough morsels to feed every worker once,
+        # then resize the remainder from what they observed.
+        head = ranges[: max(self._parallelism, sizer.sample_morsels)]
+        results = self._map_morsels(
+            metrics, head, task, sizer=sizer, out_rows=out_rows
+        )
+        rest_start = head[-1][1]
+        if rest_start < num_rows:
+            rest = [
+                (start + rest_start, stop + rest_start)
+                for start, stop in morsel_ranges(
+                    num_rows - rest_start, sizer.morsel_rows(),
+                    min_morsels=self._parallelism,
+                )
+            ]
+            results.extend(
+                self._map_morsels(
+                    metrics, rest, task, sizer=sizer, out_rows=out_rows
+                )
+            )
         return results
 
     def _parallel_gather(self, base: np.ndarray, selection) -> np.ndarray | None:
@@ -291,16 +393,23 @@ class Executor:
         view; the concatenated ``flatnonzero`` offsets equal the serial
         ``np.flatnonzero(mask)`` over the whole relation, so the
         resulting gather is byte-identical to the serial path.
+
+        Explicit ``ranges`` (base-table scans — the shape zone maps are
+        keyed by) dispatch as given; without them the region is split by
+        the adaptive dispatcher (:meth:`_adaptive_map`).
         """
-        if ranges is None:
-            ranges = self._ranges(relation.num_rows)
-        if ranges is None:
-            return None
 
         def task(start: int, stop: int, worker: ExecutionMetrics) -> np.ndarray:
             view = relation.range_view(start, stop, counters=worker)
             return np.flatnonzero(mask_fn(view)) + start
 
+        if ranges is None:
+            parts = self._adaptive_map(
+                metrics, relation.num_rows, task, out_rows=len
+            )
+            if parts is None:
+                return None
+            return np.concatenate(parts)
         return np.concatenate(self._map_morsels(metrics, ranges, task))
 
     # ------------------------------------------------------------------
@@ -336,6 +445,56 @@ class Executor:
                 kept.append(row_range)
         return kept
 
+    def _scan_selection_with_zones(
+        self,
+        relation: Relation,
+        ranges: list[tuple[int, int]],
+        pruned: list[bool],
+        accepted: list[bool],
+        metrics: ExecutionMetrics,
+        mask_fn,
+    ) -> np.ndarray:
+        """Scan selection with zone decisions applied per morsel.
+
+        Pruned morsels contribute nothing; accepted morsels (the
+        constant-morsel short-circuit) contribute every offset without
+        evaluating the predicate — both count their rows under
+        ``rows_skipped``, because that is work the kernels never did.
+        Undecided morsels evaluate normally (on the pool when big
+        enough).  Pieces concatenate in morsel order, reproducing the
+        whole-relation ``flatnonzero`` exactly.
+        """
+        eval_ranges = []
+        for row_range, is_pruned, is_accepted in zip(ranges, pruned, accepted):
+            if is_pruned:
+                metrics.morsels_pruned += 1
+                metrics.rows_skipped += row_range[1] - row_range[0]
+            elif is_accepted:
+                metrics.morsels_short_circuited += 1
+                metrics.rows_skipped += row_range[1] - row_range[0]
+            else:
+                eval_ranges.append(row_range)
+        evaluated = iter(
+            self._selection_parts_over_ranges(
+                relation, eval_ranges, metrics, mask_fn
+            )
+            if eval_ranges
+            else ()
+        )
+        pieces: list[np.ndarray] = []
+        for (start, stop), is_pruned, is_accepted in zip(
+            ranges, pruned, accepted
+        ):
+            if is_pruned:
+                continue
+            if is_accepted:
+                pieces.append(np.arange(start, stop, dtype=np.int64))
+            else:
+                pieces.append(next(evaluated))
+        if not pieces:
+            return np.array([], dtype=np.int64)
+        return np.concatenate(pieces)
+
     def _selection_over_ranges(self, relation: Relation,
                                ranges: list[tuple[int, int]],
                                metrics: ExecutionMetrics,
@@ -351,31 +510,42 @@ class Executor:
         """
         if not ranges:
             return np.array([], dtype=np.int64)
+        return np.concatenate(
+            self._selection_parts_over_ranges(relation, ranges, metrics, mask_fn)
+        )
+
+    def _selection_parts_over_ranges(self, relation: Relation,
+                                     ranges: list[tuple[int, int]],
+                                     metrics: ExecutionMetrics,
+                                     mask_fn) -> list[np.ndarray]:
+        """Per-range surviving-row offsets, in range order (the body of
+        :meth:`_selection_over_ranges`, exposed so the constant-morsel
+        short-circuit can interleave unevaluated ranges)."""
+
+        def task(start: int, stop: int,
+                 worker: ExecutionMetrics) -> np.ndarray:
+            view = relation.range_view(start, stop, counters=worker)
+            return np.flatnonzero(mask_fn(view)) + start
+
         total = sum(stop - start for start, stop in ranges)
         if self._parallel and len(ranges) >= 2 and total >= _MIN_PARALLEL_ROWS:
-
-            def task(start: int, stop: int,
-                     worker: ExecutionMetrics) -> np.ndarray:
-                view = relation.range_view(start, stop, counters=worker)
-                return np.flatnonzero(mask_fn(view)) + start
-
-            return np.concatenate(self._map_morsels(metrics, ranges, task))
-        parts = []
-        for start, stop in ranges:
-            view = relation.range_view(start, stop, counters=metrics)
-            parts.append(np.flatnonzero(mask_fn(view)) + start)
-        return np.concatenate(parts)
+            return self._map_morsels(metrics, ranges, task)
+        return [task(start, stop, metrics) for start, stop in ranges]
 
     def _scan_zone_pruning(
         self, alias: str, table, predicate
-    ) -> tuple[list[tuple[int, int]], list[bool]] | None:
-        """Morsels of ``table`` the scan predicate provably rejects.
+    ) -> tuple[list[tuple[int, int]], list[bool], list[bool]] | None:
+        """Morsels the scan predicate provably rejects — or accepts.
 
-        Returns ``(ranges, pruned_flags)`` when at least one morsel can
-        be skipped, else ``None`` (callers then run the unpruned path
-        unchanged).  Zone maps are fetched lazily per referenced
-        column, so predicates the interval logic cannot use (LIKE,
-        NOT) never trigger a synopsis build.
+        Returns ``(ranges, pruned_flags, accepted_flags)`` when at
+        least one morsel can skip row-wise evaluation in either
+        direction, else ``None`` (callers then run the unpruned path
+        unchanged).  ``pruned`` morsels contribute no rows; ``accepted``
+        morsels (the constant-morsel short-circuit — every row provably
+        satisfies the predicate) contribute *all* their rows, also
+        without evaluating.  Zone maps are fetched lazily per
+        referenced column, so predicates the interval logic cannot use
+        (LIKE, NOT) never trigger a synopsis build.
         """
         if not self._zone_maps or table.num_rows == 0:
             return None
@@ -384,14 +554,14 @@ class Executor:
         ranges = self._table_ranges(table)
         if not ranges:
             return None
-        pruned = predicate_prune_flags(
+        pruned, accepted = scan_morsel_decisions(
             predicate, alias,
             lambda column: self._zone_map(table.name, column),
             len(ranges),
         )
-        if not any(pruned):
+        if not any(pruned) and not any(accepted):
             return None
-        return ranges, pruned
+        return ranges, pruned, accepted
 
     def _bitvector_zone_pruning(
         self,
@@ -626,13 +796,14 @@ class Executor:
 
             pruning = self._scan_zone_pruning(node.alias, table, predicate)
             if pruning is not None:
-                # Zone maps proved some morsels empty: evaluate the
-                # predicate over the kept morsels only.  Kept-morsel
-                # offsets concatenate to exactly the unpruned selection.
-                ranges, pruned = pruning
-                kept = self._split_pruned(metrics, ranges, pruned)
-                selection = self._selection_over_ranges(
-                    relation, kept, metrics, mask_fn
+                # Zone maps proved some morsels empty (pruned) or full
+                # (accepted): evaluate the predicate only over the
+                # undecided morsels, keep accepted morsels whole, and
+                # interleave everything in morsel order — exactly the
+                # unpruned selection.
+                ranges, pruned, accepted = pruning
+                selection = self._scan_selection_with_zones(
+                    relation, ranges, pruned, accepted, metrics, mask_fn
                 )
                 relation = self._settle(relation.gather(selection))
             else:
@@ -678,15 +849,14 @@ class Executor:
             definition = node.created_bitvector
 
             def build_filter():
-                # Key columns materialize inside the builder so a
-                # filter-cache hit gathers nothing.
-                key_columns = [
-                    build_rel.column(alias, column)
-                    for alias, column in definition.build_keys
-                ]
-                return create_filter(
-                    self._filter_kind, key_columns, **self._filter_options
-                )
+                # Build work (key-column gathers included) happens
+                # inside the builder so a filter-cache hit gathers
+                # nothing; the build phase is wall-clocked here so the
+                # metrics see only constructions actually paid for.
+                started = time.perf_counter()
+                built = self._build_join_filter(definition, build_rel, metrics)
+                metrics.filter_build_seconds += time.perf_counter() - started
+                return built
 
             cache_key = self._cacheable_filter_key(node, definition, overrides)
             if cache_key is not None:
@@ -727,18 +897,20 @@ class Executor:
                     build_idx, probe_idx = self._morsel_probe_match(
                         context, probe_rel, kept, metrics
                     )
-            if build_idx is None:
-                ranges = self._ranges(probe_rel.num_rows)
-                if ranges is not None:
-                    if context is _UNSET:
-                        context = self._dictionary_join_context(
-                            node, build_rel, probe_rel
-                        )
-                    if context is not None:
+            if build_idx is None and self._parallel and (
+                probe_rel.num_rows >= _MIN_PARALLEL_ROWS
+            ):
+                if context is _UNSET:
+                    context = self._dictionary_join_context(
+                        node, build_rel, probe_rel
+                    )
+                if context is not None:
+                    match = self._parallel_probe_match(
+                        context, probe_rel, metrics
+                    )
+                    if match is not None:
                         metrics.dictionary_hits += len(node.build_keys)
-                        build_idx, probe_idx = self._parallel_probe_match(
-                            context, probe_rel, ranges, metrics
-                        )
+                        build_idx, probe_idx = match
         if build_idx is None:
             build_codes, probe_codes, domain = self._join_key_codes(
                 node, build_rel, probe_rel, metrics, context
@@ -757,19 +929,19 @@ class Executor:
         self,
         context,
         probe_rel: Relation,
-        ranges: list[tuple[int, int]],
         metrics: ExecutionMetrics,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Morsel-parallel probe of one hash join.
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Morsel-parallel probe of one hash join, or None (serial).
 
         The build side is encoded and sorted once on the main thread
         (single-build-then-shared); each morsel encodes its slice of
         the probe keys through the table-resident dictionaries and
-        matches against the shared immutable build structures.  Match
-        pairs concatenate in morsel order, reproducing the serial
-        output order exactly.  Requires the dictionary fast path —
-        joint factorization needs both whole sides at once and stays
-        serial.
+        matches against the shared immutable build structures.  Morsels
+        are cut by the adaptive dispatcher (match-output counts feed
+        the sizer's selectivity signal).  Match pairs concatenate in
+        morsel order, reproducing the serial output order exactly.
+        Requires the dictionary fast path — joint factorization needs
+        both whole sides at once and stays serial.
         """
         build_combined, encode_probe, domain = context
         matcher = _BuildMatcher(build_combined, domain)
@@ -779,7 +951,12 @@ class Executor:
             build_idx, probe_idx = matcher.match(encode_probe(view))
             return build_idx, probe_idx + start
 
-        parts = self._map_morsels(metrics, ranges, task)
+        parts = self._adaptive_map(
+            metrics, probe_rel.num_rows, task,
+            out_rows=lambda part: len(part[1]),
+        )
+        if parts is None:
+            return None
         return (
             np.concatenate([part[0] for part in parts]),
             np.concatenate([part[1] for part in parts]),
@@ -910,6 +1087,63 @@ class Executor:
             return combine_codes(probe_code_columns, radices)
 
         return build_combined, encode_probe, domain
+
+    def _build_join_filter(
+        self,
+        definition,
+        build_rel: Relation,
+        metrics: ExecutionMetrics,
+    ) -> BitvectorFilter:
+        """Build one join's bitvector filter, partitioned when parallel.
+
+        At ``parallelism > 1`` with a big enough build side, the build
+        pipeline runs per-morsel on the shared pool: each worker
+        gathers its slice of the build key columns (zero-copy range
+        views over the build relation's selection), factorizes/hashes
+        it, and returns a partial filter under the shared geometry; the
+        main thread then merges the partials *in morsel order* — a
+        deterministic barrier, so the published filter is byte-
+        equivalent to a serial build no matter how the pool scheduled
+        the partials (see the partitioned-build contract on
+        :class:`~repro.filters.base.BitvectorFilter`).  Serial
+        executions (and filter kinds without partitioned support) take
+        the untouched single-thread path.
+        """
+        filter_class = FILTER_KINDS.get(self._filter_kind)
+        ranges = self._ranges(build_rel.num_rows)
+        if (
+            ranges is not None
+            and filter_class is not None
+            and filter_class.supports_partitioned_build
+        ):
+            geometry = filter_class.build_geometry(
+                build_rel.num_rows, **self._filter_options
+            )
+
+            def task(start: int, stop: int, worker: ExecutionMetrics):
+                view = build_rel.range_view(start, stop, counters=worker)
+                return filter_class.build_partial(
+                    [
+                        view.column(alias, column)
+                        for alias, column in definition.build_keys
+                    ],
+                    geometry,
+                    **self._filter_options,
+                )
+
+            partials = self._map_morsels(metrics, ranges, task)
+            metrics.filter_builds_parallel += 1
+            metrics.filter_partials_built += len(partials)
+            return filter_class.merge(
+                partials, build_rel.num_rows, **self._filter_options
+            )
+        key_columns = [
+            build_rel.column(alias, column)
+            for alias, column in definition.build_keys
+        ]
+        return create_filter(
+            self._filter_kind, key_columns, **self._filter_options
+        )
 
     def _cacheable_filter_key(
         self,

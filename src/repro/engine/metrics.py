@@ -78,9 +78,30 @@ class ExecutionMetrics:
         # morsels whose [min, max] provably cannot satisfy a predicate,
         # pass a bitvector filter, or match any join key are dropped
         # before any row is read.  rows_skipped counts the rows those
-        # morsels would otherwise have fed through the kernels.
+        # morsels would otherwise have fed through the kernels — both
+        # the pruned ones and the constant-morsel short-circuits below.
         self.morsels_pruned = 0
         self.rows_skipped = 0
+        # Constant-morsel short-circuits: morsels whose zone map proves
+        # the scan predicate *true* for every row, kept whole without a
+        # single row-wise evaluation (their rows also land in
+        # rows_skipped: skipped work, not skipped output).
+        self.morsels_short_circuited = 0
+        # Parallel build-side accounting (see the executor's
+        # partitioned filter builds): how many filters were built via
+        # the partition-then-merge path, how many partial builds ran on
+        # the pool, and the wall-clock the build phase cost (serial
+        # builds included, cache hits excluded).
+        self.filter_builds_parallel = 0
+        self.filter_partials_built = 0
+        self.filter_build_seconds = 0.0
+        # Per-execution adaptive morsel sizer (see
+        # repro.storage.partition.AdaptiveMorselSizer), attached by the
+        # executor at the top of execute() when adaptive sizing is on.
+        # Rides on the metrics object because that is the one
+        # per-execution state threaded through every operator; worker
+        # metrics keep the default None and never resize anything.
+        self.morsel_sizer = None
 
     def count_copy(self, rows: int, nbytes: int) -> None:
         """Record one column materialization (called by Relation)."""
@@ -104,6 +125,10 @@ class ExecutionMetrics:
         self.filter_cache_misses += worker.filter_cache_misses
         self.morsels_pruned += worker.morsels_pruned
         self.rows_skipped += worker.rows_skipped
+        self.morsels_short_circuited += worker.morsels_short_circuited
+        self.filter_builds_parallel += worker.filter_builds_parallel
+        self.filter_partials_built += worker.filter_partials_built
+        self.filter_build_seconds += worker.filter_build_seconds
 
     def node(self, node_id: int, label: str, kind: str) -> NodeMetrics:
         metrics = self._nodes.get(node_id)

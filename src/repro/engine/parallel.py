@@ -6,12 +6,17 @@ single shared pool (grown to the widest ``parallelism`` requested so
 far) beats per-executor pools that would multiply idle threads.  Worker
 threads release the GIL inside the numpy kernels that dominate morsel
 work — fancy-index gathers, ``searchsorted``, ``argsort``, ufunc
-comparisons — which is where the parallel speedup comes from.
+comparisons, and (since the parallel-build PR) the ``np.unique``
+factorization sorts and hash scatters of per-morsel bitvector filter
+partials — which is where the parallel speedup comes from.  Probe-side
+morsels and build-side partials are both just tasks here; the
+single-build-then-shared contract is preserved by the executor's
+deterministic merge barrier, not by the pool.
 
 Deadlock discipline: a morsel task must never submit to the pool it
 runs on.  The executor enforces this structurally — per-morsel relation
-views carry no parallel-gather hook, so nothing a worker calls can
-re-enter the pool.
+views carry no parallel-gather hook, and filter partials are built from
+such views, so nothing a worker calls can re-enter the pool.
 """
 
 from __future__ import annotations

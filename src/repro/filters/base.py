@@ -17,7 +17,37 @@ class BitvectorFilter(abc.ABC):
       (no false negatives),
     * implementations may return ``True`` for keys that were *not*
       inserted (false positives), except :class:`ExactFilter`.
+
+    Partitioned builds
+    ------------------
+    Every registry filter kind additionally supports a
+    *partition-build-then-merge* protocol so the executor can construct
+    one filter from per-morsel build-side partitions on the worker pool
+    without breaking the single-build-then-shared probe contract:
+
+    1. :meth:`build_geometry` fixes the shared shape of the filter from
+       the *total* key count (Bloom variants: bit-array size and hash
+       count — every partial must agree or the merged words would be
+       meaningless; the exact filter needs none);
+    2. :meth:`build_partial` constructs an intermediate filter over one
+       partition of the build rows under that geometry (safe to run
+       concurrently, one call per partition);
+    3. :meth:`merge` folds the partials — in partition order, on one
+       thread — into the final published filter.
+
+    The merged filter must answer :meth:`contains` identically to a
+    serial :meth:`build` over the concatenated partitions (bit-identical
+    word arrays for the hashed kinds), because downstream zone-map
+    pruning, cost accounting, and result byte-equivalence all assume the
+    partitioning is unobservable.  :meth:`build_partitioned` is the
+    serial reference implementation of the protocol; the parallel
+    executor replays the same three steps with step 2 fanned out.
     """
+
+    #: Whether this implementation provides the partitioned-build hooks
+    #: (:meth:`build_geometry` / :meth:`build_partial` / :meth:`merge`).
+    #: The executor falls back to a serial :meth:`build` when False.
+    supports_partitioned_build = False
 
     @classmethod
     @abc.abstractmethod
@@ -27,6 +57,52 @@ class BitvectorFilter(abc.ABC):
         ``key_columns`` is a non-empty list of equal-length arrays; row
         ``i`` across the arrays forms one key tuple.
         """
+
+    @classmethod
+    def build_geometry(cls, num_keys: int, **options) -> dict:
+        """Shared shape parameters for partition builds over ``num_keys``
+        total keys.  The default empty geometry suits filters whose
+        partials need no coordination (the exact filter)."""
+        return {}
+
+    @classmethod
+    def build_partial(
+        cls, key_columns: list[np.ndarray], geometry: dict, **options
+    ) -> "BitvectorFilter":
+        """Build the partial filter of one partition under ``geometry``."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not support partitioned builds"
+        )
+
+    @classmethod
+    def merge(
+        cls, partials: list["BitvectorFilter"], num_keys: int, **options
+    ) -> "BitvectorFilter":
+        """Fold partition partials (in partition order) into the final
+        filter over ``num_keys`` total build keys."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not support partitioned builds"
+        )
+
+    @classmethod
+    def build_partitioned(
+        cls, partitions: list[list[np.ndarray]], **options
+    ) -> "BitvectorFilter":
+        """Serial reference of the partition-build-then-merge protocol.
+
+        ``partitions`` is a non-empty list of key-column lists; the
+        concatenation of the partitions (in order) is the build side.
+        Equivalent to ``cls.build`` over that concatenation — tests
+        assert the equivalence, the parallel executor relies on it.
+        """
+        if not partitions:
+            raise ValueError("build_partitioned requires at least one partition")
+        num_keys = sum(validate_key_columns(part) for part in partitions)
+        geometry = cls.build_geometry(num_keys, **options)
+        partials = [
+            cls.build_partial(part, geometry, **options) for part in partitions
+        ]
+        return cls.merge(partials, num_keys, **options)
 
     @abc.abstractmethod
     def contains(self, key_columns: list[np.ndarray]) -> np.ndarray:
@@ -93,6 +169,39 @@ def compute_key_bounds(key_columns: list[np.ndarray]) -> list[tuple | None]:
         else:
             bounds.append(None)
     return bounds
+
+
+def merge_key_bounds(
+    partial_bounds: list[list[tuple | None] | None],
+) -> list[tuple | None] | None:
+    """Combine per-partition :func:`compute_key_bounds` results.
+
+    Matches what a single pass over the concatenated partitions would
+    report: a column whose bounds are unavailable in *any* non-empty
+    partition (NaN keys, unorderable values) stays unavailable — and so
+    does one whose per-partition extrema cannot be compared across
+    partitions (mixed types split across morsels raise the same
+    ``TypeError`` a whole-column ``min`` would).
+    """
+    if any(bounds is None for bounds in partial_bounds):
+        return None
+    num_columns = max((len(bounds) for bounds in partial_bounds), default=0)
+    merged: list[tuple | None] = []
+    for index in range(num_columns):
+        entries = [bounds[index] for bounds in partial_bounds]
+        if any(entry is None for entry in entries):
+            merged.append(None)
+            continue
+        try:
+            merged.append(
+                (
+                    min(entry[0] for entry in entries),
+                    max(entry[1] for entry in entries),
+                )
+            )
+        except TypeError:  # cross-partition mixed types: no total order
+            merged.append(None)
+    return merged
 
 
 def validate_key_columns(key_columns: list[np.ndarray]) -> int:

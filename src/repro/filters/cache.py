@@ -54,10 +54,16 @@ def filter_cache_key(
 class BitvectorFilterCache(LruCache):
     """Bounded LRU cache of built bitvector filters.
 
-    Thread-safe: lookups and insertions are serialized, but the builder
-    callback runs outside the lock, so two racing threads may build the
-    same filter once each — the second build wins the slot and the
-    duplicate work is bounded by one construction.
+    Thread-safe, with *single-flight* construction (the same discipline
+    as :meth:`repro.storage.database.Database.dictionary` and zone-map
+    builds): the builder callback runs outside every lock, but
+    concurrent requesters of one key wait on the in-flight build
+    instead of duplicating it — a herd of ``run_many`` workers hitting
+    one cold dimension filter produces exactly one construction, and
+    :attr:`builds_deduped` counts the builds the others were spared.
+    A waiter whose builder raised (or whose publish was dropped by a
+    racing ``clear()``) loops and becomes the builder itself, so stale
+    or failed builds are never served.
     """
 
     def __init__(self, capacity: int = 64) -> None:
@@ -65,26 +71,75 @@ class BitvectorFilterCache(LruCache):
         self._cost_lock = threading.Lock()
         self._build_seconds: dict[tuple, float] = {}
         self._build_seconds_saved = 0.0
+        self._pending_lock = threading.Lock()
+        self._pending: dict[tuple, threading.Event] = {}
+        self._builds_deduped = 0
 
     def get_or_build(
         self, key: tuple, builder: Callable[[], BitvectorFilter]
     ) -> tuple[BitvectorFilter, bool]:
-        """Return ``(filter, was_cached)``, building and caching on miss."""
-        cached = self.get(key)
-        if cached is not None:
+        """Return ``(filter, was_cached)``, building and caching on miss.
+
+        ``was_cached`` is True both for plain cache hits and for waits
+        resolved by another thread's in-flight build — either way this
+        caller paid no construction.
+        """
+        waited = False
+        while True:
+            cached = self.get(key)
+            if cached is not None:
+                with self._cost_lock:
+                    self._build_seconds_saved += self._build_seconds.get(key, 0.0)
+                    if waited:
+                        self._builds_deduped += 1
+                return cached, True
+            with self._pending_lock:
+                pending = self._pending.get(key)
+                if pending is None:
+                    pending = threading.Event()
+                    self._pending[key] = pending
+                    is_builder = True
+                else:
+                    is_builder = False
+            if not is_builder:
+                pending.wait()
+                waited = True
+                continue
+            # Registered as builder — but a previous builder may have
+            # published between our cache miss and the registration
+            # (its put happens before its pending entry is popped, so
+            # an absent entry proves any prior build is already
+            # visible).  Counter-free membership check; the loop's
+            # get() then serves (and accounts) the hit.
+            if key in self:
+                with self._pending_lock:
+                    self._pending.pop(key, None)
+                pending.set()
+                continue
+            generation = self.generation
+            started = time.perf_counter()
+            try:
+                built = builder()
+            except BaseException:
+                # Wake waiters on failure; whoever re-checks first
+                # becomes the next builder.
+                with self._pending_lock:
+                    self._pending.pop(key, None)
+                pending.set()
+                raise
+            elapsed = time.perf_counter() - started
             with self._cost_lock:
-                self._build_seconds_saved += self._build_seconds.get(key, 0.0)
-            return cached, True
-        generation = self.generation
-        started = time.perf_counter()
-        built = builder()
-        elapsed = time.perf_counter() - started
-        with self._cost_lock:
-            self._build_seconds[key] = elapsed
-            while len(self._build_seconds) > 4 * self.capacity:
-                self._build_seconds.pop(next(iter(self._build_seconds)))
-        self.put(key, built, generation=generation)
-        return built, False
+                self._build_seconds[key] = elapsed
+                while len(self._build_seconds) > 4 * self.capacity:
+                    self._build_seconds.pop(next(iter(self._build_seconds)))
+            # Publish before waking waiters, so a woken thread's
+            # re-check finds the value (or, if a clear() dropped the
+            # put, rebuilds from fresh state itself).
+            self.put(key, built, generation=generation)
+            with self._pending_lock:
+                self._pending.pop(key, None)
+            pending.set()
+            return built, False
 
     def clear(self) -> None:
         super().clear()
@@ -96,6 +151,12 @@ class BitvectorFilterCache(LruCache):
         """Construction time amortized away by cache hits so far."""
         with self._cost_lock:
             return self._build_seconds_saved
+
+    @property
+    def builds_deduped(self) -> int:
+        """Duplicate constructions avoided by single-flight waits."""
+        with self._cost_lock:
+            return self._builds_deduped
 
     def size_bits(self) -> int:
         """Total memory footprint of all cached filter payloads."""

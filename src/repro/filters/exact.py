@@ -37,6 +37,8 @@ _MEMBER_TABLE_CAP = 1 << 20
 class ExactFilter(BitvectorFilter):
     """Collision-free membership filter (a sorted code-set over key tuples)."""
 
+    supports_partitioned_build = True
+
     def __init__(self, key_columns: list[np.ndarray]) -> None:
         key_columns = [np.asarray(c) for c in key_columns]
         self._num_keys = validate_key_columns(key_columns)
@@ -78,6 +80,135 @@ class ExactFilter(BitvectorFilter):
     @classmethod
     def build(cls, key_columns: list[np.ndarray], **options) -> "ExactFilter":
         return cls(key_columns)
+
+    # ------------------------------------------------------------------
+    # Partitioned build (see BitvectorFilter's partitioned-build docs)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build_partial(
+        cls, key_columns: list[np.ndarray], geometry: dict, **options
+    ) -> "ExactFilter":
+        """One partition's partial is just an exact filter over its rows:
+        the expensive ``np.unique`` sorts run on the partition slice,
+        which is exactly the work the parallel build fans out."""
+        return cls(key_columns)
+
+    @classmethod
+    def merge(
+        cls, partials: list["ExactFilter"], num_keys: int, **options
+    ) -> "ExactFilter":
+        """Merge per-partition sorted-unique key sets into one filter.
+
+        The point of partitioning the build is that the expensive
+        factorization sorts ran per-partition *in parallel*; the merge
+        therefore never re-sorts rows.  Per key column, the partials'
+        sorted dictionary domains fold into one sorted union with a
+        stable sort over already-sorted runs (radix sort for integers,
+        run-detecting timsort for strings) that simultaneously yields
+        each partial's old-code → merged-code translation; the
+        partials' code sets are then translated into the merged domain
+        and unioned.  Single-column keys skip even that: every
+        dictionary value occurs in some key, so the merged code set is
+        ``arange(num_values)`` — exactly what the serial build's
+        ``np.unique`` over per-row codes collapses to, for free.
+
+        The result is indistinguishable from a serial build over the
+        concatenated partitions: identical sorted domains, code set,
+        membership table, ``key_bounds``, and — via the ``num_keys``
+        override, so deduplication cannot hide the true inserted-row
+        count — ``size_bits``.  Partials in a fallback mode (float keys
+        for NaN parity, mixed-radix overflow) concatenate their raw key
+        columns, which in partition order *are* the serial build's
+        input, and rebuild.
+        """
+        if not partials:
+            raise ValueError("merge requires at least one partial")
+        if any(partial._code_set is None for partial in partials):
+            return cls._merge_rebuild(partials, num_keys)
+        num_columns = len(partials[0]._dictionaries)
+        merged_domains: list[np.ndarray] = []
+        translations: list[list[np.ndarray]] = []
+        for index in range(num_columns):
+            merged_values, partial_codes = _merge_sorted_domains(
+                [p._dictionaries[index].values for p in partials]
+            )
+            merged_domains.append(merged_values)
+            translations.append(partial_codes)
+        radices = [len(domain) for domain in merged_domains]
+        if num_columns == 1:
+            code_set = np.arange(radices[0], dtype=np.int64)
+        else:
+            translated: list[np.ndarray] = []
+            for i, partial in enumerate(partials):
+                decoded = partial._decode_code_set()
+                combined = combine_codes(
+                    [
+                        translations[index][i][decoded[index]]
+                        for index in range(num_columns)
+                    ],
+                    radices,
+                )
+                if combined is None:
+                    # The union's radix product overflows even though
+                    # each partial's fit: rebuild — the serial
+                    # constructor reaches the same fallback mode.
+                    return cls._merge_rebuild(partials, num_keys)
+                translated.append(combined)
+            code_set = np.unique(np.concatenate(translated))
+        merged = cls.__new__(cls)
+        merged._num_keys = int(num_keys)
+        merged._key_columns = None
+        # Dictionary codes decode the code set: values[codes] per column
+        # yields the distinct key tuples — the faithful build-column
+        # set the legacy probe path reconstructs (it only needs the key
+        # *set*), never larger than one entry per distinct tuple.
+        merged._dictionaries = [
+            ColumnDictionary(domain, codes)
+            for domain, codes in zip(
+                merged_domains, _decode_codes(code_set, radices)
+            )
+        ]
+        merged._code_set = code_set
+        merged._member_table = None
+        domain = 1
+        for radix in radices:
+            domain *= max(radix, 1)
+        if domain > 0 and dense_table_worthwhile(
+            domain, len(code_set), _MEMBER_TABLE_CAP
+        ):
+            merged._member_table = np.zeros(domain, dtype=bool)
+            merged._member_table[code_set] = True
+        return merged
+
+    @classmethod
+    def _merge_rebuild(
+        cls, partials: list["ExactFilter"], num_keys: int
+    ) -> "ExactFilter":
+        """Fallback merge: concatenate raw build columns and rebuild.
+
+        Partition order equals row order, so the concatenation is the
+        serial build's input byte for byte — correctness over speed for
+        the rare fallback modes.
+        """
+        parts = [partial._build_columns() for partial in partials]
+        merged = cls(
+            [
+                np.concatenate([part[index] for part in parts])
+                for index in range(len(parts[0]))
+            ]
+        )
+        merged._num_keys = int(num_keys)
+        return merged
+
+    def _decode_code_set(self) -> list[np.ndarray]:
+        """The code set split into per-column dictionary codes
+        (mixed-radix decode, last column fastest-varying).  Indexed
+        mode only."""
+        assert self._code_set is not None and self._dictionaries is not None
+        return _decode_codes(
+            self._code_set, [d.num_values for d in self._dictionaries]
+        )
 
     def _build_columns(self) -> list[np.ndarray]:
         """The original build key columns, whichever mode we are in."""
@@ -188,3 +319,46 @@ class ExactFilter(BitvectorFilter):
 
     def __repr__(self) -> str:
         return f"ExactFilter(keys={self._num_keys})"
+
+
+def _decode_codes(codes: np.ndarray, radices: list[int]) -> list[np.ndarray]:
+    """Mixed-radix decode of combined codes into per-column codes
+    (inverse of :func:`repro.util.keycodes.combine_codes` for
+    non-negative codes; last column fastest-varying)."""
+    columns: list[np.ndarray] = [None] * len(radices)  # type: ignore[list-item]
+    for index in range(len(radices) - 1, -1, -1):
+        radix = max(int(radices[index]), 1)
+        columns[index] = codes % radix
+        codes = codes // radix
+    return columns
+
+
+def _merge_sorted_domains(
+    parts: list[np.ndarray],
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Sorted union of sorted distinct-value arrays, plus translations.
+
+    Returns ``(merged_values, codes_per_part)`` where
+    ``codes_per_part[i][j]`` is the merged-domain code of ``parts[i][j]``
+    — i.e. ``merged_values[codes_per_part[i]] == parts[i]``.  One stable
+    argsort over the concatenation (already p sorted runs: radix sort
+    for integers is O(n), timsort detects the runs for strings) plus
+    O(n) group labelling; no per-element binary searches.
+    """
+    lengths = [len(part) for part in parts]
+    concat = np.concatenate(parts) if parts else np.array([], dtype=np.int64)
+    if len(concat) == 0:
+        empty = np.array([], dtype=np.int64)
+        return concat, [empty[:0].copy() for _ in parts]
+    order = np.argsort(concat, kind="stable")
+    ranked = concat[order]
+    is_new = np.empty(len(ranked), dtype=bool)
+    is_new[0] = True
+    is_new[1:] = ranked[1:] != ranked[:-1]
+    merged_values = ranked[is_new]
+    codes = np.empty(len(concat), dtype=np.int64)
+    codes[order] = np.cumsum(is_new) - 1
+    split_points = np.cumsum(lengths)[:-1]
+    return merged_values, [
+        part.astype(np.int64, copy=False) for part in np.split(codes, split_points)
+    ]

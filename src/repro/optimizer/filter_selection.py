@@ -14,19 +14,26 @@ every join of a plan; the caller then runs push-down once.
 
 from __future__ import annotations
 
-from repro.cost.constants import DEFAULT_LAMBDA_THRESH
+from repro.cost.constants import DEFAULT_COSTS, DEFAULT_LAMBDA_THRESH
 from repro.cost.cout import EstimatedCardModel
 from repro.plan.clone import clone_plan
 from repro.plan.nodes import HashJoinNode, PlanNode
 from repro.plan.pushdown import push_down_bitvectors
 from repro.stats.estimator import CardinalityEstimator
 
+# The creation threshold never drops below this fraction of the
+# deployed lambda: partitioned builds only cheapen the *build* pass,
+# while the per-probe check cost — the other component lambda absorbs —
+# is paid serially per tuple regardless of parallelism.
+_MIN_THRESH_FRACTION = 0.5
+
 
 def apply_cost_based_filters(
     plan: PlanNode,
     estimator: CardinalityEstimator,
     lambda_thresh: float = DEFAULT_LAMBDA_THRESH,
-    zone_aware: bool = False,
+    zone_aware: bool = True,
+    build_parallelism: int = 1,
 ) -> PlanNode:
     """Disable bitvector creation for joins below the threshold.
 
@@ -35,7 +42,10 @@ def apply_cost_based_filters(
     and the probe side's raw keys — the anti-semi-join selectivity.
     Returns the same plan object with flags updated (no push-down yet).
 
-    With ``zone_aware=True`` the estimate additionally accounts for
+    With ``zone_aware=True`` (the default since the parallel-build PR —
+    it was opt-in for one release while the paper workloads were
+    re-measured; pass ``zone_aware=False`` for the paper's unadjusted
+    Section 6.3 rule) the estimate additionally accounts for
     morsel-level data skipping: probe rows living in morsels whose zone
     maps are disjoint from the build key range are eliminated *for
     free* (skipped, never checked), so the filter is only credited with
@@ -45,8 +55,15 @@ def apply_cost_based_filters(
     is not created.  The adjustment consults only synopses the executor
     has already built (see
     :meth:`~repro.stats.estimator.CardinalityEstimator.bitvector_zone_skip_fraction`),
-    so cold optimizations are unchanged; it is opt-in to keep the
-    default pipelines faithful to the paper's Section 6.3 rule.
+    so cold optimizations are unchanged.
+
+    ``build_parallelism`` is the executor parallelism the plan will run
+    at.  Above 1, each join's creation threshold is discounted by the
+    build cost the partitioned build pipeline saves (see
+    :func:`_parallel_build_threshold`): the paper's threshold polices a
+    *serial* pass over the build side, so once that pass is split
+    across workers the optimizer can afford filters on large dimensions
+    it previously rejected.
     """
     copy, mapping = clone_plan(plan)
     push_down_bitvectors(copy)
@@ -66,8 +83,44 @@ def apply_cost_based_filters(
         elimination = _estimated_elimination(clone, model, estimator)
         if zone_aware:
             elimination = _residual_elimination(clone, estimator, elimination)
-        original.creates_bitvector = elimination >= lambda_thresh
+        threshold = _parallel_build_threshold(
+            clone, model, estimator, lambda_thresh, build_parallelism
+        )
+        original.creates_bitvector = elimination >= threshold
     return plan
+
+
+def _parallel_build_threshold(
+    join: HashJoinNode,
+    model: EstimatedCardModel,
+    estimator: CardinalityEstimator,
+    lambda_thresh: float,
+    build_parallelism: int,
+) -> float:
+    """Creation threshold net of the build cost parallelism saves.
+
+    The deployed flat threshold absorbs two costs: the per-probe-tuple
+    check ``Cf`` and the amortized build pass ``Ci * |build| / (Cp *
+    |probe|)``.  A partitioned build divides the build term by the
+    effective parallelism (``CardinalityEstimator.filter_build_discount``
+    mirrors the executor's dispatch rules), so the threshold drops by
+    the share saved — ``share * (1 - 1/p_eff)`` — floored at
+    :data:`_MIN_THRESH_FRACTION` of the deployed lambda because the
+    check cost is untouched by build parallelism.  At
+    ``build_parallelism=1`` this is exactly ``lambda_thresh``.
+    """
+    if build_parallelism <= 1:
+        return lambda_thresh
+    build_rows = model.rows_out(join.build)
+    probe_rows = model.rows_out(join.probe)
+    discount = estimator.filter_build_discount(build_rows, build_parallelism)
+    if discount <= 1.0:
+        return lambda_thresh
+    share = (DEFAULT_COSTS.filter_insert * build_rows) / max(
+        DEFAULT_COSTS.probe * probe_rows, 1.0
+    )
+    saved = share * (1.0 - 1.0 / discount)
+    return max(lambda_thresh * _MIN_THRESH_FRACTION, lambda_thresh - saved)
 
 
 def _residual_elimination(

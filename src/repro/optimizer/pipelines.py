@@ -75,10 +75,14 @@ def _finalize(
     use_bitvectors: bool,
     cost_based: bool,
     lambda_thresh: float,
+    build_parallelism: int = 1,
 ) -> OptimizedPlan:
     if use_bitvectors:
         if cost_based:
-            plan = apply_cost_based_filters(plan, estimator, lambda_thresh)
+            plan = apply_cost_based_filters(
+                plan, estimator, lambda_thresh,
+                build_parallelism=build_parallelism,
+            )
         plan = push_down_bitvectors(plan)
     else:
         for node in plan.walk():
@@ -101,6 +105,7 @@ def _run_pipeline(
     database: Database,
     spec: QuerySpec,
     lambda_thresh: float,
+    build_parallelism: int = 1,
 ) -> OptimizedPlan:
     spec.validate_against(database)
     graph = JoinGraph(spec, database.catalog)
@@ -118,12 +123,17 @@ def _run_pipeline(
     use_bitvectors = pipeline not in ("original_nobv", "dp_nobv")
     cost_based = pipeline in ("original", "bqo", "dp")
     return _finalize(
-        pipeline, spec, plan, estimator, use_bitvectors, cost_based, lambda_thresh
+        pipeline, spec, plan, estimator, use_bitvectors, cost_based,
+        lambda_thresh, build_parallelism=build_parallelism,
     )
 
 
 PIPELINES: dict[str, Callable[[Database, QuerySpec, float], OptimizedPlan]] = {
-    name: (lambda db, spec, lt, _n=name: _run_pipeline(_n, db, spec, lt))
+    name: (
+        lambda db, spec, lt, _n=name, **kwargs: _run_pipeline(
+            _n, db, spec, lt, **kwargs
+        )
+    )
     for name in (
         "original",
         "original_nobv",
@@ -141,8 +151,15 @@ def optimize_query(
     spec: QuerySpec,
     pipeline: str = "bqo",
     lambda_thresh: float = DEFAULT_LAMBDA_THRESH,
+    build_parallelism: int = 1,
 ) -> OptimizedPlan:
     """Optimize ``spec`` with a named pipeline.
+
+    ``build_parallelism`` tells cost-based filter selection what
+    executor parallelism the plan will run at, so it can discount
+    filter build cost by the partitioned build pipeline's speedup (see
+    :func:`repro.optimizer.filter_selection.apply_cost_based_filters`);
+    the default 1 reproduces the paper's serial-build threshold.
 
     >>> # doctest-style sketch; see examples/quickstart.py for a runnable one
     """
@@ -153,6 +170,8 @@ def optimize_query(
             f"unknown pipeline {pipeline!r}; expected one of {sorted(PIPELINES)}"
         ) from None
     started = time.perf_counter()
-    optimized = runner(database, spec, lambda_thresh)
+    optimized = runner(
+        database, spec, lambda_thresh, build_parallelism=build_parallelism
+    )
     optimized.optimize_seconds = time.perf_counter() - started
     return optimized

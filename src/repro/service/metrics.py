@@ -38,9 +38,17 @@ class ServiceMetrics:
     dictionary_hits: int = 0
     dictionary_misses: int = 0
     # Zone-map data skipping (repro.storage.zonemaps): whole morsels
-    # proven non-qualifying and dropped before any row was read.
+    # proven non-qualifying and dropped before any row was read, plus
+    # morsels proven all-qualifying and kept whole without row-wise
+    # evaluation (the constant-morsel short-circuit).
     morsels_pruned: int = 0
     rows_skipped: int = 0
+    morsels_short_circuited: int = 0
+    # Parallel build-side pipeline (repro.engine.executor): filters
+    # constructed via partition-build-then-merge, and the wall-clock
+    # the query spent building filters (cache hits cost nothing).
+    filter_builds_parallel: int = 0
+    filter_build_seconds: float = 0.0
 
 
 @dataclasses.dataclass
@@ -62,6 +70,9 @@ class ServiceStats:
     dictionary_misses: int = 0
     total_morsels_pruned: int = 0
     total_rows_skipped: int = 0
+    total_morsels_short_circuited: int = 0
+    total_filter_builds_parallel: int = 0
+    total_filter_build_seconds: float = 0.0
 
     def fold(self, metrics: ServiceMetrics) -> None:
         self.queries += 1
@@ -80,6 +91,9 @@ class ServiceStats:
         self.dictionary_misses += metrics.dictionary_misses
         self.total_morsels_pruned += metrics.morsels_pruned
         self.total_rows_skipped += metrics.rows_skipped
+        self.total_morsels_short_circuited += metrics.morsels_short_circuited
+        self.total_filter_builds_parallel += metrics.filter_builds_parallel
+        self.total_filter_build_seconds += metrics.filter_build_seconds
 
     @property
     def plan_cache_hit_rate(self) -> float:

@@ -81,14 +81,18 @@ class QueryService:
         LRU bounds for the two caches.
     max_workers:
         Default thread-pool width for :meth:`run_many`.
-    parallelism / morsel_rows:
+    parallelism / morsel_rows / adaptive_morsels:
         Morsel-driven intra-query parallelism, passed through to the
         :class:`~repro.engine.executor.Executor`.  The default 1 keeps
         each query on its serving thread (byte-identical to the serial
         engine); cross-query (``max_workers``, per-service batch pool)
         and intra-query (``parallelism``, the process-wide morsel
         pool) parallelism compose, with the morsel pool bounded by the
-        widest ``parallelism`` in the process.
+        widest ``parallelism`` in the process.  At ``parallelism > 1``
+        bitvector filter builds run partitioned on the pool (the plan
+        cache optimizes with the matching build-cost discount), and
+        ``adaptive_morsels`` resizes morsels per pipeline from observed
+        selectivity and wall time.
     zone_maps:
         Morsel-level data skipping via per-column min/max synopses
         (:mod:`repro.storage.zonemaps`), on by default; pruning is
@@ -110,6 +114,7 @@ class QueryService:
         max_workers: int = 4,
         parallelism: int = 1,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        adaptive_morsels: bool = True,
         zone_maps: bool = True,
     ) -> None:
         if pipeline not in PIPELINES:
@@ -129,6 +134,7 @@ class QueryService:
             filter_cache=self.filter_cache,
             parallelism=parallelism,
             morsel_rows=morsel_rows,
+            adaptive_morsels=adaptive_morsels,
             zone_maps=zone_maps,
         )
         self._stats = ServiceStats()
@@ -175,6 +181,9 @@ class QueryService:
             dictionary_misses=result.metrics.dictionary_misses,
             morsels_pruned=result.metrics.morsels_pruned,
             rows_skipped=result.metrics.rows_skipped,
+            morsels_short_circuited=result.metrics.morsels_short_circuited,
+            filter_builds_parallel=result.metrics.filter_builds_parallel,
+            filter_build_seconds=result.metrics.filter_build_seconds,
         )
         with self._lock:
             self._stats.fold(metrics)
@@ -275,12 +284,21 @@ class QueryService:
             f"-- parameters: {params or '(none)'}",
             f"-- filter cache: {len(self.filter_cache)} filters / "
             f"{self.filter_cache.size_bits()} bits, "
-            f"{self.filter_cache.build_seconds_saved * 1e3:.2f} ms build amortized",
+            f"{self.filter_cache.build_seconds_saved * 1e3:.2f} ms build amortized, "
+            f"{self.filter_cache.builds_deduped} builds deduped",
             f"-- dictionary indexes: {dictionaries['entries']} columns resident "
             f"({dictionaries['builds']} builds / {dictionaries['lookups']} lookups)",
             f"-- parallel execution: parallelism={self._executor.parallelism} "
             f"morsel_rows={self._executor.morsel_rows}"
-            + ("" if self._executor.parallelism > 1 else " (serial)"),
+            + (
+                f" adaptive_morsels="
+                f"{'on' if self._executor.adaptive_morsels else 'off'} "
+                f"({stats.total_filter_builds_parallel} partitioned filter "
+                f"builds, {stats.total_filter_build_seconds * 1e3:.2f} ms "
+                f"build phase)"
+                if self._executor.parallelism > 1
+                else " (serial)"
+            ),
             (
                 f"-- zone maps: on — {zone_maps_info['entries']} synopses "
                 f"resident ({zone_maps_info['builds']} builds), "
@@ -357,7 +375,11 @@ class QueryService:
         spec = bind_select(self._database, statement, name)
         template_spec = bind_select(self._database, template_statement, name)
         optimized = optimize_query(
-            self._database, spec, pipeline, lambda_thresh=self._lambda_thresh
+            self._database, spec, pipeline, lambda_thresh=self._lambda_thresh,
+            # Filter selection discounts build cost by the executor
+            # parallelism these plans will actually run at (the
+            # partitioned build pipeline).
+            build_parallelism=self._executor.parallelism,
         )
         return CachedPlan(
             fingerprint=fingerprint.digest,

@@ -52,8 +52,11 @@ __all__ = [
     "ColumnZoneMap",
     "MorselBounds",
     "predicate_prunes_morsel",
+    "predicate_accepts_morsel",
     "filter_prunes_morsel",
     "predicate_prune_flags",
+    "predicate_accept_flags",
+    "scan_morsel_decisions",
     "filter_prune_flags",
     "pruned_row_fraction",
 ]
@@ -332,6 +335,106 @@ def _comparison_prunes(predicate: Comparison, bounds_of) -> bool:
     return False
 
 
+def predicate_accepts_morsel(predicate: Expression, bounds_of) -> bool:
+    """True iff ``predicate`` is provably *true* for every morsel row.
+
+    The dual of :func:`predicate_prunes_morsel`, powering the
+    constant-morsel short-circuit: a morsel whose synopsis proves the
+    predicate everywhere (the ``is_constant`` case is the archetype —
+    one comparison against the constant answers for every row) is kept
+    whole without evaluating a single row.  Same conservatism contract:
+    anything the interval logic cannot decide answers "no", so
+    accepting is always byte-identical to evaluating.
+
+    NaN discipline mirrors the evaluator: a row holding NaN fails every
+    ordered comparison, equality, ``BETWEEN``, and ``IN``, so those
+    operators only accept morsels with ``null_count == 0``; numpy's
+    ``!=`` is *true* for NaN, so ``<>`` tolerates (and an all-NaN
+    morsel satisfies) it.  ``NOT p`` accepts exactly when ``p`` prunes
+    — "provably false everywhere" negates to "provably true
+    everywhere", NaN rows included (their ``p`` is false too).
+    """
+    if isinstance(predicate, And):
+        return bool(predicate.operands) and all(
+            predicate_accepts_morsel(operand, bounds_of)
+            for operand in predicate.operands
+        )
+    if isinstance(predicate, Or):
+        return any(
+            predicate_accepts_morsel(operand, bounds_of)
+            for operand in predicate.operands
+        )
+    if isinstance(predicate, Not):
+        return predicate_prunes_morsel(predicate.operand, bounds_of)
+    if isinstance(predicate, Comparison):
+        return _comparison_accepts(predicate, bounds_of)
+    if isinstance(predicate, Between):
+        if not isinstance(predicate.operand, ColumnRef):
+            return False
+        bounds = bounds_of(predicate.operand.alias, predicate.operand.column)
+        if bounds is None or bounds.all_null or bounds.null_count:
+            return False
+        low = _literal(predicate.low)
+        high = _literal(predicate.high)
+        if low is None or high is None:
+            return False
+        try:
+            return bool(low <= bounds.low) and bool(bounds.high <= high)
+        except TypeError:
+            return False
+    if isinstance(predicate, InList):
+        if not isinstance(predicate.operand, ColumnRef):
+            return False
+        bounds = bounds_of(predicate.operand.alias, predicate.operand.column)
+        if bounds is None or not bounds.is_constant:
+            return False
+        # A constant morsel passes IN iff its one value is listed;
+        # non-constant intervals prove nothing about membership.
+        try:
+            return any(bool(bounds.low == value) for value in predicate.values)
+        except TypeError:
+            return False
+    return False
+
+
+def _comparison_accepts(predicate: Comparison, bounds_of) -> bool:
+    column, literal, flipped = _split_comparison(predicate)
+    if column is None:
+        return False
+    bounds = bounds_of(column.alias, column.column)
+    if bounds is None:
+        return False
+    op = predicate.op
+    if flipped:
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+              "=": "=", "<>": "<>"}[op]
+    value = literal.value
+    if bounds.all_null:
+        # numpy's != is True for NaN rows; every other operator is
+        # False there.
+        return op == "<>"
+    try:
+        if op == "=":
+            return bounds.is_constant and bool(bounds.low == value)
+        if op == "<>":
+            # NaN rows already satisfy <>; the ordered rows do iff the
+            # whole interval misses the literal.
+            return bool(value < bounds.low) or bool(value > bounds.high)
+        if bounds.null_count:
+            return False  # a NaN row fails every ordered comparison
+        if op == "<":
+            return bool(bounds.high < value)
+        if op == "<=":
+            return bool(bounds.high <= value)
+        if op == ">":
+            return bool(bounds.low > value)
+        if op == ">=":
+            return bool(bounds.low >= value)
+    except TypeError:
+        return False
+    return False
+
+
 def _split_comparison(
     predicate: Comparison,
 ) -> tuple[ColumnRef | None, Literal | None, bool]:
@@ -381,6 +484,83 @@ def predicate_prune_flags(
 
         flags.append(predicate_prunes_morsel(predicate, bounds_of))
     return flags
+
+
+def predicate_accept_flags(
+    predicate: Expression,
+    alias: str,
+    zone_of,
+    num_morsels: int,
+) -> list[bool]:
+    """Per-morsel accept flags of ``predicate`` over one relation alias.
+
+    The accept-side counterpart of :func:`predicate_prune_flags` (same
+    lazy per-column zone lookup); ``flags[i]`` True means every row of
+    morsel ``i`` provably satisfies the predicate, so the scan can keep
+    the morsel whole without evaluating it (the constant-morsel
+    short-circuit).  A morsel can never be both pruned and accepted —
+    the two sweeps decide "provably false everywhere" and "provably
+    true everywhere" from the same bounds.
+    """
+    zones: dict[str, ColumnZoneMap | None] = {}
+
+    def zone(column: str) -> ColumnZoneMap | None:
+        if column not in zones:
+            zones[column] = zone_of(column)
+        return zones[column]
+
+    flags = []
+    for index in range(num_morsels):
+        def bounds_of(bounds_alias: str, column: str, index=index):
+            if bounds_alias != alias:
+                return None
+            column_zone = zone(column)
+            if column_zone is None:
+                return None
+            return column_zone.bounds(index)
+
+        flags.append(predicate_accepts_morsel(predicate, bounds_of))
+    return flags
+
+
+def scan_morsel_decisions(
+    predicate: Expression,
+    alias: str,
+    zone_of,
+    num_morsels: int,
+) -> tuple[list[bool], list[bool]]:
+    """One fused sweep: per-morsel ``(pruned, accepted)`` flags.
+
+    The executor's scan site needs both directions; fusing them shares
+    the per-morsel bounds closure and the lazy zone lookups, and the
+    accept test is skipped outright for morsels already proven empty
+    (prune is authoritative — the degenerate empty morsel trivially
+    satisfies both definitions).
+    """
+    zones: dict[str, ColumnZoneMap | None] = {}
+
+    def zone(column: str) -> ColumnZoneMap | None:
+        if column not in zones:
+            zones[column] = zone_of(column)
+        return zones[column]
+
+    pruned: list[bool] = []
+    accepted: list[bool] = []
+    for index in range(num_morsels):
+        def bounds_of(bounds_alias: str, column: str, index=index):
+            if bounds_alias != alias:
+                return None
+            column_zone = zone(column)
+            if column_zone is None:
+                return None
+            return column_zone.bounds(index)
+
+        is_pruned = predicate_prunes_morsel(predicate, bounds_of)
+        pruned.append(is_pruned)
+        accepted.append(
+            not is_pruned and predicate_accepts_morsel(predicate, bounds_of)
+        )
+    return pruned, accepted
 
 
 def filter_prune_flags(

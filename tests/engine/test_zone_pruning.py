@@ -178,9 +178,16 @@ def test_constant_column_prunes_all_or_nothing():
         ],
         zone_maps=True, morsel_rows=_MORSEL_ROWS,
     )
+    # The matching constant takes the short-circuit: every morsel is
+    # provably all-true, so all rows are kept without one row-wise
+    # evaluation (their rows count as skipped *work*, not skipped
+    # output).
     assert hit.scalar("c") == _ROWS
-    assert hit.metrics.rows_skipped == 0
+    assert hit.metrics.morsels_pruned == 0
+    assert hit.metrics.morsels_short_circuited > 0
+    assert hit.metrics.rows_skipped == _ROWS
     assert miss.scalar("c") == 0
+    assert miss.metrics.morsels_short_circuited == 0
     assert miss.metrics.rows_skipped == _ROWS
 
 

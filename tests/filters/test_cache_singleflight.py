@@ -1,0 +1,106 @@
+"""Single-flight construction in the bitvector filter cache.
+
+Before this PR, racing threads each ran the builder and the second
+build won the slot — bounded waste, but a herd of ``run_many`` workers
+hitting one cold dimension filter built it N times.  The cache now
+coordinates like the dictionary / zone-map builds: one builder, the
+rest wait and reuse, ``builds_deduped`` counts the spared builds.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.filters.cache import BitvectorFilterCache
+from repro.filters.exact import ExactFilter
+
+
+def _make_filter():
+    return ExactFilter.build([np.arange(64)])
+
+
+def _herd(cache, key, builder, num_threads):
+    barrier = threading.Barrier(num_threads)
+    results = []
+    lock = threading.Lock()
+
+    def worker():
+        barrier.wait()
+        outcome = cache.get_or_build(key, builder)
+        with lock:
+            results.append(outcome)
+
+    threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+def test_herd_builds_exactly_once():
+    cache = BitvectorFilterCache(8)
+    builds = []
+    gate = threading.Event()
+
+    def builder():
+        builds.append(threading.get_ident())
+        gate.wait(timeout=5)  # hold the herd on the pending event
+        return _make_filter()
+
+    timer = threading.Timer(0.05, gate.set)
+    timer.start()
+    try:
+        results = _herd(cache, ("dim", ("id",)), builder, 8)
+    finally:
+        timer.cancel()
+
+    assert len(builds) == 1
+    assert sum(1 for _, was_cached in results if not was_cached) == 1
+    assert cache.builds_deduped == 7
+    # Every thread got the same published object.
+    instances = {id(filter_) for filter_, _ in results}
+    assert len(instances) == 1
+
+
+def test_waiters_rebuild_after_builder_failure():
+    cache = BitvectorFilterCache(8)
+    attempts = []
+
+    def builder():
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise RuntimeError("first build dies")
+        return _make_filter()
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_build(("k",), builder)
+    # The pending slot was released: the next caller becomes the
+    # builder instead of deadlocking on a dead event.
+    filter_, was_cached = cache.get_or_build(("k",), builder)
+    assert not was_cached
+    assert len(attempts) == 2
+    assert filter_.num_keys == 64
+
+
+def test_clear_during_build_is_not_republished():
+    cache = BitvectorFilterCache(8)
+
+    def builder():
+        cache.clear()  # invalidation lands mid-build
+        return _make_filter()
+
+    built, was_cached = cache.get_or_build(("k",), builder)
+    assert not was_cached
+    assert built.num_keys == 64
+    # The generation guard dropped the publish.
+    assert ("k",) not in cache
+
+
+def test_plain_hits_do_not_count_as_deduped():
+    cache = BitvectorFilterCache(8)
+    cache.get_or_build(("k",), _make_filter)
+    _, was_cached = cache.get_or_build(("k",), _make_filter)
+    assert was_cached
+    assert cache.builds_deduped == 0

@@ -145,6 +145,30 @@ class TestZoneAwareFilterSelection:
         )
         assert any(j.creates_bitvector for j in self._joins(plan))
 
+    def test_zone_aware_is_the_default(self):
+        """The ROADMAP follow-up landed: ``zone_aware`` defaults to True,
+        so a warm synopsis changes the default decision while
+        ``zone_aware=False`` restores the paper's unadjusted rule."""
+        database = _clustered_database()
+        database.add_table(
+            Table.from_arrays(
+                "band_dim", {"b": np.arange(100, 150)}, key=("b",)
+            )
+        )
+        database.zone_map("fact", "k", _MORSEL_ROWS, 1)
+        sql = "SELECT COUNT(*) AS c FROM fact f, band_dim b WHERE f.k = b.b"
+        estimator = CardinalityEstimator(
+            database, {"f": "fact", "b": "band_dim"}
+        )
+        plan = self._optimized_plan(database, sql)
+        apply_cost_based_filters(plan, estimator, DEFAULT_LAMBDA_THRESH)
+        assert not any(j.creates_bitvector for j in self._joins(plan))
+        plan = self._optimized_plan(database, sql)
+        apply_cost_based_filters(
+            plan, estimator, DEFAULT_LAMBDA_THRESH, zone_aware=False
+        )
+        assert any(j.creates_bitvector for j in self._joins(plan))
+
     def test_executor_results_agree_either_way(self):
         database = _clustered_database()
         database.add_table(

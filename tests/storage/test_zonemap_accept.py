@@ -1,0 +1,157 @@
+"""Accept-side interval reasoning: ``predicate_accepts_morsel``.
+
+The dual of pruning, powering the constant-morsel short-circuit: a
+morsel is *accepted* only when the synopsis proves the predicate for
+every row.  The tests mirror the vectorized evaluator's semantics —
+especially the NaN discipline — because an unsound accept silently
+changes answers.
+"""
+
+import numpy as np
+
+from repro.expr.expressions import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Like,
+    Not,
+    Or,
+    col,
+    lit,
+)
+from repro.storage.zonemaps import (
+    ColumnZoneMap,
+    predicate_accept_flags,
+    predicate_accepts_morsel,
+    predicate_prune_flags,
+)
+
+
+def _bounds_of(zone, index):
+    def bounds(alias, column, index=index):
+        if alias != "t" or column != "k":
+            return None
+        return zone.bounds(index)
+
+    return bounds
+
+
+def _zone(values, ranges):
+    return ColumnZoneMap.build(np.asarray(values), ranges)
+
+
+class TestComparisonAccepts:
+    def test_constant_morsel_equality(self):
+        zone = _zone([7, 7, 7, 1, 2, 3], [(0, 3), (3, 6)])
+        eq = Comparison("=", col("t", "k"), lit(7))
+        assert predicate_accepts_morsel(eq, _bounds_of(zone, 0))
+        assert not predicate_accepts_morsel(eq, _bounds_of(zone, 1))
+
+    def test_ordered_accepts_from_interval(self):
+        zone = _zone([1, 2, 3, 8, 9, 10], [(0, 3), (3, 6)])
+        below = Comparison("<", col("t", "k"), lit(5))
+        assert predicate_accepts_morsel(below, _bounds_of(zone, 0))
+        assert not predicate_accepts_morsel(below, _bounds_of(zone, 1))
+        at_least = Comparison(">=", col("t", "k"), lit(8))
+        assert predicate_accepts_morsel(at_least, _bounds_of(zone, 1))
+        # Flipped literal-vs-column form.
+        flipped = Comparison(">", lit(5), col("t", "k"))
+        assert predicate_accepts_morsel(flipped, _bounds_of(zone, 0))
+
+    def test_not_equal_accepts_disjoint_interval(self):
+        zone = _zone([1, 2, 3], [(0, 3)])
+        assert predicate_accepts_morsel(
+            Comparison("<>", col("t", "k"), lit(9)), _bounds_of(zone, 0)
+        )
+        assert not predicate_accepts_morsel(
+            Comparison("<>", col("t", "k"), lit(2)), _bounds_of(zone, 0)
+        )
+
+    def test_nan_rows_block_ordered_accepts(self):
+        zone = _zone([1.0, 2.0, np.nan], [(0, 3)])
+        assert not predicate_accepts_morsel(
+            Comparison("<", col("t", "k"), lit(10.0)), _bounds_of(zone, 0)
+        )
+        # numpy's != is True for NaN, so <> tolerates the NaN rows.
+        assert predicate_accepts_morsel(
+            Comparison("<>", col("t", "k"), lit(9.0)), _bounds_of(zone, 0)
+        )
+
+    def test_all_nan_morsel_accepts_only_not_equal(self):
+        zone = _zone([np.nan, np.nan], [(0, 2)])
+        assert predicate_accepts_morsel(
+            Comparison("<>", col("t", "k"), lit(1.0)), _bounds_of(zone, 0)
+        )
+        assert not predicate_accepts_morsel(
+            Comparison("<", col("t", "k"), lit(1.0)), _bounds_of(zone, 0)
+        )
+
+
+class TestCompoundAccepts:
+    def test_between_and_in(self):
+        zone = _zone([5, 6, 7, 7, 7, 7], [(0, 3), (3, 6)])
+        between = Between(col("t", "k"), lit(5), lit(7))
+        assert predicate_accepts_morsel(between, _bounds_of(zone, 0))
+        in_list = InList(col("t", "k"), (1, 7, 9))
+        # IN needs a constant morsel: an interval inside the list's
+        # hull proves nothing about membership.
+        assert not predicate_accepts_morsel(in_list, _bounds_of(zone, 0))
+        assert predicate_accepts_morsel(in_list, _bounds_of(zone, 1))
+
+    def test_and_or_not(self):
+        zone = _zone([2, 2, 2], [(0, 3)])
+        true_leaf = Comparison("=", col("t", "k"), lit(2))
+        false_leaf = Comparison("=", col("t", "k"), lit(9))
+        assert predicate_accepts_morsel(
+            And((true_leaf, true_leaf)), _bounds_of(zone, 0)
+        )
+        assert not predicate_accepts_morsel(
+            And((true_leaf, false_leaf)), _bounds_of(zone, 0)
+        )
+        assert predicate_accepts_morsel(
+            Or((false_leaf, true_leaf)), _bounds_of(zone, 0)
+        )
+        # NOT accepts exactly when the operand prunes (false everywhere).
+        assert predicate_accepts_morsel(
+            Not(false_leaf), _bounds_of(zone, 0)
+        )
+        assert not predicate_accepts_morsel(
+            Not(true_leaf), _bounds_of(zone, 0)
+        )
+
+    def test_like_and_unknown_bounds_never_accept(self):
+        zone = _zone([2, 2, 2], [(0, 3)])
+        assert not predicate_accepts_morsel(
+            Like(col("t", "k"), "2%"), _bounds_of(zone, 0)
+        )
+        assert not predicate_accepts_morsel(
+            Comparison("=", col("t", "k"), lit(2)),
+            lambda alias, column: None,
+        )
+
+
+def test_accept_flags_mirror_prune_flags_sweep():
+    values = np.array([5, 5, 5, 1, 2, 3, 9, 9, 9])
+    ranges = [(0, 3), (3, 6), (6, 9)]
+    zone = ColumnZoneMap.build(values, ranges)
+    predicate = Comparison("=", col("t", "k"), lit(5))
+    accepts = predicate_accept_flags(
+        predicate, "t", lambda column: zone if column == "k" else None, 3
+    )
+    prunes = predicate_prune_flags(
+        predicate, "t", lambda column: zone if column == "k" else None, 3
+    )
+    assert accepts == [True, False, False]
+    assert prunes == [False, True, True]
+    # The two sweeps can never both claim a morsel.
+    assert not any(a and p for a, p in zip(accepts, prunes))
+
+
+def test_mixed_type_morsel_never_accepts():
+    values = np.array([1, "a", 2], dtype=object)
+    zone = ColumnZoneMap.build(values, [(0, 3)])
+    assert not predicate_accepts_morsel(
+        Comparison("<", col("t", "k"), lit(10)),
+        lambda alias, column: zone.bounds(0),
+    )
