@@ -32,7 +32,7 @@ def test_tab03_workload_statistics(
     print(render_table(rows, "Table 3 — workload statistics"))
 
     by_name = {row["workload"]: row for row in rows}
-    assert by_name["tpcds"]["queries"] == 25
+    assert by_name["tpcds"]["queries"] == 32
     assert by_name["job"]["queries"] == 30
     assert by_name["customer"]["queries"] == 20
 

@@ -200,6 +200,45 @@ def run_pruning(args) -> None:
     print(f"wrote {path}")
 
 
+def run_plan_quality(args) -> None:
+    from repro.bench.plan_quality import (
+        DEFAULT_SCALE,
+        run_plan_quality as run_experiment,
+        write_plan_quality_report,
+    )
+
+    payload = run_experiment(
+        scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+    )
+    for mode, report in payload["mode_reports"].items():
+        rows = [
+            {
+                "query": entry["query"],
+                "operators": entry["operators"],
+                "median_q": entry["median_q_error"],
+                "max_q": entry["max_q_error"],
+            }
+            for entry in report["per_query"]
+        ]
+        print(render_table(
+            rows,
+            f"\n=== plan quality — q-error per query, mode {mode!r} "
+            f"(scale {payload['scale']}) ===",
+        ))
+        print(
+            f"{mode}: median q-error {report['median_q_error']}, "
+            f"p90 {report['p90_q_error']}, max {report['max_q_error']} "
+            f"over {report['operators']} operators"
+        )
+    topk = payload["topk_early_exit"]
+    print(
+        f"top-k early exit: {topk['total_morsels_pruned']} morsels pruned, "
+        f"answers identical: {topk['all_identical']}"
+    )
+    path = write_plan_quality_report(payload, _artifact_path(args))
+    print(f"wrote {path}")
+
+
 class _Experiment:
     """One registry entry: help text, artifact default, and dispatch."""
 
@@ -234,6 +273,11 @@ EXPERIMENTS: dict[str, _Experiment] = {
         "partitioned bitvector filter builds vs. serial (build phase)",
         "BENCH_build_parallel.json",
         run_build_parallel,
+    ),
+    "plan-quality": _Experiment(
+        "estimator q-error vs. observed cardinalities, full vs. shallow",
+        "BENCH_plan_quality.json",
+        run_plan_quality,
     ),
 }
 

@@ -1,0 +1,254 @@
+"""Plan-quality experiment: estimator q-error vs. observed cardinalities.
+
+The optimizer is only as good as the cardinalities it plans with, so
+this experiment executes the TPC-DS-lite workload and compares, per
+plan operator, the :class:`~repro.cost.cout.EstimatedCardModel` row
+count against the row count the executor actually observed.  The
+standard figure of merit is the *q-error*::
+
+    q(node) = max(estimate / observed, observed / estimate)
+
+(1.0 is a perfect estimate; the metric is symmetric in over- and
+under-estimation).  Results are broken out by cascades integration
+mode — ``full`` (exhaustive memo extraction) vs. ``shallow`` (the
+pinned BQO snowflake rule) — because the two modes can pick different
+join orders and therefore expose different intermediate results to the
+estimator.
+
+A second section exercises the top-k zone-map early exit: clustered
+``ORDER BY ... LIMIT`` scans over ``date_dim`` (surrogate keys are
+stored in sorted order) must prune morsels when zone maps are on and
+stay byte-identical to the zone-map-off run.  Used by
+``benchmarks/test_plan_quality.py`` and by the CLI::
+
+    python -m repro.bench --experiment plan-quality \
+        --output BENCH_plan_quality.json
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.reporting import available_cores
+from repro.cascades import CascadesOptimizer
+from repro.cost.cout import EstimatedCardModel
+from repro.engine.executor import Executor
+from repro.plan.builder import attach_aggregate
+from repro.plan.nodes import FilterNode, HashJoinNode, ScanNode
+from repro.plan.pushdown import push_down_bitvectors
+from repro.sql.binder import parse_query
+from repro.stats.estimator import CardinalityEstimator
+from repro.workloads import tpcds_lite
+
+DEFAULT_SCALE = 0.1
+
+# Cascades ``full`` mode extracts up to 4000 plans per memo, so the
+# q-error sweep sticks to queries with modest join graphs (<= 4
+# relations).  The subset still spans stars, snowflake chains,
+# group-bys, and the new HAVING / ORDER BY ... LIMIT report shapes.
+DEFAULT_QUERIES = (
+    "ds_q01",
+    "ds_q02",
+    "ds_q03",
+    "ds_q05",
+    "ds_q09",
+    "ds_q10",
+    "ds_q12",
+    "ds_q16",
+    "ds_q19",
+    "ds_q26",
+    "ds_q27",
+    "ds_q30",
+)
+
+MODES = ("full", "shallow")
+
+# Clustered top-k scans for the early-exit section, over the sorted
+# fact layout from the zone-map pruning experiment (the calendar
+# dimensions of tpcds_lite are too small to split into multiple
+# morsels — MIN_MORSEL_ROWS floors the partitioner at 1024 rows).
+TOPK_SQLS = (
+    (
+        "topk_key_desc",
+        "SELECT f.f_key, f.f_val FROM fact f "
+        "ORDER BY f.f_key DESC LIMIT 50",
+    ),
+    (
+        "topk_key_asc",
+        "SELECT f.f_key, f.f_val FROM fact f "
+        "ORDER BY f.f_key ASC LIMIT 80",
+    ),
+    (
+        "topk_key_then_val",
+        "SELECT f.f_key, f.f_val FROM fact f "
+        "ORDER BY f.f_key DESC, f.f_val ASC LIMIT 30",
+    ),
+)
+
+TOPK_ROWS = 200_000
+TOPK_MORSEL_ROWS = 8192
+
+
+def _q_error(estimate: float, observed: float) -> float:
+    estimate = max(float(estimate), 1.0)
+    observed = max(float(observed), 1.0)
+    return max(estimate / observed, observed / estimate)
+
+
+def _node_kind(node) -> str:
+    if isinstance(node, ScanNode):
+        return "scan"
+    if isinstance(node, FilterNode):
+        return "filter"
+    return "join"
+
+
+def run_plan_quality(
+    scale: float = DEFAULT_SCALE,
+    query_names: tuple[str, ...] = DEFAULT_QUERIES,
+    modes: tuple[str, ...] = MODES,
+) -> dict:
+    """Execute the workload per mode and collect per-operator q-errors.
+
+    For each (query, mode) pair the cascades optimizer produces a join
+    plan, bitvector push-down and the aggregate/top-k root are applied
+    (exactly the pipeline the service layer runs), the plan executes,
+    and every scan / join / residual-filter operator contributes one
+    ``(estimated, observed, q_error)`` record.  The payload carries the
+    raw records plus per-mode and per-operator-kind summaries.
+    """
+    database = tpcds_lite.build_database(scale)
+    specs = {spec.name: spec for spec in tpcds_lite.queries(database)}
+    executor = Executor(database)
+    optimizer = CascadesOptimizer(database)
+
+    mode_reports: dict[str, dict] = {}
+    for mode in modes:
+        records: list[dict] = []
+        per_query: list[dict] = []
+        for name in query_names:
+            spec = specs[name]
+            plan = optimizer.optimize(spec, mode)
+            plan = push_down_bitvectors(plan)
+            plan = attach_aggregate(plan, spec)
+            result = executor.execute(plan)
+            observed = {
+                node.node_id: node.rows_out for node in result.metrics.nodes
+            }
+            model = EstimatedCardModel(
+                CardinalityEstimator(database, spec.alias_tables)
+            )
+            query_errors: list[float] = []
+            for node in plan.walk():
+                if not isinstance(node, (ScanNode, HashJoinNode, FilterNode)):
+                    continue
+                if node.node_id not in observed:
+                    continue
+                estimate = model.rows_out(node)
+                actual = observed[node.node_id]
+                q_error = _q_error(estimate, actual)
+                query_errors.append(q_error)
+                records.append(
+                    {
+                        "query": name,
+                        "operator": node.label,
+                        "kind": _node_kind(node),
+                        "estimated": round(float(estimate), 2),
+                        "observed": int(actual),
+                        "q_error": round(q_error, 4),
+                    }
+                )
+            per_query.append(
+                {
+                    "query": name,
+                    "operators": len(query_errors),
+                    "median_q_error": round(statistics.median(query_errors), 4),
+                    "max_q_error": round(max(query_errors), 4),
+                }
+            )
+        errors = [record["q_error"] for record in records]
+        by_kind: dict[str, dict] = {}
+        for kind in ("scan", "join", "filter"):
+            kind_errors = [
+                record["q_error"] for record in records if record["kind"] == kind
+            ]
+            if kind_errors:
+                by_kind[kind] = {
+                    "operators": len(kind_errors),
+                    "median_q_error": round(statistics.median(kind_errors), 4),
+                    "max_q_error": round(max(kind_errors), 4),
+                }
+        mode_reports[mode] = {
+            "operators": len(errors),
+            "median_q_error": round(statistics.median(errors), 4),
+            "p90_q_error": round(
+                float(np.quantile(np.asarray(errors), 0.9)), 4
+            ),
+            "max_q_error": round(max(errors), 4),
+            "by_kind": by_kind,
+            "per_query": per_query,
+            "records": records,
+        }
+
+    return {
+        "experiment": "plan_quality",
+        "workload": "tpcds_lite",
+        "scale": scale,
+        "queries": list(query_names),
+        "modes": list(modes),
+        "cpu_cores": available_cores(),
+        "mode_reports": mode_reports,
+        "topk_early_exit": run_topk_early_exit(),
+    }
+
+
+def run_topk_early_exit(rows: int = TOPK_ROWS) -> dict:
+    """Clustered ORDER BY ... LIMIT scans: pruning on, answers equal."""
+    from repro.bench.pruning import build_pruning_database
+    from repro.optimizer.pipelines import optimize_query
+
+    database = build_pruning_database(rows, "clustered")
+    on = Executor(database, morsel_rows=TOPK_MORSEL_ROWS, zone_maps=True)
+    off = Executor(database, morsel_rows=TOPK_MORSEL_ROWS, zone_maps=False)
+    queries = []
+    identical = True
+    for name, sql in TOPK_SQLS:
+        spec = parse_query(database, sql, name)
+        plan = optimize_query(database, spec, "bqo").plan
+        pruned_run = on.execute(plan)
+        full_run = off.execute(plan)
+        same = all(
+            np.array_equal(
+                np.asarray(pruned_run.relation.column(ref.alias, ref.column)),
+                np.asarray(full_run.relation.column(ref.alias, ref.column)),
+            )
+            for ref in spec.select_columns
+        )
+        identical = identical and same
+        queries.append(
+            {
+                "query": name,
+                "rows_out": pruned_run.relation.num_rows,
+                "morsels_pruned": pruned_run.metrics.morsels_pruned,
+                "rows_skipped": pruned_run.metrics.rows_skipped,
+                "identical_to_full_sort": same,
+            }
+        )
+    return {
+        "rows": rows,
+        "morsel_rows": TOPK_MORSEL_ROWS,
+        "queries": queries,
+        "all_identical": identical,
+        "total_morsels_pruned": sum(q["morsels_pruned"] for q in queries),
+    }
+
+
+def write_plan_quality_report(payload: dict, path: str | Path) -> Path:
+    """Write the plan-quality payload as JSON (the in-repo artifact)."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

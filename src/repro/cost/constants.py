@@ -33,6 +33,7 @@ class CostConstants:
     filter_check: float = 0.09  # test one tuple against a bitvector (Cf)
     filter_insert: float = 0.25 # add one build tuple to a bitvector
     aggregate: float = 0.3      # fold one tuple into the aggregate
+    topk: float = 0.4           # rank one tuple in an ORDER BY ... LIMIT sort
 
     @property
     def break_even_elimination(self) -> float:

@@ -24,6 +24,7 @@ from repro.plan.nodes import (
     HashJoinNode,
     PlanNode,
     ScanNode,
+    TopKNode,
 )
 from repro.stats.estimator import CardinalityEstimator
 
@@ -45,7 +46,7 @@ def cout(plan: PlanNode, model: CardinalityModel) -> float:
     bitvector filters.  The final aggregate is not an intermediate
     result and contributes nothing.
     """
-    if isinstance(plan, AggregateNode):
+    if isinstance(plan, (AggregateNode, TopKNode)):
         return cout(plan.child, model)
     if isinstance(plan, FilterNode):
         inner = plan.child
@@ -128,6 +129,11 @@ class EstimatedCardModel:
             return self._join_rows(node)
         if isinstance(node, AggregateNode):
             return self.rows_out(node.child)
+        if isinstance(node, TopKNode):
+            rows = self.rows_out(node.child)
+            if node.limit is not None:
+                rows = min(rows, float(node.limit))
+            return max(1.0, rows)
         raise PlanError(f"cannot estimate node {node.label}")
 
     def _join_rows(self, node: HashJoinNode) -> float:

@@ -24,7 +24,7 @@ from repro.engine.parallel import run_morsel_tasks
 from repro.engine.relation import Relation
 from repro.errors import ExecutionError
 from repro.expr.eval import evaluate_predicate
-from repro.expr.expressions import referenced_columns
+from repro.expr.expressions import ColumnRef, referenced_columns
 from repro.filters.base import BitvectorFilter, compute_key_bounds
 from repro.filters.registry import FILTER_KINDS, create_filter
 from repro.plan.nodes import (
@@ -34,7 +34,9 @@ from repro.plan.nodes import (
     HashJoinNode,
     PlanNode,
     ScanNode,
+    TopKNode,
 )
+from repro.query.spec import OUTPUT_ALIAS
 from repro.storage.database import Database
 from repro.storage.partition import (
     DEFAULT_MORSEL_ROWS,
@@ -214,9 +216,22 @@ class Executor:
         overrides = predicate_overrides or {}
         needed = _needed_columns(plan, overrides)
         aggregates: dict[str, np.ndarray] | None = None
-        if isinstance(plan, AggregateNode):
+        if isinstance(plan, TopKNode):
+            inner = plan.child
+            if isinstance(inner, AggregateNode):
+                relation = self._run(
+                    inner.child, metrics, filters, needed, overrides
+                )
+                aggregates = self._aggregate(inner, relation, metrics)
+                aggregates = self._topk_aggregates(plan, aggregates, metrics)
+                aggregates = _drop_hidden(inner, aggregates)
+            else:
+                relation = self._run(inner, metrics, filters, needed, overrides)
+                relation = self._topk_relation(plan, relation, metrics)
+        elif isinstance(plan, AggregateNode):
             relation = self._run(plan.child, metrics, filters, needed, overrides)
             aggregates = self._aggregate(plan, relation, metrics)
+            aggregates = _drop_hidden(plan, aggregates)
         else:
             relation = self._run(plan, metrics, filters, needed, overrides)
         return ExecutionResult(relation=relation, aggregates=aggregates,
@@ -240,8 +255,10 @@ class Executor:
             return self._hash_join(node, metrics, filters, needed, overrides)
         if isinstance(node, FilterNode):
             return self._residual_filter(node, metrics, filters, needed, overrides)
-        if isinstance(node, AggregateNode):
-            raise ExecutionError("aggregate must be the plan root")
+        if isinstance(node, (AggregateNode, TopKNode)):
+            raise ExecutionError(
+                f"{type(node).__name__} is only valid at the plan root"
+            )
         raise ExecutionError(f"cannot execute node {node.label}")
 
     # ------------------------------------------------------------------
@@ -1337,12 +1354,257 @@ class Executor:
                     f"unsupported aggregate {aggregate.function!r}"
                 )
         record.rows_out = num_groups if relation.num_rows or node.group_by else 1
+
+        if node.having is not None:
+            out_rows = len(next(iter(output.values()))) if output else 0
+            keep = evaluate_predicate(
+                node.having,
+                lambda alias, column: np.asarray(output[column]),
+                out_rows,
+            )
+            output = {
+                label: np.asarray(values)[keep]
+                for label, values in output.items()
+            }
+            record.rows_out = int(np.count_nonzero(keep))
         return output
+
+    # ------------------------------------------------------------------
+    # Top-k (ORDER BY ... LIMIT)
+    # ------------------------------------------------------------------
+
+    def _topk_aggregates(
+        self,
+        node: TopKNode,
+        aggregates: dict[str, np.ndarray],
+        metrics: ExecutionMetrics,
+    ) -> dict[str, np.ndarray]:
+        """Sort + limit over aggregate output columns (by label)."""
+        record = metrics.node(node.node_id, node.label, OPERATOR_KIND_OTHER)
+        num_rows = len(next(iter(aggregates.values()))) if aggregates else 0
+        record.add("topk", num_rows)
+        if node.order_by:
+            sort_keys: list[np.ndarray] = [np.arange(num_rows, dtype=np.int64)]
+            for key in reversed(node.order_by):
+                assert isinstance(key.target, str)
+                values = np.asarray(aggregates[key.target])
+                sort_keys.append(_order_codes(values, key.ascending))
+            order = np.lexsort(sort_keys)
+        else:
+            order = np.arange(num_rows, dtype=np.int64)
+        if node.limit is not None:
+            order = order[: node.limit]
+        output = {
+            label: np.asarray(values)[order]
+            for label, values in aggregates.items()
+        }
+        record.rows_out = len(order)
+        return output
+
+    def _topk_relation(
+        self,
+        node: TopKNode,
+        relation: Relation,
+        metrics: ExecutionMetrics,
+    ) -> Relation:
+        """Sort + limit over relation rows.
+
+        The full-sort path orders all rows by ``(keys..., row index)``;
+        with a LIMIT and zone maps enabled, morsels whose first-key
+        bounds are provably outside the top k are skipped first (the
+        clustered-layout early exit).  Skipping is decided with strict
+        inequalities against the candidate pool's k-th best first-key
+        value, so the surviving candidate set always contains the true
+        top k and the final sort is byte-identical to the unpruned one.
+        """
+        record = metrics.node(node.node_id, node.label, OPERATOR_KIND_OTHER)
+        record.add("topk", relation.num_rows)
+        limit = node.limit
+        if not node.order_by:
+            if limit is None:
+                record.rows_out = relation.num_rows
+                return relation
+            selected = np.arange(
+                min(limit, relation.num_rows), dtype=np.int64
+            )
+            result = self._settle(relation.gather(selected))
+            record.rows_out = result.num_rows
+            return result
+        if limit == 0:
+            result = self._settle(
+                relation.gather(np.array([], dtype=np.int64))
+            )
+            record.rows_out = 0
+            return result
+        candidates = None
+        if limit is not None and self._zone_maps and relation.num_rows:
+            candidates = self._topk_zone_candidates(node, relation, metrics)
+        if candidates is None:
+            candidates = np.arange(relation.num_rows, dtype=np.int64)
+        sort_keys: list[np.ndarray] = [candidates]
+        for key in reversed(node.order_by):
+            ref = key.target
+            assert isinstance(ref, ColumnRef)
+            values = np.asarray(relation.column(ref.alias, ref.column))
+            sort_keys.append(_order_codes(values[candidates], key.ascending))
+        order = np.lexsort(sort_keys)
+        selected = candidates[order]
+        if limit is not None:
+            selected = selected[:limit]
+        result = self._settle(relation.gather(selected))
+        record.rows_out = result.num_rows
+        return result
+
+    def _topk_zone_candidates(
+        self,
+        node: TopKNode,
+        relation: Relation,
+        metrics: ExecutionMetrics,
+    ) -> np.ndarray | None:
+        """Candidate row indices after zone-map top-k morsel skipping.
+
+        Requires the first order key to be a whole base-table column
+        (identity provenance — the clustered-layout case).  Morsels are
+        visited best-bound first; once the candidate pool holds at
+        least ``limit`` rows, a morsel whose bound is *strictly* worse
+        than the pool's k-th best first-key value cannot contribute and
+        is skipped (counted as ``morsels_pruned`` / ``rows_skipped``).
+        Returns ``None`` when nothing can be skipped (callers then sort
+        all rows — the identical result, without the bookkeeping).
+        """
+        first = node.order_by[0]
+        ref = first.target
+        assert isinstance(ref, ColumnRef)
+        source = relation.base_source(ref.alias, ref.column)
+        if source is None or source[2] is not None:
+            return None
+        table_name, column_name, _ = source
+        table = self._database.table(table_name)
+        if table.num_rows != relation.num_rows:
+            return None
+        ranges = self._table_ranges(table)
+        if len(ranges) < 2:
+            return None
+        zone = self._zone_map(table_name, column_name)
+        bounds = [zone.bounds(index) for index in range(len(ranges))]
+        sortable = [
+            index
+            for index, entry in enumerate(bounds)
+            if entry is not None and entry.low is not None
+        ]
+        if not sortable:
+            return None
+        # Unordered morsels (no synopsis / all-null) are always kept;
+        # visit them first so they never consume a skip decision.
+        unordered = [
+            index
+            for index, entry in enumerate(bounds)
+            if entry is None or entry.low is None
+        ]
+        if first.ascending:
+            sortable.sort(key=lambda index: (bounds[index].low, index))
+        else:
+            sortable.sort(key=lambda index: (bounds[index].high, index))
+            sortable.reverse()
+        column = np.asarray(table.column(column_name))
+        limit = node.limit
+        assert limit is not None
+        kept: list[int] = []
+        pool_parts: list[np.ndarray] = []
+        pool_rows = 0
+        threshold = None
+        for index in unordered + sortable:
+            entry = bounds[index]
+            if threshold is not None and entry is not None and entry.low is not None:
+                try:
+                    beyond = (
+                        entry.low > threshold
+                        if first.ascending
+                        else entry.high < threshold
+                    )
+                except TypeError:
+                    beyond = False
+                if beyond:
+                    metrics.morsels_pruned += 1
+                    metrics.rows_skipped += ranges[index][1] - ranges[index][0]
+                    continue
+            kept.append(index)
+            start, stop = ranges[index]
+            pool_parts.append(column[start:stop])
+            pool_rows += stop - start
+            if pool_rows >= limit:
+                threshold = _pool_threshold(
+                    pool_parts, limit, first.ascending
+                )
+        if len(kept) == len(ranges):
+            return None
+        kept_ranges = sorted(ranges[index] for index in kept)
+        return np.concatenate(
+            [
+                np.arange(start, stop, dtype=np.int64)
+                for start, stop in kept_ranges
+            ]
+        )
 
 
 # ----------------------------------------------------------------------
 # Helpers
 # ----------------------------------------------------------------------
+
+
+def _drop_hidden(
+    node: AggregateNode, aggregates: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Remove aggregates that exist only for HAVING / ORDER BY."""
+    hidden = {
+        aggregate.output_label
+        for aggregate in node.aggregates
+        if aggregate.hidden
+    }
+    if not hidden:
+        return aggregates
+    return {
+        label: values
+        for label, values in aggregates.items()
+        if label not in hidden
+    }
+
+
+def _order_codes(values: np.ndarray, ascending: bool) -> np.ndarray:
+    """Sort codes for one ORDER BY key (lower code = earlier output).
+
+    Codes come from an ascending factorization, so arbitrary dtypes
+    (including strings) sort and reverse uniformly.  NaN sorts last in
+    both directions (SQL ``NULLS LAST``), which also keeps the zone-map
+    skip test sound for DESC keys.
+    """
+    uniques, codes = np.unique(values, return_inverse=True)
+    codes = codes.astype(np.int64, copy=False)
+    if ascending:
+        return codes
+    if uniques.dtype.kind == "f" and len(uniques):
+        num_nan = int(np.count_nonzero(np.isnan(uniques)))
+        if num_nan:
+            first_nan = len(uniques) - num_nan
+            return np.where(codes >= first_nan, codes - first_nan + 1, -codes)
+    return -codes
+
+
+def _pool_threshold(pool_parts: list[np.ndarray], limit: int, ascending: bool):
+    """The candidate pool's k-th best first-key value.
+
+    NaN counts as worst in either direction (matching ``_order_codes``),
+    so a NaN-dominated pool yields an infinite threshold and the skip
+    test simply never fires — conservative, never unsound.
+    """
+    values = pool_parts[0] if len(pool_parts) == 1 else np.concatenate(pool_parts)
+    if values.dtype.kind == "f":
+        worst = np.inf if ascending else -np.inf
+        values = np.where(np.isnan(values), worst, values)
+    ordered = np.sort(values)
+    if ascending:
+        return ordered[limit - 1]
+    return ordered[len(ordered) - limit]
 
 
 def _match_keys(
@@ -1473,6 +1735,13 @@ def _needed_columns(
                 if aggregate.argument is not None:
                     want(aggregate.argument.alias, aggregate.argument.column)
             for ref in node.group_by:
+                want(ref.alias, ref.column)
+        if isinstance(node, TopKNode):
+            for key in node.order_by:
+                target = key.target
+                if isinstance(target, ColumnRef) and target.alias != OUTPUT_ALIAS:
+                    want(target.alias, target.column)
+            for ref in node.columns:
                 want(ref.alias, ref.column)
         if isinstance(node, ScanNode):
             needed.setdefault(node.alias, set())

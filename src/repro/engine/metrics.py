@@ -20,6 +20,7 @@ _COMPONENTS = (
     "filter_check",
     "filter_insert",
     "aggregate",
+    "topk",
 )
 
 # Operator classes for the Figure 9 breakdown.
@@ -52,6 +53,7 @@ class NodeMetrics:
             + self.components["filter_check"] * constants.filter_check
             + self.components["filter_insert"] * constants.filter_insert
             + self.components["aggregate"] * constants.aggregate
+            + self.components["topk"] * constants.topk
         )
 
 

@@ -7,6 +7,7 @@ from repro.plan.nodes import (
     HashJoinNode,
     FilterNode,
     AggregateNode,
+    TopKNode,
 )
 from repro.plan.builder import (
     join_nodes,
@@ -31,6 +32,7 @@ __all__ = [
     "HashJoinNode",
     "FilterNode",
     "AggregateNode",
+    "TopKNode",
     "join_nodes",
     "build_right_deep",
     "attach_aggregate",

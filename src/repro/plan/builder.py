@@ -13,7 +13,7 @@ snowflake subplans together.
 from __future__ import annotations
 
 from repro.errors import OptimizerError, PlanError
-from repro.plan.nodes import AggregateNode, HashJoinNode, PlanNode, ScanNode
+from repro.plan.nodes import AggregateNode, HashJoinNode, PlanNode, ScanNode, TopKNode
 from repro.query.joingraph import JoinGraph
 from repro.query.spec import QuerySpec
 
@@ -97,7 +97,21 @@ def build_right_deep(
 
 
 def attach_aggregate(plan: PlanNode, spec: QuerySpec) -> PlanNode:
-    """Wrap the plan with the query's aggregate output, if any."""
-    if not spec.aggregates:
-        return plan
-    return AggregateNode(plan, spec.aggregates, spec.group_by)
+    """Wrap the plan with the query's output operators.
+
+    Aggregation (with HAVING) goes first; a :class:`TopKNode` wraps the
+    result whenever the query has ORDER BY / LIMIT or needs projection
+    columns materialized.
+    """
+    if spec.aggregates:
+        plan = AggregateNode(
+            plan, spec.aggregates, spec.group_by, having=spec.having
+        )
+    if spec.order_by or spec.limit is not None or spec.select_columns:
+        plan = TopKNode(
+            plan,
+            order_by=spec.order_by,
+            limit=spec.limit,
+            columns=spec.select_columns,
+        )
+    return plan

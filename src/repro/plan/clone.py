@@ -17,6 +17,7 @@ from repro.plan.nodes import (
     HashJoinNode,
     PlanNode,
     ScanNode,
+    TopKNode,
 )
 
 
@@ -40,7 +41,13 @@ def clone_plan(plan: PlanNode) -> tuple[PlanNode, dict[int, PlanNode]]:
                 creates_bitvector=node.creates_bitvector,
             )
         elif isinstance(node, AggregateNode):
-            copy = AggregateNode(visit(node.child), node.aggregates, node.group_by)
+            copy = AggregateNode(
+                visit(node.child), node.aggregates, node.group_by, node.having
+            )
+        elif isinstance(node, TopKNode):
+            copy = TopKNode(
+                visit(node.child), node.order_by, node.limit, node.columns
+            )
         elif isinstance(node, FilterNode):
             raise PlanError("clone_plan expects a plan without FilterNodes")
         else:

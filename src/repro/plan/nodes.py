@@ -19,7 +19,7 @@ import itertools
 
 from repro.errors import PlanError
 from repro.expr.expressions import Expression
-from repro.query.spec import Aggregate
+from repro.query.spec import Aggregate, OrderKey
 from repro.expr.expressions import ColumnRef
 
 _node_counter = itertools.count(1)
@@ -190,18 +190,25 @@ class FilterNode(PlanNode):
 
 
 class AggregateNode(PlanNode):
-    """Final aggregation over the join result."""
+    """Final aggregation over the join result.
+
+    ``having`` is an optional post-grouping predicate over the
+    aggregate-output domain (:data:`repro.query.spec.OUTPUT_ALIAS`
+    column references).
+    """
 
     def __init__(
         self,
         child: PlanNode,
         aggregates: tuple[Aggregate, ...],
         group_by: tuple[ColumnRef, ...] = (),
+        having: Expression | None = None,
     ) -> None:
         super().__init__()
         self.child = child
         self.aggregates = aggregates
         self.group_by = group_by
+        self.having = having
 
     @property
     def output_aliases(self) -> frozenset[str]:
@@ -215,4 +222,48 @@ class AggregateNode(PlanNode):
         items = ", ".join(str(a) for a in self.aggregates)
         if self.group_by:
             items += " GROUP BY " + ", ".join(str(g) for g in self.group_by)
+        if self.having is not None:
+            items += f" HAVING {self.having}"
         return f"Aggregate[{items}]"
+
+
+class TopKNode(PlanNode):
+    """Top-k / projection operator at the plan root.
+
+    Sorts its input by ``order_by`` and keeps the first ``limit`` rows
+    (all rows when ``limit`` is ``None``).  Over a relation input it
+    can exploit zone-map ordering to skip morsels that provably cannot
+    contribute to the top k (clustered layouts).  ``columns`` lists the
+    projection output columns for pure projection queries.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        order_by: tuple[OrderKey, ...] = (),
+        limit: int | None = None,
+        columns: tuple[ColumnRef, ...] = (),
+    ) -> None:
+        super().__init__()
+        if limit is not None and limit < 0:
+            raise PlanError("top-k limit must be non-negative")
+        self.child = child
+        self.order_by = order_by
+        self.limit = limit
+        self.columns = columns
+
+    @property
+    def output_aliases(self) -> frozenset[str]:
+        return self.child.output_aliases
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.order_by:
+            parts.append(", ".join(str(key) for key in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return f"TopK[{'; '.join(parts)}]" if parts else "TopK[]"

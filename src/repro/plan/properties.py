@@ -8,6 +8,7 @@ from repro.plan.nodes import (
     HashJoinNode,
     PlanNode,
     ScanNode,
+    TopKNode,
 )
 
 
@@ -28,7 +29,7 @@ def base_aliases(plan: PlanNode) -> frozenset[str]:
 
 
 def _strip_wrappers(node: PlanNode) -> PlanNode:
-    while isinstance(node, (FilterNode, AggregateNode)):
+    while isinstance(node, (FilterNode, AggregateNode, TopKNode)):
         node = node.children()[0]
     return node
 
@@ -70,6 +71,8 @@ def right_deep_order(plan: PlanNode) -> list[str]:
 def plan_signature(plan: PlanNode) -> str:
     """Deterministic structural signature (for dedup and test asserts)."""
     node = plan
+    if isinstance(node, TopKNode):
+        return f"TopK({plan_signature(node.child)})"
     if isinstance(node, AggregateNode):
         return f"Agg({plan_signature(node.child)})"
     if isinstance(node, FilterNode):

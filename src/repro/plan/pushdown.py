@@ -23,6 +23,7 @@ from repro.plan.nodes import (
     HashJoinNode,
     PlanNode,
     ScanNode,
+    TopKNode,
 )
 
 
@@ -44,7 +45,7 @@ def push_down_bitvectors(plan: PlanNode) -> PlanNode:
 
 
 def _op_push_down(op: PlanNode, incoming: list[BitvectorDef]) -> PlanNode:
-    if isinstance(op, AggregateNode):
+    if isinstance(op, (AggregateNode, TopKNode)):
         op.child = _op_push_down(op.child, incoming)
         return op
 
@@ -123,7 +124,7 @@ def _splice_filters(node: PlanNode) -> PlanNode:
         node.build = _splice_filters(node.build)
         node.probe = _splice_filters(node.probe)
         return node
-    if isinstance(node, AggregateNode):
+    if isinstance(node, (AggregateNode, TopKNode)):
         node.child = _splice_filters(node.child)
         return node
     return node

@@ -1,17 +1,21 @@
 """Query representation: specs and join graphs."""
 
 from repro.query.spec import (
+    OUTPUT_ALIAS,
     RelationRef,
     JoinPredicate,
     Aggregate,
+    OrderKey,
     QuerySpec,
 )
 from repro.query.joingraph import JoinGraph, JoinEdge
 
 __all__ = [
+    "OUTPUT_ALIAS",
     "RelationRef",
     "JoinPredicate",
     "Aggregate",
+    "OrderKey",
     "QuerySpec",
     "JoinGraph",
     "JoinEdge",

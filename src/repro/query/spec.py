@@ -65,11 +65,17 @@ class JoinPredicate:
 
 @dataclasses.dataclass(frozen=True)
 class Aggregate:
-    """Aggregate output item, e.g. ``COUNT(*)`` or ``SUM(ss.net_paid)``."""
+    """Aggregate output item, e.g. ``COUNT(*)`` or ``SUM(ss.net_paid)``.
+
+    ``hidden`` marks aggregates that were introduced only to evaluate
+    HAVING or ORDER BY (they are computed, then dropped from the query
+    output).
+    """
 
     function: str
     argument: ColumnRef | None = None
     label: str | None = None
+    hidden: bool = False
 
     def __post_init__(self) -> None:
         if self.function not in _AGGREGATE_FUNCTIONS:
@@ -77,9 +83,36 @@ class Aggregate:
         if self.function != "count" and self.argument is None:
             raise QueryError(f"{self.function}() requires an argument")
 
+    @property
+    def output_label(self) -> str:
+        return self.label or str(self)
+
     def __str__(self) -> str:
         argument = "*" if self.argument is None else str(self.argument)
         return f"{self.function.upper()}({argument})"
+
+
+#: Reserved alias used by HAVING expressions: a ``ColumnRef`` whose alias
+#: is ``OUTPUT_ALIAS`` refers to an aggregate-output column by its label
+#: (rather than to a base-table column).
+OUTPUT_ALIAS = "$out"
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderKey:
+    """One ORDER BY key after binding.
+
+    ``target`` is a :class:`ColumnRef` when the query produces relation
+    rows (projection queries), or an aggregate-output label (``str``)
+    when the query produces aggregate output.
+    """
+
+    target: ColumnRef | str
+    ascending: bool = True
+
+    def __str__(self) -> str:
+        direction = "ASC" if self.ascending else "DESC"
+        return f"{self.target} {direction}"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -92,12 +125,34 @@ class QuerySpec:
     local_predicates: dict[str, Expression] = dataclasses.field(default_factory=dict)
     aggregates: tuple[Aggregate, ...] = ()
     group_by: tuple[ColumnRef, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderKey, ...] = ()
+    limit: int | None = None
+    select_columns: tuple[ColumnRef, ...] = ()
 
     def __post_init__(self) -> None:
         aliases = [relation.alias for relation in self.relations]
         if len(set(aliases)) != len(aliases):
             raise QueryError(f"duplicate aliases in query {self.name!r}")
         alias_set = set(aliases)
+        if self.limit is not None and self.limit < 0:
+            raise QueryError(f"negative LIMIT in query {self.name!r}")
+        if self.having is not None and not self.aggregates:
+            raise QueryError("HAVING requires an aggregate output")
+        if self.select_columns and self.aggregates:
+            raise QueryError(
+                "select_columns is only valid for pure projection queries"
+            )
+        for key in self.order_by:
+            if self.aggregates:
+                if not isinstance(key.target, str):
+                    raise QueryError(
+                        "ORDER BY over aggregate output must target a label"
+                    )
+            elif not isinstance(key.target, ColumnRef):
+                raise QueryError(
+                    "ORDER BY over relation output must target a column"
+                )
         for join in self.join_predicates:
             if join.left_alias not in alias_set or join.right_alias not in alias_set:
                 raise QueryError(
@@ -159,6 +214,18 @@ class QuerySpec:
                     raise QueryError(
                         f"unknown column {alias}.{column} in predicate"
                     )
+        output_refs = list(self.select_columns)
+        output_refs.extend(
+            key.target for key in self.order_by if isinstance(key.target, ColumnRef)
+        )
+        for ref in output_refs:
+            if ref.alias not in alias_tables:
+                raise QueryError(f"unknown alias {ref.alias!r} in output")
+            schema = database.catalog.schema(alias_tables[ref.alias])
+            if not schema.has_column(ref.column):
+                raise QueryError(
+                    f"unknown column {ref.alias}.{ref.column} in output"
+                )
 
     def __str__(self) -> str:
         parts = [f"QUERY {self.name}: FROM " + ", ".join(map(str, self.relations))]

@@ -23,8 +23,16 @@ from repro.expr.expressions import (
     combine_and,
     referenced_aliases,
 )
-from repro.query.spec import Aggregate, JoinPredicate, QuerySpec, RelationRef
+from repro.query.spec import (
+    OUTPUT_ALIAS,
+    Aggregate,
+    JoinPredicate,
+    OrderKey,
+    QuerySpec,
+    RelationRef,
+)
 from repro.sql.parser import (
+    RawAggregate,
     RawAnd,
     RawBetween,
     RawColumn,
@@ -99,35 +107,41 @@ class _Binder:
     # Expression conversion
     # ------------------------------------------------------------------
 
-    def _convert(self, raw: object) -> Expression:
+    def _convert(self, raw: object, resolver=None) -> Expression:
+        resolve = resolver if resolver is not None else self._resolve
         if isinstance(raw, RawComparison):
-            left = self._convert_operand(raw.left)
-            right = self._convert_operand(raw.right)
+            left = self._convert_operand(raw.left, resolver)
+            right = self._convert_operand(raw.right, resolver)
             return Comparison(raw.op, left, right)
         if isinstance(raw, RawBetween):
             expr: Expression = Between(
-                self._resolve(raw.operand),
+                resolve(raw.operand),
                 Literal(raw.low.value),
                 Literal(raw.high.value),
             )
             return Not(expr) if raw.negated else expr
         if isinstance(raw, RawIn):
-            expr = InList(self._resolve(raw.operand), raw.values)
+            expr = InList(resolve(raw.operand), raw.values)
             return Not(expr) if raw.negated else expr
         if isinstance(raw, RawLike):
-            expr = Like(self._resolve(raw.operand), raw.pattern)
+            expr = Like(resolve(raw.operand), raw.pattern)
             return Not(expr) if raw.negated else expr
         if isinstance(raw, RawAnd):
-            return And(tuple(self._convert(operand) for operand in raw.operands))
+            return And(
+                tuple(self._convert(operand, resolver) for operand in raw.operands)
+            )
         if isinstance(raw, RawOr):
-            return Or(tuple(self._convert(operand) for operand in raw.operands))
+            return Or(
+                tuple(self._convert(operand, resolver) for operand in raw.operands)
+            )
         if isinstance(raw, RawNot):
-            return Not(self._convert(raw.operand))
+            return Not(self._convert(raw.operand, resolver))
         raise SqlError(f"unsupported expression {raw!r}")
 
-    def _convert_operand(self, raw: object) -> Expression:
-        if isinstance(raw, RawColumn):
-            return self._resolve(raw)
+    def _convert_operand(self, raw: object, resolver=None) -> Expression:
+        resolve = resolver if resolver is not None else self._resolve
+        if isinstance(raw, (RawColumn, RawAggregate)):
+            return resolve(raw)
         if isinstance(raw, RawLiteral):
             return Literal(raw.value)
         raise SqlError(f"unsupported operand {raw!r}")
@@ -186,6 +200,11 @@ class _Binder:
         aggregates: list[Aggregate] = []
         group_by = tuple(self._resolve(column) for column in statement.group_by)
         group_set = set(group_by)
+        has_aggregate_items = any(
+            item.function is not None for item in statement.items
+        )
+        select_columns: list[ColumnRef] = []
+        alias_columns: dict[str, ColumnRef] = {}
         for item in statement.items:
             if item.function is not None:
                 argument = (
@@ -198,10 +217,29 @@ class _Binder:
             else:
                 assert item.argument is not None
                 resolved = self._resolve(item.argument)
-                if resolved not in group_set:
-                    raise SqlError(
-                        f"bare column {resolved} must appear in GROUP BY"
-                    )
+                if has_aggregate_items or group_set:
+                    if resolved not in group_set:
+                        raise SqlError(
+                            f"bare column {resolved} must appear in GROUP BY"
+                        )
+                else:
+                    select_columns.append(resolved)
+                    if item.alias is not None:
+                        alias_columns[item.alias] = resolved
+        self._aggregates = aggregates
+        self._group_set = group_set
+        self._alias_columns = alias_columns
+
+        having = None
+        if statement.having is not None:
+            if not aggregates:
+                raise SqlError("HAVING requires an aggregate output")
+            having = self._convert(statement.having, self._resolve_output)
+
+        order_by = tuple(
+            self._bind_order_key(key, bool(aggregates))
+            for key in statement.order_by
+        )
 
         local_predicates = {
             alias: combined
@@ -217,4 +255,63 @@ class _Binder:
             local_predicates=local_predicates,
             aggregates=tuple(aggregates),
             group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=statement.limit,
+            select_columns=tuple(select_columns),
         )
+
+    # ------------------------------------------------------------------
+    # Output-domain resolution (HAVING / ORDER BY)
+    # ------------------------------------------------------------------
+
+    def _output_aggregate(self, raw: RawAggregate) -> Aggregate:
+        """Match an aggregate call to a SELECT aggregate, or introduce a
+        hidden aggregate that is computed then dropped from the output."""
+        argument = (
+            self._resolve(raw.argument) if raw.argument is not None else None
+        )
+        for aggregate in self._aggregates:
+            if aggregate.function == raw.function and aggregate.argument == argument:
+                return aggregate
+        hidden = Aggregate(
+            function=raw.function, argument=argument, hidden=True
+        )
+        self._aggregates.append(hidden)
+        return hidden
+
+    def _resolve_output(self, raw: object) -> ColumnRef:
+        """Resolve a HAVING/ORDER BY operand to an aggregate-output
+        column reference (alias ``$out``, column = output label)."""
+        if isinstance(raw, RawAggregate):
+            return ColumnRef(OUTPUT_ALIAS, self._output_aggregate(raw).output_label)
+        if isinstance(raw, RawColumn):
+            if raw.qualifier is None:
+                for aggregate in self._aggregates:
+                    if not aggregate.hidden and aggregate.label == raw.name:
+                        return ColumnRef(OUTPUT_ALIAS, aggregate.output_label)
+            resolved = self._resolve(raw)
+            if resolved not in self._group_set:
+                raise SqlError(
+                    f"column {resolved} must appear in GROUP BY to be "
+                    "referenced after grouping"
+                )
+            return ColumnRef(OUTPUT_ALIAS, f"{resolved.alias}.{resolved.column}")
+        raise SqlError(f"unsupported operand {raw!r} in HAVING/ORDER BY")
+
+    def _bind_order_key(self, raw_key, aggregate_output: bool) -> OrderKey:
+        target = raw_key.target
+        if aggregate_output:
+            resolved = self._resolve_output(target)
+            return OrderKey(target=resolved.column, ascending=raw_key.ascending)
+        if isinstance(target, RawAggregate):
+            raise SqlError(
+                "ORDER BY aggregate requires an aggregate SELECT list"
+            )
+        assert isinstance(target, RawColumn)
+        if target.qualifier is None and target.name in self._alias_columns:
+            return OrderKey(
+                target=self._alias_columns[target.name],
+                ascending=raw_key.ascending,
+            )
+        return OrderKey(target=self._resolve(target), ascending=raw_key.ascending)

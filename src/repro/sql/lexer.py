@@ -9,6 +9,7 @@ from repro.errors import SqlError
 KEYWORDS = {
     "select", "from", "where", "and", "or", "not", "as", "group", "by",
     "between", "in", "like", "count", "sum", "min", "max", "avg",
+    "having", "order", "limit", "asc", "desc",
 }
 
 _PUNCTUATION = {

@@ -15,6 +15,10 @@ Normalization rules (documented for cache-key stability; see
   in source order, and collected as parameters;
 * ``LIKE`` patterns are **not** parameterized — a pattern change alters
   selectivity structure, so it stays part of the fingerprint;
+* ``HAVING`` literals and the ``LIMIT`` count are **not** parameterized
+  either: cached plan templates bake the HAVING predicate and top-k
+  operator into the plan tree, and only per-alias scan predicates can
+  be overridden at execution time;
 * identifiers (table names, aliases, columns) are significant and
   case-sensitive; ``x IN (1, 2)`` and ``x IN (1, 2, 3)`` differ (the
   marker count is part of the shape).
@@ -83,16 +87,28 @@ def fingerprint_sql(sql: str) -> QueryFingerprint:
     rendered: list[str] = []
     parameters: list[object] = []
     previous: Token | None = None
+    in_having = False
     for token in tokens:
+        if token.is_keyword("having"):
+            in_having = True
+        elif token.kind == "keyword" and token.text in ("order", "limit"):
+            in_having = False
         if token.kind in ("number", "string"):
-            if (
-                token.kind == "string"
-                and previous is not None
-                and previous.is_keyword("like")
-            ):
-                # LIKE patterns stay literal (see module docstring).
-                escaped = token.text.replace("'", "''")
-                rendered.append(f"'{escaped}'")
+            keep_literal = in_having or (
+                previous is not None
+                and (
+                    previous.is_keyword("like")
+                    or previous.is_keyword("limit")
+                )
+            )
+            if keep_literal:
+                # LIKE patterns, HAVING constants, and the LIMIT count
+                # stay literal (see module docstring).
+                if token.kind == "string":
+                    escaped = token.text.replace("'", "''")
+                    rendered.append(f"'{escaped}'")
+                else:
+                    rendered.append(token.text)
             else:
                 rendered.append(f"?{len(parameters)}")
                 parameters.append(_literal_value(token))
@@ -156,10 +172,16 @@ def parameterize_statement(
         return raw  # RawColumn and anything literal-free
 
     where = rewrite(statement.where) if statement.where is not None else None
+    # HAVING / ORDER BY / LIMIT pass through unchanged: their constants
+    # stay baked into the cached plan (see module docstring), matching
+    # fingerprint_sql, which leaves those token spans literal.
     template = SelectStatement(
         items=statement.items,
         tables=statement.tables,
         where=where,
         group_by=statement.group_by,
+        having=statement.having,
+        order_by=statement.order_by,
+        limit=statement.limit,
     )
     return template, tuple(parameters)

@@ -6,8 +6,13 @@ Grammar (informal)::
                   FROM table_ref (',' table_ref)*
                   [WHERE expr]
                   [GROUP BY column (',' column)*]
-    item       := agg '(' (column | '*') ')' [AS name] | column
+                  [HAVING expr]
+                  [ORDER BY order_key (',' order_key)*]
+                  [LIMIT number]
+    item       := agg_call [AS name] | column
+    agg_call   := agg '(' (column | '*') ')'
     table_ref  := name [AS? name]
+    order_key  := (agg_call | column) [ASC | DESC]
     expr       := or_expr
     or_expr    := and_expr (OR and_expr)*
     and_expr   := unary (AND unary)*
@@ -17,6 +22,9 @@ Grammar (informal)::
                           | [NOT] IN '(' literal (',' literal)* ')'
                           | [NOT] LIKE string )
     operand    := qualified_column | literal
+
+Inside a HAVING expression an operand may also be an aggregate call
+(``agg_call``), which refers to the aggregate-output domain.
 """
 
 from __future__ import annotations
@@ -85,6 +93,22 @@ class RawNot:
 
 
 @dataclasses.dataclass(frozen=True)
+class RawAggregate:
+    """An aggregate call used as an operand (HAVING / ORDER BY only)."""
+
+    function: str
+    argument: RawColumn | None  # None => COUNT(*)
+
+
+@dataclasses.dataclass(frozen=True)
+class RawOrderKey:
+    """One ORDER BY key: a column or aggregate call plus direction."""
+
+    target: object              # RawColumn | RawAggregate
+    ascending: bool
+
+
+@dataclasses.dataclass(frozen=True)
 class SelectItem:
     """Either an aggregate (function set) or a bare column."""
 
@@ -105,12 +129,19 @@ class SelectStatement:
     tables: tuple[TableRef, ...]
     where: object | None
     group_by: tuple[RawColumn, ...]
+    having: object | None = None
+    order_by: tuple[RawOrderKey, ...] = ()
+    limit: int | None = None
+
+
+_AGGREGATE_KEYWORDS = ("count", "sum", "min", "max", "avg")
 
 
 class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        self._in_having = False
 
     # -- token plumbing -------------------------------------------------
 
@@ -119,10 +150,16 @@ class _Parser:
             return self._tokens[self._index]
         return None
 
+    def _eof_position(self) -> int | None:
+        if self._tokens:
+            last = self._tokens[-1]
+            return last.position + len(last.text)
+        return None
+
     def _next(self) -> Token:
         token = self._peek()
         if token is None:
-            raise SqlError("unexpected end of input")
+            raise SqlError("unexpected end of input", self._eof_position())
         self._index += 1
         return token
 
@@ -136,7 +173,9 @@ class _Parser:
     def _expect_keyword(self, word: str) -> Token:
         token = self._next()
         if not token.is_keyword(word):
-            raise SqlError(f"expected {word.upper()}", token.position)
+            raise SqlError(
+                f"expected {word.upper()}, got {token.text!r}", token.position
+            )
         return token
 
     def _accept(self, kind: str) -> Token | None:
@@ -172,6 +211,22 @@ class _Parser:
             group_by.append(self._qualified_column())
             while self._accept("comma"):
                 group_by.append(self._qualified_column())
+        having = None
+        if self._accept_keyword("having"):
+            self._in_having = True
+            try:
+                having = self._expr()
+            finally:
+                self._in_having = False
+        order_by: list[RawOrderKey] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._order_key())
+            while self._accept("comma"):
+                order_by.append(self._order_key())
+        limit = None
+        if self._accept_keyword("limit"):
+            limit = self._limit_count()
         trailing = self._peek()
         if trailing is not None:
             raise SqlError(
@@ -182,25 +237,67 @@ class _Parser:
             tables=tuple(tables),
             where=where,
             group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
         )
 
-    def _select_item(self) -> SelectItem:
+    def _at_aggregate_call(self) -> bool:
         token = self._peek()
-        if token is not None and token.kind == "keyword" and token.text in (
-            "count", "sum", "min", "max", "avg"
-        ):
-            function = self._next().text
-            self._expect("lparen")
-            if self._accept("star"):
-                argument = None
-            else:
-                argument = self._qualified_column()
-            self._expect("rparen")
+        return (
+            token is not None
+            and token.kind == "keyword"
+            and token.text in _AGGREGATE_KEYWORDS
+        )
+
+    def _aggregate_call(self) -> RawAggregate:
+        function = self._next().text
+        self._expect("lparen")
+        if self._accept("star"):
+            argument = None
+        else:
+            argument = self._qualified_column()
+        self._expect("rparen")
+        return RawAggregate(function=function, argument=argument)
+
+    def _select_item(self) -> SelectItem:
+        if self._at_aggregate_call():
+            call = self._aggregate_call()
             alias = self._optional_alias()
-            return SelectItem(function=function, argument=argument, alias=alias)
+            return SelectItem(
+                function=call.function, argument=call.argument, alias=alias
+            )
         column = self._qualified_column()
         alias = self._optional_alias()
         return SelectItem(function=None, argument=column, alias=alias)
+
+    def _order_key(self) -> RawOrderKey:
+        target: object
+        if self._at_aggregate_call():
+            target = self._aggregate_call()
+        else:
+            target = self._qualified_column()
+        ascending = True
+        if self._accept_keyword("asc"):
+            ascending = True
+        elif self._accept_keyword("desc"):
+            ascending = False
+        return RawOrderKey(target=target, ascending=ascending)
+
+    def _limit_count(self) -> int:
+        token = self._next()
+        if token.kind != "number" or "." in token.text:
+            raise SqlError(
+                f"LIMIT expects an integer count, got {token.text!r}",
+                token.position,
+            )
+        count = int(token.text)
+        if count < 0:
+            raise SqlError(
+                f"LIMIT count must be non-negative, got {token.text!r}",
+                token.position,
+            )
+        return count
 
     def _optional_alias(self) -> str | None:
         if self._accept_keyword("as"):
@@ -261,6 +358,7 @@ class _Parser:
         return self._predicate()
 
     def _predicate(self) -> object:
+        anchor = self._peek()
         left = self._operand()
         negated = self._accept_keyword("not")
         if self._accept_keyword("between"):
@@ -268,7 +366,10 @@ class _Parser:
             self._expect_keyword("and")
             high = self._literal()
             if not isinstance(left, RawColumn):
-                raise SqlError("BETWEEN requires a column operand")
+                raise SqlError(
+                    f"BETWEEN requires a column operand, got {anchor.text!r}",
+                    anchor.position,
+                )
             return RawBetween(left, low, high, negated)
         if self._accept_keyword("in"):
             self._expect("lparen")
@@ -277,15 +378,29 @@ class _Parser:
                 values.append(self._literal().value)
             self._expect("rparen")
             if not isinstance(left, RawColumn):
-                raise SqlError("IN requires a column operand")
+                raise SqlError(
+                    f"IN requires a column operand, got {anchor.text!r}",
+                    anchor.position,
+                )
             return RawIn(left, tuple(values), negated)
         if self._accept_keyword("like"):
             pattern = self._expect("string").text
             if not isinstance(left, RawColumn):
-                raise SqlError("LIKE requires a column operand")
+                raise SqlError(
+                    f"LIKE requires a column operand, got {anchor.text!r}",
+                    anchor.position,
+                )
             return RawLike(left, pattern, negated)
         if negated:
-            raise SqlError("NOT must precede BETWEEN / IN / LIKE")
+            follower = self._peek()
+            if follower is None:
+                raise SqlError(
+                    "NOT must precede BETWEEN / IN / LIKE", self._eof_position()
+                )
+            raise SqlError(
+                f"NOT must precede BETWEEN / IN / LIKE, got {follower.text!r}",
+                follower.position,
+            )
         op_token = self._expect("op")
         right = self._operand()
         return RawComparison(op=op_token.text, left=left, right=right)
@@ -293,7 +408,9 @@ class _Parser:
     def _operand(self) -> object:
         token = self._peek()
         if token is None:
-            raise SqlError("unexpected end of input")
+            raise SqlError("unexpected end of input", self._eof_position())
+        if self._in_having and self._at_aggregate_call():
+            return self._aggregate_call()
         if token.kind == "identifier":
             return self._qualified_column()
         return self._literal()

@@ -6,7 +6,8 @@ that drive its results:
 
 * :mod:`repro.workloads.tpcds_lite` — TPC-DS-shaped: one dominant fact
   table (``store_sales``), a second fact (``catalog_sales``), snowflake
-  dimension paths, 25 queries.
+  dimension paths, 32 queries (including report-style
+  ``ORDER BY ... LIMIT`` / ``HAVING`` top-k shapes).
 * :mod:`repro.workloads.job_lite` — JOB/IMDB-shaped: several fact-like
   tables joined through shared dimensions, dimension-dimension joins,
   non-PKFK joins, 30 queries (including the paper's Figure 2 query).

@@ -7,10 +7,12 @@ Scaled-down synthetic analogue of the paper's TPC-DS 100 GB setup:
 ``customer -> household_demographics -> income_band``), and
 ``catalog_sales`` is a second fact table for multi-fact queries.
 
-The 25-query workload spans the selectivity spectrum (the paper's
+The 32-query workload spans the selectivity spectrum (the paper's
 L/M/S grouping needs cheap, moderate, and expensive queries), exercises
-pure stars, snowflake chains, dimension-heavy joins, group-bys, and
-fact-to-fact joins through shared dimensions.
+pure stars, snowflake chains, dimension-heavy joins, group-bys,
+fact-to-fact joins through shared dimensions, and the report-style
+top-k shapes (``GROUP BY ... HAVING ... ORDER BY ... LIMIT``) that
+dominate real TPC-DS.
 """
 
 from __future__ import annotations
@@ -482,6 +484,89 @@ _QUERIES: list[tuple[str, str]] = [
         WHERE ss.ss_item_sk = i.i_item_sk AND cs.cs_item_sk = i.i_item_sk
           AND cs.cs_sold_date_sk = d.d_date_sk
           AND i.i_category = 'Sports' AND d.d_year = 2002
+        """,
+    ),
+    # --- top-k / HAVING report queries (TPC-DS is full of
+    # "best N categories by revenue" shapes: q3, q42, q52, ...) ----------
+    (
+        "ds_q26",
+        """
+        SELECT i.i_brand, SUM(ss.ss_net_paid) AS paid
+        FROM store_sales ss, item i, date_dim d
+        WHERE ss.ss_item_sk = i.i_item_sk AND ss.ss_sold_date_sk = d.d_date_sk
+          AND d.d_year = 2000 AND d.d_moy = 12
+        GROUP BY i.i_brand
+        ORDER BY paid DESC, i.i_brand ASC
+        LIMIT 10
+        """,
+    ),
+    (
+        "ds_q27",
+        """
+        SELECT ca.ca_state, COUNT(*) AS cnt, SUM(ss.ss_net_profit) AS profit
+        FROM store_sales ss, customer c, customer_address ca
+        WHERE ss.ss_customer_sk = c.c_customer_sk
+          AND c.c_current_addr_sk = ca.ca_address_sk
+        GROUP BY ca.ca_state
+        HAVING COUNT(*) > 500
+        ORDER BY profit DESC
+        LIMIT 5
+        """,
+    ),
+    (
+        "ds_q28",
+        """
+        SELECT i.i_category, i.i_class, AVG(ss.ss_sales_price) AS avg_price
+        FROM store_sales ss, item i, store s
+        WHERE ss.ss_item_sk = i.i_item_sk AND ss.ss_store_sk = s.s_store_sk
+          AND s.s_state IN ('CA', 'NY')
+        GROUP BY i.i_category, i.i_class
+        HAVING COUNT(*) >= 20 AND AVG(ss.ss_sales_price) > 100
+        ORDER BY avg_price DESC, i.i_category ASC, i.i_class ASC
+        LIMIT 15
+        """,
+    ),
+    (
+        "ds_q29",
+        """
+        SELECT d.d_year, d.d_moy, SUM(cs.cs_net_paid) AS paid
+        FROM catalog_sales cs, date_dim d
+        WHERE cs.cs_sold_date_sk = d.d_date_sk
+        GROUP BY d.d_year, d.d_moy
+        ORDER BY SUM(cs.cs_quantity) DESC, d.d_year ASC, d.d_moy ASC
+        LIMIT 8
+        """,
+    ),
+    (
+        "ds_q30",
+        """
+        SELECT s.s_state, SUM(ss.ss_net_paid) AS paid
+        FROM store_sales ss, store s, date_dim d
+        WHERE ss.ss_store_sk = s.s_store_sk AND ss.ss_sold_date_sk = d.d_date_sk
+          AND d.d_year BETWEEN 2000 AND 2001
+        GROUP BY s.s_state
+        HAVING SUM(ss.ss_net_paid) > 1000000
+        ORDER BY s.s_state ASC
+        """,
+    ),
+    # --- clustered top-k scans (zone-map early exit on the sorted
+    # surrogate-key layout of date_dim) ----------------------------------
+    (
+        "ds_q31",
+        """
+        SELECT d.d_date_sk, d.d_year, d.d_moy
+        FROM date_dim d
+        ORDER BY d.d_date_sk DESC
+        LIMIT 20
+        """,
+    ),
+    (
+        "ds_q32",
+        """
+        SELECT d.d_date_sk, d.d_year
+        FROM date_dim d
+        ORDER BY d.d_year ASC, d.d_date_sk ASC
+        LIMIT 30
         """,
     ),
 ]

@@ -97,7 +97,7 @@ class TestReporting:
         db, queries = tpcds_tiny
         rows = table3_rows([("tpcds", db, queries)])
         assert rows[0]["tables"] == 11
-        assert rows[0]["queries"] == 25
+        assert rows[0]["queries"] == 32
         assert rows[0]["joins_max"] >= rows[0]["joins_avg"]
 
     def test_render_table(self, result):

@@ -1,0 +1,220 @@
+"""Randomized differential testing across executor configurations.
+
+A seeded generator produces TPC-DS-shaped queries — star joins with
+random predicates, aggregates, GROUP BY / HAVING, ORDER BY ... LIMIT,
+and single-table projection top-k scans — and each query executes under
+every combination of {eager, lazy} x {parallelism 1, 4} x {zone maps
+on, off} x {adaptive morsels on, off}.  All sixteen configurations must
+return byte-identical answers: every one of these features is an
+execution strategy, never a semantics change, so any divergence is an
+executor bug.  The runs' metrics must also be sane (a configuration
+without zone maps can never report pruning).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import Executor
+from repro.optimizer.pipelines import optimize_query
+from repro.sql.binder import parse_query
+
+_SEEDS = range(12)
+
+_CONFIGS = [
+    {
+        "eager_materialization": eager,
+        "parallelism": parallelism,
+        "zone_maps": zone_maps,
+        "adaptive_morsels": adaptive,
+    }
+    for eager, parallelism, zone_maps, adaptive in itertools.product(
+        (False, True), (1, 4), (True, False), (True, False)
+    )
+]
+
+_DIMENSIONS = {
+    "date_dim": ("d", "ss_sold_date_sk", "d_date_sk"),
+    "item": ("i", "ss_item_sk", "i_item_sk"),
+    "store": ("s", "ss_store_sk", "s_store_sk"),
+    "promotion": ("p", "ss_promo_sk", "p_promo_sk"),
+    "time_dim": ("t", "ss_sold_time_sk", "t_time_sk"),
+}
+
+_GROUP_COLUMNS = {
+    "date_dim": "d.d_year",
+    "item": "i.i_category",
+    "store": "s.s_state",
+    "promotion": "p.p_channel_email",
+    "time_dim": "t.t_meal_time",
+}
+
+_AGGREGATES = (
+    "COUNT(*) AS cnt",
+    "SUM(ss.ss_net_paid) AS paid",
+    "AVG(ss.ss_sales_price) AS avg_price",
+    "MIN(ss.ss_quantity) AS min_qty",
+    "MAX(ss.ss_net_profit) AS max_profit",
+)
+
+
+def _random_predicate(rng: np.random.Generator, table: str) -> str | None:
+    """One local predicate for ``table``, or None (rng-driven)."""
+    if table == "date_dim":
+        choice = rng.integers(0, 3)
+        if choice == 0:
+            return f"d.d_year = {1998 + int(rng.integers(0, 5))}"
+        if choice == 1:
+            low = 1 + int(rng.integers(0, 9))
+            return f"d.d_moy BETWEEN {low} AND {low + 3}"
+        return None
+    if table == "item":
+        choice = rng.integers(0, 3)
+        if choice == 0:
+            category = ["Books", "Music", "Shoes", "Sports"][int(rng.integers(0, 4))]
+            return f"i.i_category = '{category}'"
+        if choice == 1:
+            return f"i.i_current_price > {int(rng.integers(50, 250))}"
+        return None
+    if table == "store":
+        if rng.integers(0, 2) == 0:
+            state = ["AL", "CA", "CO", "FL"][int(rng.integers(0, 4))]
+            return f"s.s_state IN ('{state}', 'GA')"
+        return None
+    if table == "promotion":
+        if rng.integers(0, 2) == 0:
+            return f"p.p_channel_email = '{'Y' if rng.integers(0, 2) else 'N'}'"
+        return None
+    if table == "time_dim":
+        if rng.integers(0, 2) == 0:
+            low = int(rng.integers(0, 18))
+            return f"t.t_hour BETWEEN {low} AND {low + 6}"
+        return None
+    return None
+
+
+def _generate_star_query(rng: np.random.Generator) -> str:
+    """Aggregate star query with optional GROUP BY/HAVING/ORDER/LIMIT."""
+    tables = list(_DIMENSIONS)
+    rng.shuffle(tables)
+    picked = tables[: int(rng.integers(1, 4))]
+    froms = ["store_sales ss"]
+    joins, locals_ = [], []
+    for table in picked:
+        alias, fact_col, dim_col = _DIMENSIONS[table]
+        froms.append(f"{table} {alias}")
+        joins.append(f"ss.{fact_col} = {alias}.{dim_col}")
+        predicate = _random_predicate(rng, table)
+        if predicate:
+            locals_.append(predicate)
+
+    n_aggs = int(rng.integers(1, 4))
+    order = rng.permutation(len(_AGGREGATES))[:n_aggs]
+    aggregates = [_AGGREGATES[i] for i in sorted(order)]
+    select = list(aggregates)
+
+    group_by = ""
+    having = ""
+    order_limit = ""
+    if rng.integers(0, 2) == 0:
+        group_col = _GROUP_COLUMNS[picked[0]]
+        select.insert(0, group_col)
+        group_by = f" GROUP BY {group_col}"
+        if rng.integers(0, 2) == 0:
+            having = f" HAVING COUNT(*) > {int(rng.integers(0, 30))}"
+        if rng.integers(0, 2) == 0:
+            alias = aggregates[0].split(" AS ")[1]
+            direction = "DESC" if rng.integers(0, 2) else "ASC"
+            order_limit = (
+                f" ORDER BY {alias} {direction}, {group_col} ASC"
+                f" LIMIT {int(rng.integers(1, 8))}"
+            )
+    where = " AND ".join(joins + locals_)
+    return (
+        f"SELECT {', '.join(select)} FROM {', '.join(froms)}"
+        f" WHERE {where}{group_by}{having}{order_limit}"
+    )
+
+
+def _generate_projection_query(rng: np.random.Generator) -> str:
+    """Single-table projection top-k (exercises the TopK relation path)."""
+    if rng.integers(0, 2) == 0:
+        columns = ["d.d_date_sk", "d.d_year", "d.d_moy"]
+        key = "d.d_date_sk"
+        table = "date_dim d"
+    else:
+        columns = ["ss.ss_quantity", "ss.ss_sales_price"]
+        key = "ss.ss_sales_price"
+        table = "store_sales ss"
+    direction = "DESC" if rng.integers(0, 2) else "ASC"
+    return (
+        f"SELECT {', '.join(columns)} FROM {table}"
+        f" ORDER BY {key} {direction} LIMIT {int(rng.integers(1, 25))}"
+    )
+
+
+def _result_bytes(result, spec) -> tuple:
+    """A hashable byte-exact rendering of an execution result."""
+    if result.aggregates is not None:
+        parts = []
+        for label in sorted(result.aggregates):
+            values = np.asarray(result.aggregates[label])
+            if values.dtype.kind == "O":
+                parts.append((label, tuple(values.tolist())))
+            else:
+                parts.append((label, values.dtype.str, values.tobytes()))
+        return tuple(parts)
+    parts = []
+    for ref in spec.select_columns:
+        values = np.asarray(result.relation.column(ref.alias, ref.column))
+        if values.dtype.kind == "O":
+            parts.append((str(ref), tuple(values.tolist())))
+        else:
+            parts.append((str(ref), values.dtype.str, values.tobytes()))
+    return tuple(parts)
+
+
+@pytest.fixture(scope="module")
+def tpcds_db(tpcds_tiny):
+    return tpcds_tiny[0]
+
+
+class TestDifferentialOracle:
+    @pytest.mark.parametrize("seed", _SEEDS)
+    def test_star_queries_identical_across_configs(self, tpcds_db, seed):
+        rng = np.random.default_rng(1000 + seed)
+        sql = _generate_star_query(rng)
+        spec = parse_query(tpcds_db, sql, f"diff_star_{seed}")
+        plan = optimize_query(tpcds_db, spec, "bqo").plan
+        outputs = {}
+        for config in _CONFIGS:
+            result = Executor(tpcds_db, **config).execute(plan)
+            outputs[tuple(sorted(config.items()))] = _result_bytes(result, spec)
+            if not config["zone_maps"] or config["eager_materialization"]:
+                assert result.metrics.morsels_pruned == 0, sql
+                assert result.metrics.rows_skipped == 0, sql
+        distinct = set(outputs.values())
+        assert len(distinct) == 1, f"configs disagree on: {sql}"
+
+    @pytest.mark.parametrize("seed", _SEEDS)
+    def test_projection_topk_identical_across_configs(self, tpcds_db, seed):
+        rng = np.random.default_rng(2000 + seed)
+        sql = _generate_projection_query(rng)
+        spec = parse_query(tpcds_db, sql, f"diff_proj_{seed}")
+        plan = optimize_query(tpcds_db, spec, "bqo").plan
+        outputs = set()
+        for config in _CONFIGS:
+            result = Executor(tpcds_db, **config).execute(plan)
+            assert result.relation.num_rows <= spec.limit
+            outputs.add(_result_bytes(result, spec))
+            if not config["zone_maps"] or config["eager_materialization"]:
+                assert result.metrics.morsels_pruned == 0, sql
+        assert len(outputs) == 1, f"configs disagree on: {sql}"
+
+    def test_generator_is_deterministic(self):
+        first = _generate_star_query(np.random.default_rng(7))
+        second = _generate_star_query(np.random.default_rng(7))
+        assert first == second

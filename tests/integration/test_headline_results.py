@@ -37,7 +37,7 @@ class TestFigure8Shape:
 
     def test_selectivity_groups_stable(self, tpcds_runs):
         groups = selectivity_groups(tpcds_runs)
-        assert len(groups) == 25
+        assert len(groups) == 32
         rows = figure8_rows(tpcds_runs)
         total = next(r for r in rows if r["group"] == "total")
         assert total["original"] == pytest.approx(1.0)
@@ -55,4 +55,4 @@ class TestOptimizerNeverBreaksAnswers:
     def test_workload_consistency_was_enforced(self, tpcds_runs):
         # run_workload raises on any cross-pipeline answer divergence;
         # reaching this point with all runs recorded is the assertion.
-        assert len(tpcds_runs.runs) == 25 * 3
+        assert len(tpcds_runs.runs) == 32 * 3

@@ -46,9 +46,14 @@ class TestBinding:
         with pytest.raises(SqlError, match="duplicate alias"):
             parse_query(star_db, "SELECT COUNT(*) AS c FROM fact a, dim1 a")
 
-    def test_bare_column_requires_group_by(self, star_db):
+    def test_bare_column_requires_group_by_with_aggregates(self, star_db):
         with pytest.raises(SqlError, match="GROUP BY"):
-            parse_query(star_db, "SELECT f.fk1 FROM fact f")
+            parse_query(star_db, "SELECT f.fk1, COUNT(*) AS c FROM fact f")
+
+    def test_bare_column_without_aggregates_is_projection(self, star_db):
+        spec = parse_query(star_db, "SELECT f.fk1 FROM fact f")
+        assert not spec.aggregates
+        assert [str(ref) for ref in spec.select_columns] == ["f.fk1"]
 
     def test_group_by_select_allowed(self, star_db):
         spec = parse_query(
@@ -94,7 +99,7 @@ class TestBinding:
     def test_workload_queries_all_bind(self, tpcds_tiny, job_tiny):
         db_ds, queries_ds = tpcds_tiny
         db_job, queries_job = job_tiny
-        assert len(queries_ds) == 25
+        assert len(queries_ds) == 32
         assert len(queries_job) == 30
         for spec in queries_ds:
             spec.validate_against(db_ds)

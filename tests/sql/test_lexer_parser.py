@@ -103,7 +103,7 @@ class TestParser:
 
     def test_trailing_garbage_rejected(self):
         with pytest.raises(SqlError, match="trailing"):
-            parse_select("SELECT COUNT(*) FROM t a LIMIT 5")
+            parse_select("SELECT COUNT(*) FROM t a LIMIT 5 extra")
 
     def test_missing_from_rejected(self):
         with pytest.raises(SqlError):
@@ -112,3 +112,89 @@ class TestParser:
     def test_bad_predicate_rejected(self):
         with pytest.raises(SqlError):
             parse_select("SELECT COUNT(*) FROM t a WHERE a.x LIKE 5")
+
+
+class TestTopKClauses:
+    def test_order_by_limit(self):
+        stmt = parse_select(
+            "SELECT a.g, COUNT(*) AS c FROM t a GROUP BY a.g "
+            "ORDER BY c DESC, a.g ASC LIMIT 5"
+        )
+        assert stmt.limit == 5
+        assert len(stmt.order_by) == 2
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+
+    def test_order_by_defaults_ascending(self):
+        stmt = parse_select("SELECT a.x FROM t a ORDER BY a.x")
+        assert stmt.order_by[0].ascending is True
+        assert stmt.limit is None
+
+    def test_order_by_aggregate_call(self):
+        stmt = parse_select(
+            "SELECT a.g, COUNT(*) AS c FROM t a GROUP BY a.g "
+            "ORDER BY SUM(a.x) DESC LIMIT 3"
+        )
+        key = stmt.order_by[0]
+        assert key.target.function == "sum"
+        assert key.ascending is False
+
+    def test_limit_without_order_by(self):
+        stmt = parse_select("SELECT a.x FROM t a LIMIT 10")
+        assert stmt.limit == 10
+        assert stmt.order_by == ()
+
+    def test_having_requires_group_context_at_bind_not_parse(self):
+        stmt = parse_select(
+            "SELECT a.g, COUNT(*) AS c FROM t a GROUP BY a.g "
+            "HAVING COUNT(*) > 2 AND SUM(a.x) < 100"
+        )
+        assert stmt.having is not None
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlError, match="LIMIT"):
+            parse_select("SELECT a.x FROM t a LIMIT -1")
+
+    def test_fractional_limit_rejected(self):
+        with pytest.raises(SqlError, match="LIMIT"):
+            parse_select("SELECT a.x FROM t a LIMIT 2.5")
+
+
+class TestErrorPositions:
+    """Syntax errors carry the token offset and the offending lexeme."""
+
+    def test_unexpected_token_position_and_lexeme(self):
+        sql = "SELECT COUNT(*) FROM t a WHERE a.x BETWEEN 1 OR 2"
+        with pytest.raises(SqlError) as exc:
+            parse_select(sql)
+        assert exc.value.position == sql.index("OR")
+        assert "'OR'" in str(exc.value) or "'or'" in str(exc.value).lower()
+        assert f"(at offset {sql.index('OR')})" in str(exc.value)
+
+    def test_trailing_garbage_reports_position(self):
+        sql = "SELECT COUNT(*) FROM t a extra"
+        with pytest.raises(SqlError) as exc:
+            parse_select(sql)
+        assert exc.value.position == sql.index("extra")
+        assert "extra" in str(exc.value)
+
+    def test_truncated_query_reports_end_position(self):
+        sql = "SELECT COUNT(*) FROM"
+        with pytest.raises(SqlError) as exc:
+            parse_select(sql)
+        assert exc.value.position is not None
+        assert exc.value.position >= sql.index("FROM")
+
+    def test_bad_limit_reports_lexeme(self):
+        sql = "SELECT a.x FROM t a LIMIT abc"
+        with pytest.raises(SqlError) as exc:
+            parse_select(sql)
+        assert exc.value.position == sql.index("abc")
+        assert "abc" in str(exc.value)
+
+    def test_non_column_like_reports_operand(self):
+        sql = "SELECT COUNT(*) FROM t a WHERE 5 LIKE 'x%'"
+        with pytest.raises(SqlError) as exc:
+            parse_select(sql)
+        assert exc.value.position == sql.index("5 LIKE")
+        assert "'5'" in str(exc.value)

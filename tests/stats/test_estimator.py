@@ -129,3 +129,101 @@ class TestJoinEstimates:
             "a", ("bucket", "bucket"), "b", ("bucket", "bucket")
         )
         assert double == pytest.approx(single * single)
+
+
+@pytest.fixture(scope="module")
+def nan_db() -> Database:
+    """Columns with degenerate statistics: all-NaN, part-NaN, constant."""
+    database = Database("est_nan")
+    half = np.arange(1000, dtype=np.float64)
+    half[::2] = np.nan
+    database.add_table(
+        Table.from_arrays(
+            "n",
+            {
+                "all_nan": np.full(1000, np.nan),
+                "half_nan": half,
+                "constant": np.zeros(1000, dtype=np.int64),
+                "id": np.arange(1000),
+            },
+            key=("id",),
+        )
+    )
+    return database
+
+
+@pytest.fixture(scope="module")
+def nan_estimator(nan_db) -> CardinalityEstimator:
+    return CardinalityEstimator(nan_db, {"n": "n"})
+
+
+class TestEdgeCases:
+    def test_all_nan_column_comparison_stays_bounded(self, nan_estimator):
+        for op in ("<", "<=", ">", ">=", "=", "<>"):
+            sel = nan_estimator.predicate_selectivity(
+                Comparison(op, col("n", "all_nan"), lit(5.0))
+            )
+            assert 0.0 <= sel <= 1.0, op
+
+    def test_half_nan_column_comparison_stays_bounded(self, nan_estimator):
+        sel = nan_estimator.predicate_selectivity(
+            Comparison("<", col("n", "half_nan"), lit(500.0))
+        )
+        assert 0.0 <= sel <= 1.0
+
+    def test_all_nan_base_cardinality_floor(self, nan_estimator):
+        rows = nan_estimator.base_cardinality(
+            "n", Comparison("=", col("n", "all_nan"), lit(1.0))
+        )
+        assert rows >= 1.0
+
+    def test_constant_column_equality(self, nan_estimator):
+        sel = nan_estimator.predicate_selectivity(
+            Comparison("=", col("n", "constant"), lit(0))
+        )
+        assert sel == pytest.approx(1.0, abs=0.01)
+
+    def test_empty_in_list_is_zero(self, estimator):
+        sel = estimator.predicate_selectivity(InList(col("a", "bucket"), ()))
+        assert sel == 0.0
+
+    def test_single_element_in_matches_equality(self, estimator):
+        eq = estimator.predicate_selectivity(
+            Comparison("=", col("a", "bucket"), lit(7))
+        )
+        one = estimator.predicate_selectivity(InList(col("a", "bucket"), (7,)))
+        assert one == pytest.approx(eq)
+
+    def test_like_without_wildcards_acts_like_equality(self, estimator):
+        # 'red_0' hits rows where i % 4 == 0 and i % 7 == 0, i.e. ~1/28.
+        sel = estimator.predicate_selectivity(Like(col("a", "label"), "red_0"))
+        assert sel == pytest.approx(1 / 28, abs=0.05)
+        prefix = estimator.predicate_selectivity(Like(col("a", "label"), "red%"))
+        assert sel < prefix
+
+    def test_column_on_right_ge_le(self, estimator):
+        # 750 >= price  is  price <= 750; 250 <= price  is  price >= 250.
+        ge = estimator.predicate_selectivity(
+            Comparison(">=", lit(750.0), col("a", "price"))
+        )
+        assert ge == pytest.approx(0.75, abs=0.05)
+        le = estimator.predicate_selectivity(
+            Comparison("<=", lit(250.0), col("a", "price"))
+        )
+        assert le == pytest.approx(0.75, abs=0.05)
+
+    def test_zone_map_skip_fraction_without_resident_maps(self, estimator):
+        # Nothing has executed against this database, so no synopsis is
+        # resident and the estimate must be exactly the cold-path 0.0.
+        predicate = Comparison("<", col("a", "id"), lit(10))
+        assert estimator.zone_map_skip_fraction("a", predicate) == 0.0
+
+    def test_zone_map_skip_fraction_unknown_alias(self, estimator):
+        predicate = Comparison("<", col("zz", "id"), lit(10))
+        assert estimator.zone_map_skip_fraction("zz", predicate) == 0.0
+
+    def test_bitvector_zone_skip_without_resident_maps(self, estimator):
+        sel = estimator.bitvector_zone_skip_fraction(
+            "a", ("id",), "b", ("id",)
+        )
+        assert sel == 0.0
