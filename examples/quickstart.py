@@ -88,6 +88,36 @@ def main() -> None:
     for line in header:
         print(f"    {line}")
 
+    print()
+    print("=== resilience: deadlines, budgets, failure isolation ===")
+    from repro import ResourceBudget
+    from repro.errors import QueryTimeout
+
+    guarded = QueryService(
+        database,
+        pipeline="bqo",
+        parallelism=4,
+        deadline_seconds=5.0,                    # per-query wall clock
+        budget=ResourceBudget(max_rows_copied=5_000_000),
+        degrade="serial",                        # budget breach: answer anyway
+    )
+    answer = guarded.execute(sql, name="guarded")
+    print(f"  under deadline+budget: orders={answer.scalar('orders')}"
+          f"  degraded={answer.metrics.degraded}")
+    try:
+        guarded.execute(sql, name="shed", deadline_seconds=1e-7)
+    except QueryTimeout as exc:
+        print(f"  shed at the first checkpoint: {exc}")
+    # Batches isolate failures: a broken statement occupies its own
+    # slot with .error set, and every sibling result still arrives.
+    results = guarded.run_many([sql, "SELECT broken FROM nowhere x"])
+    for res in results:
+        outcome = "ok" if res.ok else f"error: {type(res.error).__name__}"
+        print(f"  {res.metrics.query:<8} {outcome}")
+    stats = guarded.stats()
+    print(f"  stats: {stats.timeouts} timeouts, {stats.degradations} "
+          f"degradations, {stats.failures} failures")
+
 
 if __name__ == "__main__":
     main()

@@ -34,11 +34,23 @@ from repro.storage import Table, Database, ForeignKey, TableSchema, ColumnDef
 from repro.storage.types import ColumnType
 from repro.query.spec import QuerySpec, RelationRef, JoinPredicate, Aggregate
 from repro.query.joingraph import JoinGraph
-from repro.engine import Executor, ExecutionResult
+from repro.engine import (
+    Deadline,
+    ExecutionContext,
+    ExecutionResult,
+    Executor,
+    ResourceBudget,
+)
 from repro.optimizer import optimize_query, OptimizedPlan, PIPELINES
 from repro.plan import format_plan
 from repro.sql import parse_query
-from repro.service import QueryService, ServiceResult, ServiceMetrics, ServiceStats
+from repro.service import (
+    QueryService,
+    RetryPolicy,
+    ServiceMetrics,
+    ServiceResult,
+    ServiceStats,
+)
 
 __version__ = "1.0.0"
 
@@ -56,6 +68,9 @@ __all__ = [
     "JoinGraph",
     "Executor",
     "ExecutionResult",
+    "ExecutionContext",
+    "Deadline",
+    "ResourceBudget",
     "optimize_query",
     "OptimizedPlan",
     "PIPELINES",
@@ -65,5 +80,6 @@ __all__ = [
     "ServiceResult",
     "ServiceMetrics",
     "ServiceStats",
+    "RetryPolicy",
     "__version__",
 ]

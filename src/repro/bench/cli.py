@@ -239,6 +239,48 @@ def run_plan_quality(args) -> None:
     print(f"wrote {path}")
 
 
+def run_robustness(args) -> None:
+    from repro.bench.robustness import (
+        DEFAULT_SCALE,
+        run_robustness as run_experiment,
+        write_robustness_report,
+    )
+
+    payload = run_experiment(
+        scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+    )
+    overhead = payload["deadline_overhead"]
+    stress = payload["stress"]
+    recovery = payload["recovery"]
+    print(render_table(
+        [
+            {
+                "scenario": "warm tpcds_lite",
+                "baseline_s": overhead["baseline_seconds"],
+                "armed_s": overhead["deadline_armed_seconds"],
+                "overhead": f"{overhead['overhead_fraction'] * 100:+.2f}%",
+                "identical": overhead["checksums_identical"],
+            }
+        ],
+        "\n=== robustness — deadline-check overhead (warm path) ===",
+    ))
+    print(
+        f"stress: {stress['enforced_timeouts']} enforced timeouts "
+        f"({stress['shed_rate'] * 100:.0f}% shed), "
+        f"{stress['degradations']} graceful degradations "
+        f"({stress['degrade_rate'] * 100:.0f}% of the batch), "
+        f"{stress['degraded_failures']} failures under degradation"
+    )
+    print(
+        f"recovery: mean {recovery['mean_recovery_seconds'] * 1e3:.2f} ms, "
+        f"max {recovery['max_recovery_seconds'] * 1e3:.2f} ms after "
+        f"{recovery['chaos_rounds']} injected faults; oracle identical: "
+        f"{recovery['answers_identical_to_serial_oracle']}"
+    )
+    path = write_robustness_report(payload, _artifact_path(args))
+    print(f"wrote {path}")
+
+
 class _Experiment:
     """One registry entry: help text, artifact default, and dispatch."""
 
@@ -278,6 +320,11 @@ EXPERIMENTS: dict[str, _Experiment] = {
         "estimator q-error vs. observed cardinalities, full vs. shallow",
         "BENCH_plan_quality.json",
         run_plan_quality,
+    ),
+    "robustness": _Experiment(
+        "deadline-check overhead, shed/degrade rates, fault recovery",
+        "BENCH_robustness.json",
+        run_robustness,
     ),
 }
 

@@ -1,0 +1,220 @@
+"""Robustness benchmark: what resilience enforcement costs and buys.
+
+Three scenarios, one JSON artifact (``BENCH_robustness.json``):
+
+* **Deadline overhead** — the warm tpcds_lite workload executed with no
+  context versus with a generous armed deadline.  Enforcement is one
+  monotonic-clock read and two compares per checkpoint, so the warm-
+  path overhead must stay under 2%; answers must be checksum-identical
+  because checkpoints never change execution order.
+* **Shedding & degradation rates** — an oversized star workload pushed
+  through a :class:`~repro.service.QueryService` twice: once with an
+  unmeetable per-call deadline on a slice of the batch (admission-style
+  shedding, counted as enforced timeouts), once with a one-row resource
+  budget under ``degrade="serial"`` (every query breaches, answers
+  still land on the serial fallback, counted as degradations).
+* **Recovery latency** — seeded faults injected into morsel tasks kill
+  one query per round; the benchmark measures how long the very next
+  (successful) run of the same statement takes on the same service and
+  checks its answer against a serial oracle.
+
+Used by ``benchmarks/test_robustness_bench.py`` (loose gates, CI-noise
+tolerant) and by the CLI::
+
+    python -m repro.bench --experiment robustness \
+        --output BENCH_robustness.json
+
+The committed artifact carries the tight numbers from a quiet machine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench.harness import _checksum
+from repro.bench.reporting import available_cores
+from repro.bench.scaling import star_workload_sqls
+from repro.engine.context import ExecutionContext, ResourceBudget
+from repro.engine.executor import Executor
+from repro.errors import QueryTimeout, ReproError
+from repro.filters.cache import BitvectorFilterCache
+from repro.optimizer.pipelines import optimize_query
+from repro.service import QueryService
+from repro.testing import FaultPlan, inject
+from repro.workloads import star, tpcds_lite
+
+DEFAULT_SCALE = 0.1
+#: Deadline far above any tpcds_lite query: the check itself is what
+#: gets measured, never an actual expiry.
+_GENEROUS_DEADLINE_SECONDS = 3600.0
+#: Every Nth stress query gets an unmeetable deadline (the shed slice).
+_SHED_EVERY = 4
+
+
+def _workload_seconds(executor, plans, contexts, rounds: int) -> float:
+    """Best-of-N warm wall clock (min is robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for plan, context in zip(plans, contexts):
+            executor.execute(plan, context=context)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure_overhead(scale: float, rounds: int) -> dict:
+    """Warm tpcds_lite, deadline checks off vs. armed."""
+    database, queries = tpcds_lite.build(scale=scale)
+    plans = [
+        optimize_query(database, spec, "bqo").plan for spec in queries
+    ]
+    executor = Executor(database, filter_cache=BitvectorFilterCache(64))
+    warm = [executor.execute(plan) for plan in plans]
+    baseline_checksum = round(sum(_checksum(r) for r in warm), 6)
+
+    off = [None] * len(plans)
+    baseline_seconds = _workload_seconds(executor, plans, off, rounds)
+
+    armed = [
+        ExecutionContext(
+            query=spec.name, deadline=_GENEROUS_DEADLINE_SECONDS
+        )
+        for spec in queries
+    ]
+    armed_results = [
+        executor.execute(plan, context=context)
+        for plan, context in zip(plans, armed)
+    ]
+    armed_checksum = round(sum(_checksum(r) for r in armed_results), 6)
+    # Fresh contexts per timed round: arming cost (Deadline + token
+    # construction) is part of what enforcement charges per query.
+    armed_seconds = _workload_seconds(
+        executor,
+        plans,
+        [
+            ExecutionContext(
+                query=spec.name, deadline=_GENEROUS_DEADLINE_SECONDS
+            )
+            for spec in queries
+        ],
+        rounds,
+    )
+    return {
+        "workload": "tpcds_lite",
+        "scale": scale,
+        "queries": len(plans),
+        "rounds": rounds,
+        "baseline_seconds": round(baseline_seconds, 6),
+        "deadline_armed_seconds": round(armed_seconds, 6),
+        "overhead_fraction": round(
+            armed_seconds / max(baseline_seconds, 1e-9) - 1.0, 6
+        ),
+        "checksums_identical": baseline_checksum == armed_checksum,
+    }
+
+
+def _measure_stress(scale: float) -> dict:
+    """Shed and degrade rates on an oversized star workload."""
+    database = star.build_database(scale=scale)
+    sqls = star_workload_sqls()
+
+    # Scenario A: a slice of the batch carries an unmeetable deadline
+    # and is shed at the first cooperative checkpoint.
+    shedding = QueryService(database, parallelism=2)
+    shed = 0
+    for i, sql in enumerate(sqls):
+        deadline = 1e-7 if i % _SHED_EVERY == 0 else None
+        try:
+            shedding.execute(sql, name=f"shed_{i}", deadline_seconds=deadline)
+        except QueryTimeout:
+            shed += 1
+    shed_stats = shedding.stats()
+
+    # Scenario B: a one-row budget every query breaches; the serial
+    # fallback still answers, recorded as graceful degradations.
+    degrading = QueryService(
+        database,
+        parallelism=2,
+        budget=ResourceBudget(max_rows_copied=1),
+        degrade="serial",
+    )
+    answered = sum(
+        1
+        for i, sql in enumerate(sqls)
+        if degrading.execute(sql, name=f"deg_{i}").ok
+    )
+    degrade_stats = degrading.stats()
+
+    return {
+        "workload": "star-20q",
+        "scale": scale,
+        "queries_issued": len(sqls),
+        "enforced_timeouts": shed_stats.timeouts,
+        "shed_rate": round(shed_stats.timeouts / len(sqls), 4),
+        "completed_under_shedding": shed_stats.queries,
+        "degradations": degrade_stats.degradations,
+        "degrade_rate": round(degrade_stats.degradations / len(sqls), 4),
+        "answered_under_degradation": answered,
+        "degraded_failures": degrade_stats.failures,
+        "shed_matches_slice": shed == shed_stats.timeouts,
+    }
+
+
+def _measure_recovery(scale: float, chaos_rounds: int, seed: int) -> dict:
+    """Wall clock from an injected failure to the next clean answer."""
+    database = star.build_database(scale=scale)
+    sql = star_workload_sqls()[-1]  # the widest query (4 dimensions)
+    oracle = _checksum(QueryService(database).execute(sql).result)
+
+    service = QueryService(database, parallelism=4)
+    service.execute(sql)  # warm plan/filter caches and the pool
+    latencies = []
+    identical = True
+    for round_index in range(chaos_rounds):
+        plan = FaultPlan(seed=seed + round_index).raise_at(
+            "morsel.task", invocation=round_index
+        )
+        with inject(plan):
+            try:
+                service.execute(sql, name=f"chaos_{round_index}")
+            except ReproError:
+                pass
+        started = time.perf_counter()
+        recovered = service.execute(sql, name=f"recovered_{round_index}")
+        latencies.append(time.perf_counter() - started)
+        identical = identical and _checksum(recovered.result) == oracle
+    return {
+        "workload": "star (widest query)",
+        "scale": scale,
+        "chaos_rounds": chaos_rounds,
+        "seed": seed,
+        "mean_recovery_seconds": round(sum(latencies) / len(latencies), 6),
+        "max_recovery_seconds": round(max(latencies), 6),
+        "answers_identical_to_serial_oracle": identical,
+        "failures_observed": chaos_rounds,
+    }
+
+
+def run_robustness(
+    scale: float = DEFAULT_SCALE,
+    rounds: int = 5,
+    chaos_rounds: int = 5,
+    seed: int = 7,
+) -> dict:
+    """Run all three scenarios; returns a JSON-ready payload."""
+    return {
+        "experiment": "robustness",
+        "cpu_cores": available_cores(),
+        "deadline_overhead": _measure_overhead(scale, rounds),
+        "stress": _measure_stress(scale),
+        "recovery": _measure_recovery(scale, chaos_rounds, seed),
+    }
+
+
+def write_robustness_report(payload: dict, path: str | Path) -> Path:
+    """Write the robustness payload as JSON (the in-repo artifact)."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

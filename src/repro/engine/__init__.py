@@ -7,7 +7,22 @@ experiments while producing *exact* per-operator tuple counts — the
 quantity all of the paper's results are built on.
 """
 
+from repro.engine.context import (
+    CancelToken,
+    Deadline,
+    ExecutionContext,
+    ResourceBudget,
+)
 from repro.engine.metrics import NodeMetrics, ExecutionMetrics
 from repro.engine.executor import Executor, ExecutionResult
 
-__all__ = ["NodeMetrics", "ExecutionMetrics", "Executor", "ExecutionResult"]
+__all__ = [
+    "NodeMetrics",
+    "ExecutionMetrics",
+    "Executor",
+    "ExecutionResult",
+    "ExecutionContext",
+    "Deadline",
+    "ResourceBudget",
+    "CancelToken",
+]

@@ -20,9 +20,11 @@ from repro.engine.metrics import (
     OPERATOR_KIND_LEAF,
     OPERATOR_KIND_OTHER,
 )
+from repro.engine.context import ExecutionContext
 from repro.engine.parallel import run_morsel_tasks
 from repro.engine.relation import Relation
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, MorselTaskError, ResilienceError
+from repro.testing.faults import fault_point
 from repro.expr.eval import evaluate_predicate
 from repro.expr.expressions import ColumnRef, referenced_columns
 from repro.filters.base import BitvectorFilter, compute_key_bounds
@@ -196,6 +198,7 @@ class Executor:
         self,
         plan: PlanNode,
         predicate_overrides: dict[str, object] | None = None,
+        context: ExecutionContext | None = None,
     ) -> ExecutionResult:
         """Execute a plan.
 
@@ -205,8 +208,39 @@ class Executor:
         fresh constants without mutating the shared tree.  All per-
         execution state lives in locals, so one executor may run the
         same plan concurrently from many threads.
+
+        ``context`` arms cooperative resilience enforcement (see
+        :mod:`repro.engine.context`): the deadline and cancel token are
+        checked at plan-node and morsel-task boundaries, the resource
+        budget against the live ``rows_copied`` / ``bytes_gathered``
+        counters after every parallel barrier.  A tripped limit raises
+        the matching :class:`~repro.errors.ResilienceError` with the
+        partial :class:`ExecutionMetrics` attached — and because every
+        abort happens *between* tasks, the shared pool and any attached
+        filter cache stay clean for the next query.  ``None`` (the
+        default) is the zero-overhead path.
         """
         metrics = ExecutionMetrics()
+        if context is not None and context.enabled:
+            metrics.context = context
+            try:
+                return self._execute_guarded(
+                    plan, predicate_overrides, metrics
+                )
+            except ResilienceError as exc:
+                if exc.partial_metrics is None:
+                    exc.partial_metrics = metrics
+                raise
+        return self._execute_guarded(plan, predicate_overrides, metrics)
+
+    def _execute_guarded(
+        self,
+        plan: PlanNode,
+        predicate_overrides: dict[str, object] | None,
+        metrics: ExecutionMetrics,
+    ) -> ExecutionResult:
+        if metrics.context is not None:
+            metrics.context.check()
         if self._adaptive_morsels:
             # One sizer per execution (pipeline): observations from this
             # plan's morsels resize only this plan's later regions, and
@@ -234,12 +268,32 @@ class Executor:
             aggregates = _drop_hidden(plan, aggregates)
         else:
             relation = self._run(plan, metrics, filters, needed, overrides)
+        if metrics.context is not None:
+            # Final budget check: gathers done after the last plan-node
+            # checkpoint (e.g. the aggregate's measure-column gather)
+            # still count — an over-budget result is never returned.
+            # The deadline is deliberately *not* re-checked here: the
+            # answer is already computed, so failing it would discard
+            # finished work for no resource win.
+            metrics.context.check_budget(metrics)
         return ExecutionResult(relation=relation, aggregates=aggregates,
                                metrics=metrics)
 
     # ------------------------------------------------------------------
     # Node dispatch
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _checkpoint(metrics: ExecutionMetrics) -> None:
+        """Cooperative resilience checkpoint (deadline, cancel, budget).
+
+        Free when no context is armed: one attribute load and a None
+        test — the property the warm-path overhead bound in
+        ``BENCH_robustness.json`` is measured against.
+        """
+        context = metrics.context
+        if context is not None:
+            context.checkpoint(metrics)
 
     def _run(
         self,
@@ -249,6 +303,7 @@ class Executor:
         needed: dict[str, set[str]],
         overrides: dict[str, object],
     ) -> Relation:
+        self._checkpoint(metrics)
         if isinstance(node, ScanNode):
             return self._scan(node, metrics, filters, needed, overrides)
         if isinstance(node, HashJoinNode):
@@ -289,24 +344,34 @@ class Executor:
         the observations (rows in, seconds, ``out_rows(result)``
         surviving rows) are folded into the sizer on the main thread
         after the barrier — the feedback adaptive sizing runs on.
+
+        With an armed :class:`~repro.engine.context.ExecutionContext`
+        (captured from ``metrics`` — worker metrics stay bare), every
+        task checks the deadline/cancel token before touching its
+        morsel, the region's cancel token short-circuits siblings after
+        the first failure, and non-policy worker exceptions are wrapped
+        as :class:`~repro.errors.MorselTaskError` with the query name
+        and the morsel's row range.  The budget is re-checked against
+        the merged counters after the barrier.
         """
         workers = [ExecutionMetrics() for _ in ranges]
+        context = metrics.context
         if sizer is None:
-            tasks = [
-                (lambda s=start, e=stop, w=worker: fn(s, e, w))
-                for (start, stop), worker in zip(ranges, workers)
-            ]
+            inner = fn
         else:
-            def timed(start: int, stop: int, worker: ExecutionMetrics):
+            def inner(start: int, stop: int, worker: ExecutionMetrics):
                 began = time.perf_counter()
                 result = fn(start, stop, worker)
                 return result, time.perf_counter() - began
 
-            tasks = [
-                (lambda s=start, e=stop, w=worker: timed(s, e, w))
-                for (start, stop), worker in zip(ranges, workers)
-            ]
-        results = run_morsel_tasks(self._parallelism, tasks)
+        tasks = [
+            _morsel_task(inner, start, stop, worker, context)
+            for (start, stop), worker in zip(ranges, workers)
+        ]
+        results = run_morsel_tasks(
+            self._parallelism, tasks,
+            cancel_token=None if context is None else context.cancel_token,
+        )
         if sizer is not None:
             unwrapped = []
             for (start, stop), (result, seconds) in zip(ranges, results):
@@ -318,6 +383,8 @@ class Executor:
             results = unwrapped
         for worker in workers:
             metrics.merge_counters(worker)
+        if context is not None:
+            context.checkpoint(metrics)
         return results
 
     def _adaptive_map(self, metrics: ExecutionMetrics, num_rows: int,
@@ -366,7 +433,8 @@ class Executor:
             )
         return results
 
-    def _parallel_gather(self, base: np.ndarray, selection) -> np.ndarray | None:
+    def _parallel_gather(self, base: np.ndarray, selection,
+                         cancel_token=None) -> np.ndarray | None:
         """Morsel-wise column gather hook installed on scan relations.
 
         Splits ``base[selection]`` across the pool, each worker writing
@@ -385,8 +453,27 @@ class Executor:
         run_morsel_tasks(
             self._parallelism,
             [(lambda s=start, e=stop: task(s, e)) for start, stop in ranges],
+            cancel_token=cancel_token,
         )
         return out
+
+    def _gather_hook(self, metrics: ExecutionMetrics):
+        """The parallel-gather hook for this execution's relations.
+
+        Binds the execution's cancel token (when a context is armed) so
+        gathers dispatched from inside :class:`Relation` short-circuit
+        with the rest of the query; derived relations inherit the bound
+        hook through ``gather``/``merged_with``.
+        """
+        if not self._parallel:
+            return None
+        context = metrics.context
+        if context is None:
+            return self._parallel_gather
+        token = context.cancel_token
+        return lambda base, selection: self._parallel_gather(
+            base, selection, token
+        )
 
     def _scan_ranges(self, table) -> list[tuple[int, int]] | None:
         """Morsels of a base table, via the storage-layer partitioning
@@ -800,7 +887,7 @@ class Executor:
         }
         relation = Relation(
             columns, table.num_rows, sources=sources, counters=metrics,
-            parallel_gather=self._parallel_gather if self._parallel else None,
+            parallel_gather=self._gather_hook(metrics),
         )
         record.add("scan", table.num_rows)
 
@@ -1126,6 +1213,7 @@ class Executor:
         executions (and filter kinds without partitioned support) take
         the untouched single-thread path.
         """
+        self._checkpoint(metrics)
         filter_class = FILTER_KINDS.get(self._filter_kind)
         ranges = self._ranges(build_rel.num_rows)
         if (
@@ -1138,6 +1226,7 @@ class Executor:
             )
 
             def task(start: int, stop: int, worker: ExecutionMetrics):
+                fault_point("filter.build_partition")
                 view = build_rel.range_view(start, stop, counters=worker)
                 return filter_class.build_partial(
                     [
@@ -1237,6 +1326,7 @@ class Executor:
             ranges, pruned, _ = pruning
             pending_ranges = self._split_pruned(metrics, ranges, pruned)
         for definition in definitions:
+            self._checkpoint(metrics)
             bitvector = filters.get(definition.filter_id)
             if bitvector is None:
                 raise ExecutionError(
@@ -1289,6 +1379,7 @@ class Executor:
         relation: Relation,
         metrics: ExecutionMetrics,
     ) -> dict[str, np.ndarray]:
+        self._checkpoint(metrics)
         record = metrics.node(node.node_id, node.label, OPERATOR_KIND_OTHER)
         record.add("aggregate", relation.num_rows)
 
@@ -1380,6 +1471,7 @@ class Executor:
         metrics: ExecutionMetrics,
     ) -> dict[str, np.ndarray]:
         """Sort + limit over aggregate output columns (by label)."""
+        self._checkpoint(metrics)
         record = metrics.node(node.node_id, node.label, OPERATOR_KIND_OTHER)
         num_rows = len(next(iter(aggregates.values()))) if aggregates else 0
         record.add("topk", num_rows)
@@ -1417,6 +1509,7 @@ class Executor:
         value, so the surviving candidate set always contains the true
         top k and the final sort is byte-identical to the unpruned one.
         """
+        self._checkpoint(metrics)
         record = metrics.node(node.node_id, node.label, OPERATOR_KIND_OTHER)
         record.add("topk", relation.num_rows)
         limit = node.limit
@@ -1550,6 +1643,39 @@ class Executor:
 # ----------------------------------------------------------------------
 # Helpers
 # ----------------------------------------------------------------------
+
+
+def _morsel_task(fn, start: int, stop: int, worker: ExecutionMetrics,
+                 context: ExecutionContext | None):
+    """One pool task for ``_map_morsels``: hook, checkpoint, wrap.
+
+    The ``"morsel.task"`` fault site fires *inside* the task body so an
+    injected fault travels the exact path an organic worker failure
+    does — including the :class:`~repro.errors.MorselTaskError`
+    wrapping, which stamps the query name and the morsel's row range
+    onto the message and chains the original as ``__cause__``.  Policy
+    errors (:class:`~repro.errors.ResilienceError` — a deadline
+    tripping inside the task, or a sibling's cancellation) pass through
+    unwrapped: they already carry their own context and the service
+    retry whitelist must see them bare.
+    """
+
+    def run():
+        if context is not None:
+            context.check()
+        try:
+            fault_point("morsel.task")
+            return fn(start, stop, worker)
+        except ResilienceError:
+            raise
+        except Exception as exc:
+            query = context.query if context is not None else "query"
+            raise MorselTaskError(
+                f"morsel task for query {query!r} rows [{start}:{stop}) "
+                f"failed: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    return run
 
 
 def _drop_hidden(

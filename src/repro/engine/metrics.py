@@ -104,6 +104,12 @@ class ExecutionMetrics:
         # per-execution state threaded through every operator; worker
         # metrics keep the default None and never resize anything.
         self.morsel_sizer = None
+        # Per-query resilience context (repro.engine.context), attached
+        # by the executor at the top of execute() — same reasoning as
+        # the sizer: the metrics object is the per-execution state every
+        # operator already sees.  None (the default, and for worker
+        # metrics) keeps every checkpoint a single None test.
+        self.context = None
 
     def count_copy(self, rows: int, nbytes: int) -> None:
         """Record one column materialization (called by Relation)."""

@@ -25,7 +25,10 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
+from repro.engine.context import CancelToken
+from repro.errors import QueryCancelled
 from repro.storage.partition import DEFAULT_MORSEL_ROWS  # re-export  # noqa: F401
+from repro.testing.faults import fault_point
 
 _pool_lock = threading.Lock()
 _pool: ThreadPoolExecutor | None = None
@@ -66,7 +69,11 @@ def shutdown_shared_pool() -> None:
         retired.shutdown(wait=True)
 
 
-def run_morsel_tasks(workers: int, tasks: Sequence[Callable[[], object]]) -> list:
+def run_morsel_tasks(
+    workers: int,
+    tasks: Sequence[Callable[[], object]],
+    cancel_token: CancelToken | None = None,
+) -> list:
     """Run ``tasks`` on the shared pool; results in task order.
 
     This is a barrier: it returns only after every task finished.  The
@@ -77,9 +84,21 @@ def run_morsel_tasks(workers: int, tasks: Sequence[Callable[[], object]]) -> lis
     valid), so each rejected submit is retried individually on a fresh
     pool — never the whole batch, which would execute accepted tasks
     twice.
+
+    With a ``cancel_token``, the region cancels cooperatively: a task
+    that raises trips the token, and every not-yet-started sibling
+    short-circuits with :class:`~repro.errors.QueryCancelled` instead
+    of running doomed work.  The barrier then prefers the *root cause*
+    — the first non-cancellation error in task order (a task's own
+    failure, or a :class:`~repro.errors.QueryTimeout` from a deadline
+    checkpoint) — over the secondary cancellation signals, so callers
+    always see why the region died, not that it was told to stop.
     """
     if len(tasks) == 1:
         return [tasks[0]()]
+    fault_point("pool.submit")
+    if cancel_token is not None:
+        tasks = [_cancellable(task, cancel_token) for task in tasks]
     pool = shared_worker_pool(workers)
     futures = []
     for task in tasks:
@@ -94,9 +113,32 @@ def run_morsel_tasks(workers: int, tasks: Sequence[Callable[[], object]]) -> lis
         try:
             results.append(future.result())
         except BaseException as exc:  # noqa: BLE001 - re-raised below
-            if error is None:
+            if error is None or (
+                isinstance(error, QueryCancelled)
+                and not isinstance(exc, QueryCancelled)
+            ):
                 error = exc
             results.append(None)
     if error is not None:
         raise error
     return results
+
+
+def _cancellable(
+    task: Callable[[], object], token: CancelToken
+) -> Callable[[], object]:
+    """Wrap ``task`` so the region short-circuits after a sibling dies."""
+
+    def run() -> object:
+        if token.cancelled:
+            raise QueryCancelled(
+                f"morsel task short-circuited: {token.reason}"
+            )
+        try:
+            return task()
+        except BaseException as exc:
+            # First failure wins; idempotent for later ones.
+            token.cancel(f"{type(exc).__name__}: {exc}")
+            raise
+
+    return run

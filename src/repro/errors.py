@@ -65,10 +65,73 @@ class ExecutionError(ReproError):
     """Raised when the execution engine encounters an invalid state."""
 
 
+class MorselTaskError(ExecutionError):
+    """A morsel worker task failed.
+
+    Wraps the worker's original exception (available as ``__cause__``)
+    with the query name and morsel row range, so a failure deep inside
+    a parallel region is diagnosable from the message alone.  Policy
+    errors (:class:`ResilienceError` subclasses) are *not* wrapped —
+    they already carry query context and must keep their type for the
+    service layer's accounting and degradation logic.
+    """
+
+
 class ServiceError(ReproError):
     """Raised by the query service layer (:mod:`repro.service`).
 
     Examples: a cached plan whose parameter count disagrees with the
     incoming query's fingerprint (an internal invariant violation), or
     service misconfiguration.
+    """
+
+
+class ResilienceError(ReproError):
+    """Base for resource-policy failures of one in-flight query.
+
+    Raised cooperatively at checkpoint boundaries (morsel tasks, plan
+    nodes, filter-build partitions, optimizer enumeration steps), never
+    asynchronously, so shared state — the worker pool, plan cache, and
+    bitvector filter cache — is always left clean for the next query.
+
+    ``partial_metrics`` carries the
+    :class:`~repro.engine.metrics.ExecutionMetrics` accumulated up to
+    the abort (attached by the executor), so callers can account the
+    work a killed query still performed.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.partial_metrics = None
+
+
+class QueryTimeout(ResilienceError):
+    """Raised when a query exceeds its wall-clock deadline.
+
+    The deadline is carried by an
+    :class:`~repro.engine.context.ExecutionContext` and checked
+    cooperatively; tripping it cancels the query's
+    :class:`~repro.engine.context.CancelToken` so sibling morsel tasks
+    short-circuit instead of finishing doomed work.
+    """
+
+
+class QueryCancelled(ResilienceError):
+    """Raised at a checkpoint after the query's cancel token tripped.
+
+    Workers observe cancellation *after* the root cause (a deadline
+    trip, a sibling task's failure, or an explicit ``cancel()``) — the
+    barrier in :func:`repro.engine.parallel.run_morsel_tasks` prefers
+    the root cause over this secondary signal when both arrive.
+    """
+
+
+class ResourceExhausted(ResilienceError):
+    """Raised when a query breaches its per-query resource budget.
+
+    Budgets bound materialized rows and gathered bytes (the engine's
+    ``rows_copied`` / ``bytes_gathered`` counters — see
+    :class:`~repro.engine.context.ResourceBudget`).  The service layer
+    can instead degrade the query to the serial path when configured
+    with ``degrade="serial"``.
     """

@@ -6,6 +6,8 @@ import abc
 
 import numpy as np
 
+from repro.testing.faults import fault_point
+
 
 class BitvectorFilter(abc.ABC):
     """A probabilistic (or exact) set membership filter over key tuples.
@@ -86,7 +88,7 @@ class BitvectorFilter(abc.ABC):
 
     @classmethod
     def build_partitioned(
-        cls, partitions: list[list[np.ndarray]], **options
+        cls, partitions: list[list[np.ndarray]], context=None, **options
     ) -> "BitvectorFilter":
         """Serial reference of the partition-build-then-merge protocol.
 
@@ -94,14 +96,24 @@ class BitvectorFilter(abc.ABC):
         concatenation of the partitions (in order) is the build side.
         Equivalent to ``cls.build`` over that concatenation — tests
         assert the equivalence, the parallel executor relies on it.
+
+        ``context`` (an :class:`~repro.engine.context.ExecutionContext`)
+        arms a deadline/cancel check before each partition, making long
+        builds abortable at the same granularity the parallel fan-out
+        gets from its per-task checks; each partition is also a
+        ``"filter.build_partition"`` fault site, mirroring the
+        executor's fan-out tasks.
         """
         if not partitions:
             raise ValueError("build_partitioned requires at least one partition")
         num_keys = sum(validate_key_columns(part) for part in partitions)
         geometry = cls.build_geometry(num_keys, **options)
-        partials = [
-            cls.build_partial(part, geometry, **options) for part in partitions
-        ]
+        partials = []
+        for part in partitions:
+            if context is not None:
+                context.check()
+            fault_point("filter.build_partition")
+            partials.append(cls.build_partial(part, geometry, **options))
         return cls.merge(partials, num_keys, **options)
 
     @abc.abstractmethod

@@ -36,7 +36,23 @@ import time
 from typing import Callable
 
 from repro.filters.base import BitvectorFilter
+from repro.testing.faults import fault_point
 from repro.util.lru import LruCache
+
+
+class _PendingBuild:
+    """One in-flight single-flight build: its barrier and its outcome.
+
+    ``error`` is written (if at all) strictly before ``event.set()``,
+    so any waiter released by the event sees either a published cache
+    entry or the failure that prevented one — never a limbo state.
+    """
+
+    __slots__ = ("event", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.error: BaseException | None = None
 
 
 def filter_cache_key(
@@ -61,9 +77,17 @@ class BitvectorFilterCache(LruCache):
     instead of duplicating it — a herd of ``run_many`` workers hitting
     one cold dimension filter produces exactly one construction, and
     :attr:`builds_deduped` counts the builds the others were spared.
-    A waiter whose builder raised (or whose publish was dropped by a
-    racing ``clear()``) loops and becomes the builder itself, so stale
-    or failed builds are never served.
+
+    Failure handoff: a builder that raises stores the exception on the
+    pending entry *before* waking the herd, so every concurrent waiter
+    re-raises that same failure instead of serially re-running a build
+    the workload just watched die (or worse, dangling forever on a dead
+    event).  Nothing is published on failure — no poisoned entry — and
+    because the pending slot is popped first, any caller arriving
+    *after* the wake becomes a fresh builder, so the next query simply
+    rebuilds.  A waiter whose builder succeeded but whose publish was
+    dropped by a racing ``clear()`` still loops and rebuilds from fresh
+    state, so stale builds are never served either.
     """
 
     def __init__(self, capacity: int = 64) -> None:
@@ -72,7 +96,7 @@ class BitvectorFilterCache(LruCache):
         self._build_seconds: dict[tuple, float] = {}
         self._build_seconds_saved = 0.0
         self._pending_lock = threading.Lock()
-        self._pending: dict[tuple, threading.Event] = {}
+        self._pending: dict[tuple, _PendingBuild] = {}
         self._builds_deduped = 0
 
     def get_or_build(
@@ -96,13 +120,19 @@ class BitvectorFilterCache(LruCache):
             with self._pending_lock:
                 pending = self._pending.get(key)
                 if pending is None:
-                    pending = threading.Event()
+                    pending = _PendingBuild()
                     self._pending[key] = pending
                     is_builder = True
                 else:
                     is_builder = False
             if not is_builder:
-                pending.wait()
+                pending.event.wait()
+                if pending.error is not None:
+                    # The build this caller was riding on failed; every
+                    # rider shares its fate (one failure, not N retries
+                    # of a doomed build).  Callers arriving after the
+                    # wake find no pending entry and build fresh.
+                    raise pending.error
                 waited = True
                 continue
             # Registered as builder — but a previous builder may have
@@ -114,20 +144,25 @@ class BitvectorFilterCache(LruCache):
             if key in self:
                 with self._pending_lock:
                     self._pending.pop(key, None)
-                pending.set()
+                pending.event.set()
                 continue
             generation = self.generation
             started = time.perf_counter()
             try:
                 built = builder()
-            except BaseException:
-                # Wake waiters on failure; whoever re-checks first
-                # becomes the next builder.
+                elapsed = time.perf_counter() - started
+                # Publication is a registered fault site: an injected
+                # failure here must travel the failed-build path —
+                # nothing published, waiters handed the error.
+                fault_point("cache.publish")
+            except BaseException as exc:
+                # Store the failure, then wake the herd (order matters:
+                # the event's release barrier makes the error visible).
+                pending.error = exc
                 with self._pending_lock:
                     self._pending.pop(key, None)
-                pending.set()
+                pending.event.set()
                 raise
-            elapsed = time.perf_counter() - started
             with self._cost_lock:
                 self._build_seconds[key] = elapsed
                 while len(self._build_seconds) > 4 * self.capacity:
@@ -138,7 +173,7 @@ class BitvectorFilterCache(LruCache):
             self.put(key, built, generation=generation)
             with self._pending_lock:
                 self._pending.pop(key, None)
-            pending.set()
+            pending.event.set()
             return built, False
 
     def clear(self) -> None:

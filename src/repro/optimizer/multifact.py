@@ -29,12 +29,18 @@ def optimize_join_graph(
     graph: JoinGraph,
     estimator: CardinalityEstimator,
     bitvector_aware: bool = True,
+    context=None,
 ) -> PlanNode:
     """Produce a join order for an arbitrary connected join graph.
 
     ``bitvector_aware=False`` runs the identical extraction loop with
     blind snowflake optimization — the baseline configuration (the host
     optimizer's snowflake heuristics without bitvector awareness).
+
+    ``context`` arms a deadline/cancel check per extraction round (and,
+    inside :func:`~repro.optimizer.snowflake.optimize_snowflake`, per
+    enumerated candidate), so plan search on a pathological graph stays
+    abortable.
     """
     if not graph.aliases:
         raise OptimizerError("query has no relations")
@@ -43,13 +49,17 @@ def optimize_join_graph(
 
     ugraph = UnitGraph(graph, estimator)
     while True:
+        if context is not None:
+            context.check()
         unit_ids = set(ugraph.unit_ids)
         if len(unit_ids) == 1:
             only = next(iter(unit_ids))
             return ugraph.unit_plan(only)
 
         fact_id, scope = _extract_snowflake(ugraph, unit_ids)
-        plan = optimize_snowflake(ugraph, fact_id, scope, bitvector_aware)
+        plan = optimize_snowflake(
+            ugraph, fact_id, scope, bitvector_aware, context=context
+        )
         if scope == unit_ids:
             return plan
         rows = _estimate_plan_rows(plan, estimator)

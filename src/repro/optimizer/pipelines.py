@@ -106,15 +106,22 @@ def _run_pipeline(
     spec: QuerySpec,
     lambda_thresh: float,
     build_parallelism: int = 1,
+    context=None,
 ) -> OptimizedPlan:
+    if context is not None:
+        context.check()
     spec.validate_against(database)
     graph = JoinGraph(spec, database.catalog)
     estimator = CardinalityEstimator(database, spec.alias_tables)
 
     if pipeline in ("original", "original_nobv", "original_allfilters"):
-        plan = optimize_join_graph(graph, estimator, bitvector_aware=False)
+        plan = optimize_join_graph(
+            graph, estimator, bitvector_aware=False, context=context
+        )
     elif pipeline in ("bqo", "bqo_allfilters"):
-        plan = optimize_join_graph(graph, estimator, bitvector_aware=True)
+        plan = optimize_join_graph(
+            graph, estimator, bitvector_aware=True, context=context
+        )
     elif pipeline in ("dp", "dp_nobv"):
         plan = optimize_baseline(graph, estimator)
     else:
@@ -152,6 +159,7 @@ def optimize_query(
     pipeline: str = "bqo",
     lambda_thresh: float = DEFAULT_LAMBDA_THRESH,
     build_parallelism: int = 1,
+    context=None,
 ) -> OptimizedPlan:
     """Optimize ``spec`` with a named pipeline.
 
@@ -160,6 +168,13 @@ def optimize_query(
     filter build cost by the partitioned build pipeline's speedup (see
     :func:`repro.optimizer.filter_selection.apply_cost_based_filters`);
     the default 1 reproduces the paper's serial-build threshold.
+
+    ``context`` (an :class:`~repro.engine.context.ExecutionContext`)
+    makes planning itself abortable: the snowflake-extraction loop and
+    each enumerated leading-order candidate check the deadline/cancel
+    token, so a query whose *plan search* blows its budget raises
+    :class:`~repro.errors.QueryTimeout` instead of burning the deadline
+    before execution even starts.
 
     >>> # doctest-style sketch; see examples/quickstart.py for a runnable one
     """
@@ -171,7 +186,8 @@ def optimize_query(
         ) from None
     started = time.perf_counter()
     optimized = runner(
-        database, spec, lambda_thresh, build_parallelism=build_parallelism
+        database, spec, lambda_thresh, build_parallelism=build_parallelism,
+        context=context,
     )
     optimized.optimize_seconds = time.perf_counter() - started
     return optimized

@@ -57,6 +57,7 @@ def optimize_snowflake(
     fact_id: str,
     scope: set[str] | None = None,
     bitvector_aware: bool = True,
+    context=None,
 ) -> PlanNode:
     """Construct the join order for a single-fact (general) snowflake.
 
@@ -93,6 +94,11 @@ def optimize_snowflake(
             continue  # interconnected branches cannot cleanly lead
         rest = branches[:index] + branches[index + 1:]
         for start in branch.units:
+            if context is not None:
+                # Candidate enumeration is the optimizer's only
+                # superlinear loop; checking per candidate keeps plan
+                # search abortable under a deadline.
+                context.check()
             order = leading_order(
                 branch.unit_set,
                 start,

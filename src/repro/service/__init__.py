@@ -21,6 +21,7 @@ The companion bitvector filter cache lives in
 
 from repro.service.metrics import ServiceMetrics, ServiceStats
 from repro.service.plan_cache import CachedPlan, PlanCache
+from repro.service.retry import RetryPolicy
 from repro.service.service import QueryService, ServiceResult
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "ServiceStats",
     "PlanCache",
     "CachedPlan",
+    "RetryPolicy",
 ]

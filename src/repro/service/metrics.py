@@ -49,6 +49,15 @@ class ServiceMetrics:
     # the query spent building filters (cache hits cost nothing).
     filter_builds_parallel: int = 0
     filter_build_seconds: float = 0.0
+    # Resilience accounting (repro.engine.context).  ``degraded`` marks
+    # a query whose parallel run breached its ResourceBudget and was
+    # re-run on the serial fallback executor; ``retries`` counts the
+    # extra attempts the batch retry policy spent before this answer;
+    # ``error`` is ``"TypeName: message"`` for a query that failed (set
+    # only on the error records run_many builds for isolated failures).
+    degraded: bool = False
+    retries: int = 0
+    error: str | None = None
 
 
 @dataclasses.dataclass
@@ -73,6 +82,14 @@ class ServiceStats:
     total_morsels_short_circuited: int = 0
     total_filter_builds_parallel: int = 0
     total_filter_build_seconds: float = 0.0
+    # Resilience aggregates.  ``failures`` / ``timeouts`` are counted
+    # by the service when an execution raises (no ServiceMetrics is
+    # folded for those); ``degradations`` and ``retries`` fold from the
+    # per-query records of answers that did come back.
+    failures: int = 0
+    timeouts: int = 0
+    degradations: int = 0
+    retries: int = 0
 
     def fold(self, metrics: ServiceMetrics) -> None:
         self.queries += 1
@@ -94,6 +111,9 @@ class ServiceStats:
         self.total_morsels_short_circuited += metrics.morsels_short_circuited
         self.total_filter_builds_parallel += metrics.filter_builds_parallel
         self.total_filter_build_seconds += metrics.filter_build_seconds
+        if metrics.degraded:
+            self.degradations += 1
+        self.retries += metrics.retries
 
     @property
     def plan_cache_hit_rate(self) -> float:

@@ -35,15 +35,17 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.cost.constants import DEFAULT_LAMBDA_THRESH
+from repro.engine.context import ExecutionContext, ResourceBudget
 from repro.engine.executor import ExecutionResult, Executor
 from repro.engine.parallel import DEFAULT_MORSEL_ROWS
-from repro.errors import ServiceError
+from repro.errors import QueryTimeout, ResourceExhausted, ServiceError
 from repro.expr.expressions import substitute_parameters
 from repro.filters.cache import BitvectorFilterCache
 from repro.optimizer.pipelines import PIPELINES, optimize_query
 from repro.plan.display import format_plan
 from repro.service.metrics import ServiceMetrics, ServiceStats
 from repro.service.plan_cache import CachedPlan, PlanCache
+from repro.service.retry import RetryPolicy
 from repro.sql.binder import bind_select
 from repro.sql.parameterize import QueryFingerprint, fingerprint_sql, parameterize_statement
 from repro.sql.parser import parse_select
@@ -52,17 +54,32 @@ from repro.storage.database import Database
 
 @dataclasses.dataclass(frozen=True)
 class ServiceResult:
-    """One answered query: the engine result plus service accounting."""
+    """One answered query: the engine result plus service accounting.
 
-    result: ExecutionResult
+    A statement that failed inside :meth:`QueryService.run_many` still
+    produces a record — ``result`` is ``None`` and ``error`` carries
+    the exception — so one failure never discards sibling results.
+    Callers check :attr:`ok` (or ``error``) before reading rows.
+    """
+
+    result: ExecutionResult | None
     metrics: ServiceMetrics
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     def scalar(self, label: str) -> object:
+        if self.result is None:
+            raise ServiceError(
+                f"query {self.metrics.query!r} failed: {self.error}"
+            )
         return self.result.scalar(label)
 
     @property
     def num_rows(self) -> int:
-        return self.result.num_rows
+        return 0 if self.result is None else self.result.num_rows
 
 
 class QueryService:
@@ -100,6 +117,26 @@ class QueryService:
         reports the resident synopses, and per-query
         ``morsels_pruned`` / ``rows_skipped`` land in
         :class:`~repro.service.metrics.ServiceMetrics`.
+    deadline_seconds:
+        Default per-query wall-clock deadline (see
+        :class:`~repro.engine.context.Deadline`).  ``None`` (default)
+        disables enforcement entirely — the zero-overhead path.  A
+        query past its deadline raises
+        :class:`~repro.errors.QueryTimeout` at the next cooperative
+        checkpoint, with sibling morsel tasks short-circuiting.
+    budget:
+        Default per-query :class:`~repro.engine.context.ResourceBudget`
+        (max rows materialized / bytes gathered), enforced against the
+        live execution counters after every parallel barrier.
+    degrade:
+        What a budget breach does: ``"error"`` (default) raises
+        :class:`~repro.errors.ResourceExhausted`; ``"serial"`` re-runs
+        the query on a serial fallback executor (shared filter cache,
+        deadline still live, budget unenforced so the answer lands) and
+        records the degradation in the metrics.
+    retry_policy:
+        Optional :class:`~repro.service.retry.RetryPolicy` applied by
+        :meth:`run_many` to whitelisted transient failures.
     """
 
     def __init__(
@@ -116,15 +153,27 @@ class QueryService:
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         adaptive_morsels: bool = True,
         zone_maps: bool = True,
+        deadline_seconds: float | None = None,
+        budget: ResourceBudget | None = None,
+        degrade: str = "error",
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if pipeline not in PIPELINES:
             raise ServiceError(
                 f"unknown pipeline {pipeline!r}; expected one of {sorted(PIPELINES)}"
             )
+        if degrade not in ("error", "serial"):
+            raise ServiceError(
+                f"unknown degrade mode {degrade!r}; expected 'error' or 'serial'"
+            )
         self._database = database
         self._pipeline = pipeline
         self._lambda_thresh = lambda_thresh
         self._max_workers = max_workers
+        self._deadline_seconds = deadline_seconds
+        self._budget = budget
+        self._degrade = degrade
+        self._retry_policy = retry_policy
         self.plan_cache = PlanCache(plan_cache_size)
         self.filter_cache = BitvectorFilterCache(filter_cache_size)
         self._executor = Executor(
@@ -135,6 +184,16 @@ class QueryService:
             parallelism=parallelism,
             morsel_rows=morsel_rows,
             adaptive_morsels=adaptive_morsels,
+            zone_maps=zone_maps,
+        )
+        # Serial fallback for degrade="serial": same database, same
+        # shared filter cache, parallelism 1 — created lazily because
+        # most services never degrade.
+        self._fallback_executor: Executor | None = None
+        self._fallback_args = dict(
+            filter_kind=filter_kind,
+            filter_options=filter_options,
+            morsel_rows=morsel_rows,
             zone_maps=zone_maps,
         )
         self._stats = ServiceStats()
@@ -152,16 +211,85 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def execute(
-        self, sql: str, name: str = "query", pipeline: str | None = None
+        self,
+        sql: str,
+        name: str = "query",
+        pipeline: str | None = None,
+        deadline_seconds: float | None = None,
+        budget: ResourceBudget | None = None,
     ) -> ServiceResult:
-        """Parse (or recognize), optimize (or reuse), and execute ``sql``."""
+        """Parse (or recognize), optimize (or reuse), and execute ``sql``.
+
+        ``deadline_seconds`` / ``budget`` override the service defaults
+        for this one statement (``None`` inherits; the service default
+        of ``None`` means unenforced).  A query that trips either limit
+        raises the matching :class:`~repro.errors.ResilienceError` —
+        unless ``degrade="serial"`` absorbs a budget breach — and the
+        failure is counted in :meth:`stats`.
+        """
         pipeline = pipeline or self._pipeline
+        context = self._make_context(name, deadline_seconds, budget)
+        try:
+            return self._execute_once(sql, name, pipeline, context)
+        except BaseException as exc:
+            with self._lock:
+                self._stats.failures += 1
+                if isinstance(exc, QueryTimeout):
+                    self._stats.timeouts += 1
+            raise
+
+    def _make_context(
+        self,
+        name: str,
+        deadline_seconds: float | None,
+        budget: ResourceBudget | None,
+    ) -> ExecutionContext | None:
+        deadline = (
+            self._deadline_seconds if deadline_seconds is None
+            else deadline_seconds
+        )
+        budget = self._budget if budget is None else budget
+        if deadline is None and budget is None:
+            return None
+        return ExecutionContext(query=name, deadline=deadline, budget=budget)
+
+    def _execute_once(
+        self,
+        sql: str,
+        name: str,
+        pipeline: str,
+        context: ExecutionContext | None,
+    ) -> ServiceResult:
         started = time.perf_counter()
-        entry, fingerprint, overrides, hit = self._prepare(sql, pipeline)
+        entry, fingerprint, overrides, hit = self._prepare(
+            sql, pipeline, context
+        )
         optimize_seconds = time.perf_counter() - started
 
+        degraded = False
         started = time.perf_counter()
-        result = self._executor.execute(entry.plan, predicate_overrides=overrides)
+        try:
+            result = self._executor.execute(
+                entry.plan, predicate_overrides=overrides, context=context
+            )
+        except ResourceExhausted:
+            if self._degrade != "serial" or context is None:
+                raise
+            # Graceful degradation: the parallel run materialized past
+            # its budget; answer anyway on the serial fallback (shared
+            # filter cache, deadline still live on a fresh token,
+            # budget unenforced so the retry cannot trip it again).
+            degraded = True
+            fallback_context = (
+                ExecutionContext(query=name, deadline=context.deadline)
+                if context.deadline is not None
+                else None
+            )
+            result = self._fallback(  # serial, eager-off
+            ).execute(
+                entry.plan, predicate_overrides=overrides,
+                context=fallback_context,
+            )
         execute_seconds = time.perf_counter() - started
 
         metrics = ServiceMetrics(
@@ -184,10 +312,26 @@ class QueryService:
             morsels_short_circuited=result.metrics.morsels_short_circuited,
             filter_builds_parallel=result.metrics.filter_builds_parallel,
             filter_build_seconds=result.metrics.filter_build_seconds,
+            degraded=degraded,
         )
         with self._lock:
             self._stats.fold(metrics)
         return ServiceResult(result=result, metrics=metrics)
+
+    def _fallback(self) -> Executor:
+        """The lazily-created serial fallback executor (degrade path)."""
+        with self._batch_pool_lock:
+            if self._fallback_executor is None:
+                if self._executor.parallelism == 1:
+                    self._fallback_executor = self._executor
+                else:
+                    self._fallback_executor = Executor(
+                        self._database,
+                        filter_cache=self.filter_cache,
+                        parallelism=1,
+                        **self._fallback_args,
+                    )
+            return self._fallback_executor
 
     def run_many(
         self,
@@ -200,11 +344,21 @@ class QueryService:
         Batches run on the service's persistent pool — created on the
         first call, grown to the widest ``max_workers`` requested so
         far, and reused across batches until :meth:`close`.
+
+        Failures are *isolated*: a statement that raises yields a
+        :class:`ServiceResult` with :attr:`ServiceResult.error` set (and
+        ``result=None``) in its slot, and every other statement's
+        result still arrives — ``run_many`` itself never raises for a
+        per-query failure.  (It previously propagated the first
+        worker's exception and silently abandoned the later futures.)
+        With a :class:`~repro.service.retry.RetryPolicy` configured,
+        whitelisted transient failures are retried with decorrelated-
+        jitter backoff before being reported.
         """
         workers = max_workers or self._max_workers
         if workers <= 1 or len(sqls) <= 1:
             return [
-                self.execute(sql, name=f"batch_{i}", pipeline=pipeline)
+                self._execute_isolated(sql, f"batch_{i}", pipeline)
                 for i, sql in enumerate(sqls)
             ]
         pool = self._ensure_batch_pool(workers)
@@ -212,7 +366,9 @@ class QueryService:
         for i, sql in enumerate(sqls):
             try:
                 futures.append(
-                    pool.submit(self.execute, sql, f"batch_{i}", pipeline)
+                    pool.submit(
+                        self._execute_isolated, sql, f"batch_{i}", pipeline
+                    )
                 )
             except RuntimeError:
                 # A concurrent wider batch (or close()) retired this
@@ -221,9 +377,55 @@ class QueryService:
                 # moves to the fresh pool.
                 pool = self._ensure_batch_pool(workers)
                 futures.append(
-                    pool.submit(self.execute, sql, f"batch_{i}", pipeline)
+                    pool.submit(
+                        self._execute_isolated, sql, f"batch_{i}", pipeline
+                    )
                 )
+        # _execute_isolated never raises, so every future resolves and
+        # no sibling result is abandoned.
         return [future.result() for future in futures]
+
+    def _execute_isolated(
+        self, sql: str, name: str, pipeline: str | None
+    ) -> ServiceResult:
+        """One batch statement: retries applied, failure captured."""
+        attempts = 0
+        try:
+            if self._retry_policy is None:
+                return self.execute(sql, name=name, pipeline=pipeline)
+            outcome, attempts = self._retry_policy.call(
+                lambda: self.execute(sql, name=name, pipeline=pipeline)
+            )
+            if attempts:
+                with self._lock:
+                    self._stats.retries += attempts
+                outcome = ServiceResult(
+                    result=outcome.result,
+                    metrics=dataclasses.replace(
+                        outcome.metrics, retries=attempts
+                    ),
+                    error=None,
+                )
+            return outcome
+        except Exception as exc:
+            metrics = ServiceMetrics(
+                query=name,
+                fingerprint="",
+                pipeline=pipeline or self._pipeline,
+                plan_cache_hit=False,
+                optimize_seconds=0.0,
+                execute_seconds=0.0,
+                metered_cpu=0.0,
+                output_rows=0,
+                filter_cache_hits=0,
+                filter_cache_misses=0,
+                retries=attempts,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            if attempts:
+                with self._lock:
+                    self._stats.retries += attempts
+            return ServiceResult(result=None, metrics=metrics, error=exc)
 
     def _ensure_batch_pool(self, workers: int) -> ThreadPoolExecutor:
         """The persistent batch pool, at least ``workers`` wide."""
@@ -307,6 +509,18 @@ class QueryService:
                 if self._executor.zone_maps
                 else "-- zone maps: off"
             ),
+            f"-- resilience: deadline="
+            + (
+                f"{self._deadline_seconds:g}s"
+                if self._deadline_seconds is not None
+                else "off"
+            )
+            + f" budget={'on' if self._budget is not None else 'off'}"
+            f" degrade={self._degrade}"
+            f" retry={'on' if self._retry_policy is not None else 'off'}"
+            f" ({stats.timeouts} timeouts, {stats.degradations} "
+            f"degradations, {stats.failures} failures, "
+            f"{stats.retries} retries)",
         ]
         return "\n".join(header) + "\n" + format_plan(entry.plan)
 
@@ -328,13 +542,15 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def _prepare(
-        self, sql: str, pipeline: str
+        self, sql: str, pipeline: str, context: ExecutionContext | None = None
     ) -> tuple[CachedPlan, QueryFingerprint, dict, bool]:
         """Fingerprint ``sql`` and return an executable cached entry.
 
         The hit path never parses: it tokenizes, looks up the plan, and
         substitutes this query's constants into the per-alias predicate
-        templates.
+        templates.  ``context`` makes a cache-miss optimization
+        abortable under the query's deadline; an aborted build is never
+        published, so the cache holds only completed plans.
         """
         self._check_schema_version()
         fingerprint = fingerprint_sql(sql)
@@ -346,7 +562,7 @@ class QueryService:
             # invalidation lands mid-optimize, the put is dropped and
             # the possibly-stale plan serves only this one request.
             generation = self.plan_cache.generation
-            entry = self._build_entry(sql, fingerprint, pipeline)
+            entry = self._build_entry(sql, fingerprint, pipeline, context)
             self.plan_cache.put(key, entry, generation=generation)
         if entry.num_parameters != fingerprint.num_parameters:
             raise ServiceError(
@@ -361,7 +577,11 @@ class QueryService:
         return entry, fingerprint, overrides, hit
 
     def _build_entry(
-        self, sql: str, fingerprint: QueryFingerprint, pipeline: str
+        self,
+        sql: str,
+        fingerprint: QueryFingerprint,
+        pipeline: str,
+        context: ExecutionContext | None = None,
     ) -> CachedPlan:
         """Cache-miss path: full parse → bind → optimize."""
         statement = parse_select(sql)
@@ -380,6 +600,7 @@ class QueryService:
             # parallelism these plans will actually run at (the
             # partitioned build pipeline).
             build_parallelism=self._executor.parallelism,
+            context=context,
         )
         return CachedPlan(
             fingerprint=fingerprint.digest,

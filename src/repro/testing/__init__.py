@@ -1,0 +1,22 @@
+"""Deterministic testing utilities (fault injection).
+
+Not imported by any engine module at runtime beyond the zero-cost
+:func:`repro.testing.faults.fault_point` hook — this package exists for
+the chaos suite and the robustness benchmark.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    InjectedFault,
+    TransientFault,
+    fault_point,
+    inject,
+)
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "TransientFault",
+    "fault_point",
+    "inject",
+]

@@ -1,0 +1,30 @@
+"""Shared fixtures for the resilience suite.
+
+Every test here exercises the cooperative-enforcement machinery
+(deadlines, budgets, cancellation, fault injection), so the parallel
+thresholds are forced down — the conftest star database must split
+into many morsels for the checkpoints and fault sites to be reached —
+and any fault plan a failing test leaves installed is disarmed so one
+red test cannot cascade into its siblings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.engine.executor as executor_module
+from repro.testing import faults as faults_module
+
+
+@pytest.fixture(autouse=True)
+def _tiny_parallel_threshold(monkeypatch):
+    """Force morsel splits on test-sized relations."""
+    monkeypatch.setattr(executor_module, "_MIN_PARALLEL_ROWS", 64)
+    monkeypatch.setattr("repro.storage.partition.MIN_MORSEL_ROWS", 16)
+
+
+@pytest.fixture(autouse=True)
+def _disarm_leaked_fault_plans():
+    """A test that dies inside ``inject`` must not poison the session."""
+    yield
+    faults_module.uninstall()

@@ -1,0 +1,150 @@
+"""Single-flight failure handoff in the bitvector filter cache.
+
+A failed build must behave like a failed RPC, not a poisoned well:
+every thread parked on the pending slot is woken with the *builder's*
+exception (none of them silently rebuilds inside the same flight), the
+cache publishes nothing, and the next independent request builds
+fresh.  The stress test drives a randomized herd through the
+``cache.publish`` fault site to hunt for lost-wakeup or
+poisoned-entry interleavings.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.filters.cache import BitvectorFilterCache
+from repro.filters.exact import ExactFilter
+from repro.testing import FaultPlan, InjectedFault, inject
+
+
+def _make_filter():
+    return ExactFilter.build([np.arange(64)])
+
+
+def _herd(cache, key, builder, num_threads):
+    """num_threads concurrent get_or_build calls; outcomes per thread."""
+    barrier = threading.Barrier(num_threads)
+    outcomes = [None] * num_threads
+
+    def worker(slot):
+        barrier.wait()
+        try:
+            outcomes[slot] = ("ok", cache.get_or_build(key, builder))
+        except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+            outcomes[slot] = ("error", exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,))
+        for slot in range(num_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "herd deadlocked on a dead build"
+    return outcomes
+
+
+def test_failing_build_wakes_every_waiter_with_the_error():
+    cache = BitvectorFilterCache(8)
+    gate = threading.Event()
+    attempts = []
+
+    def doomed_builder():
+        attempts.append(threading.get_ident())
+        gate.wait(timeout=5)  # park the herd on the pending event
+        raise InjectedFault("build died mid-flight")
+
+    timer = threading.Timer(0.05, gate.set)
+    timer.start()
+    try:
+        outcomes = _herd(cache, ("dim", ("id",)), doomed_builder, 8)
+    finally:
+        timer.cancel()
+
+    # Exactly one thread ran the builder; all eight observed its error.
+    assert len(attempts) == 1
+    assert all(kind == "error" for kind, _ in outcomes)
+    errors = {id(payload) for _, payload in outcomes}
+    assert len(errors) == 1  # the same exception instance, handed off
+    assert all(
+        isinstance(payload, InjectedFault) for _, payload in outcomes
+    )
+
+    # Nothing half-built was published, and the *next* request (a new
+    # flight) builds successfully.
+    assert len(cache) == 0
+    filter_, was_cached = cache.get_or_build(
+        ("dim", ("id",)), _make_filter
+    )
+    assert not was_cached
+    assert filter_ is not None
+    assert len(cache) == 1
+
+
+def test_publish_fault_takes_the_failed_build_path():
+    cache = BitvectorFilterCache(8)
+    with inject(FaultPlan().raise_at("cache.publish", invocation=0)):
+        with pytest.raises(InjectedFault):
+            cache.get_or_build(("k",), _make_filter)
+    assert len(cache) == 0
+    filter_, was_cached = cache.get_or_build(("k",), _make_filter)
+    assert not was_cached and filter_ is not None
+
+
+def test_stress_randomized_publish_faults_never_poison_entries():
+    """Seeded Bernoulli faults at the publish site under a concurrent
+    herd over several keys: every failure is typed, every success
+    returns a real filter, and afterwards every key is buildable."""
+    cache = BitvectorFilterCache(32)
+    keys = [("dim", ("id",), salt) for salt in range(4)]
+    plan = FaultPlan(seed=13).raise_with_probability(
+        "cache.publish", probability=0.4, max_fires=6
+    )
+
+    barrier = threading.Barrier(16)
+    outcomes = []
+    lock = threading.Lock()
+
+    def worker(slot):
+        barrier.wait()
+        key = keys[slot % len(keys)]
+        for _ in range(5):
+            try:
+                filter_, _ = cache.get_or_build(key, _make_filter)
+                with lock:
+                    outcomes.append(("ok", filter_))
+            except InjectedFault as exc:
+                with lock:
+                    outcomes.append(("fault", exc))
+
+    with inject(plan):
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=20)
+            assert not thread.is_alive(), "stress herd deadlocked"
+
+    assert len(outcomes) == 16 * 5
+    assert all(
+        payload is not None for kind, payload in outcomes if kind == "ok"
+    )
+    faults_seen = sum(1 for kind, _ in outcomes if kind == "fault")
+    # A fired fault fails the builder *and* re-raises in every waiter
+    # parked on the same flight, so observed failures can exceed fires
+    # — but never the other way around, and fires respect max_fires.
+    assert plan.total_fired <= 6
+    assert faults_seen >= plan.total_fired
+    # After the chaos: every key resolves to a healthy cached filter.
+    for key in keys:
+        filter_, _ = cache.get_or_build(key, _make_filter)
+        assert filter_ is not None
+    assert len(cache) >= len(keys)

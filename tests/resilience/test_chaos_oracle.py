@@ -1,0 +1,152 @@
+"""Chaos suite: injected faults at every registered site, then a
+differential-oracle proof that shared state survived.
+
+The property under test is a negative: *no* failure at *any* internal
+boundary — pool submission, a morsel task, a filter-build partition,
+a cache publication — may poison the shared worker pool, plan cache,
+or bitvector filter cache.  Each scenario injects a deterministic
+fault into one query, asserts the failure surfaces as a typed engine
+error, and then proves the very next query on the *same* service is
+byte-identical to a fresh serial executor's answer.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.engine.executor as executor_module
+from repro import QueryService
+from repro.errors import MorselTaskError, QueryTimeout, ReproError
+from repro.testing import FaultPlan, InjectedFault, inject
+from repro.testing.faults import REGISTERED_SITES
+
+@pytest.fixture(autouse=True)
+def _partitionable_build_side(monkeypatch):
+    """Drop the parallel floor further than the suite default: the
+    predicate-filtered dim build side (~40 rows) must still split so
+    the ``filter.build_partition`` site is reachable."""
+    monkeypatch.setattr(executor_module, "_MIN_PARALLEL_ROWS", 16)
+
+
+COUNT_SQL = (
+    "SELECT COUNT(*) AS cnt FROM fact f, dim1 d1 "
+    "WHERE f.fk1 = d1.id AND d1.v < 4"
+)
+SUM_SQL = (
+    "SELECT SUM(f.m) AS total FROM fact f, dim1 d1, dim2 d2 "
+    "WHERE f.fk1 = d1.id AND f.fk2 = d2.id AND d1.v < 5 AND d2.w < 6"
+)
+
+
+def _parallel_service(star_db) -> QueryService:
+    return QueryService(star_db, parallelism=4, morsel_rows=512)
+
+
+def _assert_byte_identical(answer, star_db, sql):
+    """The recovered answer must match a fresh, serial, cache-cold run."""
+    oracle = QueryService(star_db).execute(sql)
+    assert answer.result.aggregates.keys() == oracle.result.aggregates.keys()
+    for label, expected in oracle.result.aggregates.items():
+        actual = answer.result.aggregates[label]
+        assert actual.dtype == expected.dtype
+        assert actual.tobytes() == expected.tobytes(), f"{label} diverged"
+
+
+@pytest.mark.parametrize("site", REGISTERED_SITES)
+@pytest.mark.parametrize("sql", [COUNT_SQL, SUM_SQL])
+def test_fault_at_every_site_is_typed_and_recoverable(star_db, site, sql):
+    service = _parallel_service(star_db)
+    with inject(FaultPlan(seed=3).raise_at(site, invocation=0)) as plan:
+        with pytest.raises(ReproError) as excinfo:
+            service.execute(sql, name="chaos")
+    assert plan.total_fired == 1, f"site {site} never fired"
+
+    # Typed, not mangled: the raw injected fault, or the morsel wrapper
+    # with the injected fault chained as its cause.
+    exc = excinfo.value
+    assert isinstance(exc, (InjectedFault, MorselTaskError))
+    if isinstance(exc, MorselTaskError):
+        assert isinstance(exc.__cause__, InjectedFault)
+
+    # Recovery: same service, same statement, clean answer.
+    after = service.execute(sql)
+    assert after.ok
+    _assert_byte_identical(after, star_db, sql)
+    assert service.stats().failures == 1
+
+
+@pytest.mark.parametrize(
+    "site", ["filter.build_partition", "cache.publish"]
+)
+def test_failed_builds_never_poison_the_filter_cache(star_db, site):
+    service = _parallel_service(star_db)
+    with inject(FaultPlan().raise_at(site, invocation=0)):
+        with pytest.raises(ReproError):
+            service.execute(COUNT_SQL)
+    # Nothing half-built was published.
+    assert len(service.filter_cache) == 0
+    # The next run rebuilds from scratch and publishes...
+    rebuilt = service.execute(COUNT_SQL)
+    assert rebuilt.ok and rebuilt.metrics.filter_cache_misses > 0
+    assert len(service.filter_cache) > 0
+    # ...and the run after that hits the (healthy) cached filter.
+    warm = service.execute(COUNT_SQL)
+    assert warm.metrics.filter_cache_hits > 0
+    _assert_byte_identical(warm, star_db, COUNT_SQL)
+
+
+def test_stalled_morsel_under_deadline_recovers_byte_identical(star_db):
+    service = QueryService(
+        star_db, parallelism=4, morsel_rows=512, deadline_seconds=0.05
+    )
+    with inject(FaultPlan().stall_at("morsel.task", seconds=0.4)):
+        with pytest.raises(QueryTimeout):
+            service.execute(SUM_SQL, name="stalled")
+    after = service.execute(SUM_SQL)
+    _assert_byte_identical(after, star_db, SUM_SQL)
+
+
+def test_repeated_chaos_leaks_no_pool_threads(star_db):
+    """The shared morsel pool is grow-only by design; chaos rounds must
+    not spawn replacement threads or strand workers."""
+    service = _parallel_service(star_db)
+    service.execute(COUNT_SQL)  # warm the shared pool to full width
+    baseline = threading.active_count()
+    for seed in range(3):
+        with inject(FaultPlan(seed).raise_at("morsel.task", invocation=0)):
+            with pytest.raises(MorselTaskError):
+                service.execute(COUNT_SQL)
+        recovered = service.execute(COUNT_SQL)
+        assert recovered.ok
+    assert threading.active_count() <= baseline
+
+
+def test_seeded_chaos_fires_identically_run_to_run(star_db):
+    """End-to-end determinism: the same (seed, workload) pair fires the
+    same faults at the same invocations, both rounds failing and both
+    services recovering to the same bytes."""
+
+    def round_trip(plan):
+        service = _parallel_service(star_db)
+        with inject(plan):
+            with pytest.raises(ReproError):
+                service.execute(SUM_SQL, name="rounds")
+        return service.execute(SUM_SQL)
+
+    first_plan = FaultPlan(seed=17).raise_with_probability(
+        "morsel.task", probability=0.5, max_fires=1
+    )
+    second_plan = FaultPlan(seed=17).raise_with_probability(
+        "morsel.task", probability=0.5, max_fires=1
+    )
+    first = round_trip(first_plan)
+    second = round_trip(second_plan)
+    assert [(r.site, r.invocation) for r in first_plan.fired] == [
+        (r.site, r.invocation) for r in second_plan.fired
+    ]
+    assert (
+        first.result.aggregates["total"].tobytes()
+        == second.result.aggregates["total"].tobytes()
+    )

@@ -1,0 +1,178 @@
+"""Batch failure isolation and bounded retry.
+
+``run_many`` used to propagate the first worker's exception and
+silently abandon every later future.  Now each statement resolves to a
+:class:`ServiceResult` — failures carry ``error`` in their own slot —
+and a :class:`RetryPolicy` can absorb whitelisted transient faults
+with seeded decorrelated-jitter backoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import QueryService, RetryPolicy
+from repro.errors import MorselTaskError, QueryTimeout
+from repro.testing import FaultPlan, InjectedFault, TransientFault, inject
+
+
+def _count_sql(threshold: int) -> str:
+    return (
+        "SELECT COUNT(*) AS cnt FROM fact f, dim1 d1 "
+        f"WHERE f.fk1 = d1.id AND d1.v < {threshold}"
+    )
+
+
+def _expected_count(db, threshold: int) -> int:
+    dim1, fact = db.table("dim1"), db.table("fact")
+    selected = dim1.column("id")[dim1.column("v") < threshold]
+    return int(np.isin(fact.column("fk1"), selected).sum())
+
+
+BAD_SQL = "SELECT COUNT(*) AS cnt FROM no_such_table t"
+
+
+@pytest.mark.parametrize("max_workers", [1, 4])
+def test_one_failure_never_discards_siblings(star_db, max_workers):
+    service = QueryService(star_db)
+    thresholds = [2, None, 4, 6, 8]  # statement 2 of 5 is broken
+    sqls = [
+        BAD_SQL if t is None else _count_sql(t) for t in thresholds
+    ]
+    results = service.run_many(sqls, max_workers=max_workers)
+
+    assert len(results) == 5
+    broken = results[1]
+    assert not broken.ok
+    assert broken.result is None
+    assert broken.error is not None
+    assert broken.metrics.error.startswith(type(broken.error).__name__)
+    assert broken.num_rows == 0
+    with pytest.raises(Exception, match="failed"):
+        broken.scalar("cnt")
+
+    # Results 1, 3, 4, 5 all arrived, in order, with correct answers.
+    for i, threshold in enumerate(thresholds):
+        if threshold is None:
+            continue
+        assert results[i].ok
+        assert results[i].metrics.query == f"batch_{i}"
+        assert results[i].scalar("cnt") == _expected_count(
+            star_db, threshold
+        )
+    assert service.stats().failures == 1
+
+
+def test_batch_deadline_failure_isolated_per_slot(star_db):
+    service = QueryService(star_db, deadline_seconds=1e-9)
+    healthy = QueryService(star_db)
+    results = service.run_many([_count_sql(3)], max_workers=1)
+    assert isinstance(results[0].error, QueryTimeout)
+    assert healthy.run_many([_count_sql(3)], max_workers=1)[0].ok
+
+
+def test_morsel_failure_reports_query_and_row_range(star_db):
+    """Satellite: a worker exception is wrapped with enough context to
+    find the morsel — query name and row range — with the original
+    exception chained as the cause."""
+    service = QueryService(
+        star_db, parallelism=4, morsel_rows=512, deadline_seconds=60.0
+    )
+    with inject(FaultPlan().raise_at("morsel.task", invocation=1)):
+        with pytest.raises(
+            MorselTaskError,
+            match=r"morsel task for query 'doomed' rows \[\d+:\d+\) failed",
+        ) as excinfo:
+            service.execute(_count_sql(4), name="doomed")
+    assert isinstance(excinfo.value.__cause__, InjectedFault)
+
+
+def test_retry_policy_absorbs_whitelisted_transients(star_db):
+    policy = RetryPolicy(
+        max_attempts=3, base_seconds=0.001, cap_seconds=0.005
+    )
+    service = QueryService(star_db, retry_policy=policy)
+    plan = FaultPlan().raise_at(
+        "cache.publish", invocation=0, exc_type=TransientFault
+    )
+    with inject(plan):
+        results = service.run_many([_count_sql(3)], max_workers=1)
+    assert plan.total_fired == 1  # attempt 1 died, attempt 2 clean
+    answer = results[0]
+    assert answer.ok
+    assert answer.metrics.retries == 1
+    assert answer.scalar("cnt") == _expected_count(star_db, 3)
+    assert service.stats().retries == 1
+
+
+def test_retry_policy_refuses_non_whitelisted_faults(star_db):
+    service = QueryService(
+        star_db,
+        retry_policy=RetryPolicy(max_attempts=3, base_seconds=0.001),
+    )
+    plan = FaultPlan().raise_at("cache.publish", exc_type=InjectedFault)
+    with inject(plan):
+        results = service.run_many([_count_sql(3)], max_workers=1)
+    assert plan.total_fired == 1  # exactly one attempt: not retryable
+    assert isinstance(results[0].error, InjectedFault)
+    assert results[0].metrics.retries == 0
+
+
+def test_retry_policy_gives_up_after_max_attempts(star_db):
+    service = QueryService(
+        star_db,
+        retry_policy=RetryPolicy(max_attempts=3, base_seconds=0.001),
+    )
+    plan = FaultPlan()
+    for invocation in range(3):
+        plan.raise_at(
+            "cache.publish", invocation=invocation, exc_type=TransientFault
+        )
+    with inject(plan):
+        results = service.run_many([_count_sql(3)], max_workers=1)
+    assert plan.total_fired == 3  # every allowed attempt was consumed
+    assert isinstance(results[0].error, TransientFault)
+
+
+def test_retry_never_applies_to_resilience_errors():
+    """Deadline/budget/cancel failures are deliberate enforcement, not
+    transient conditions: the whitelist walk refuses them even when a
+    whitelisted type appears in the same cause chain."""
+    policy = RetryPolicy(retryable=(TransientFault, RuntimeError))
+    timeout = QueryTimeout("query 'q' exceeded its deadline")
+    assert not policy.is_retryable(timeout)
+    chained = RuntimeError("wrapper")
+    chained.__cause__ = timeout
+    assert not policy.is_retryable(chained)
+    assert policy.is_retryable(RuntimeError("flaky io"))
+    wrapped = MorselTaskError("morsel task failed")
+    wrapped.__cause__ = TransientFault("blip")
+    assert policy.is_retryable(wrapped)
+
+
+def test_retry_backoff_is_seeded_and_bounded():
+    policy = RetryPolicy(
+        max_attempts=4, base_seconds=0.01, cap_seconds=0.05, seed=21
+    )
+
+    def run():
+        sleeps = []
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 4:
+                raise TransientFault("blip")
+            return "done"
+
+        outcome, retries = policy.call(flaky, sleep=sleeps.append)
+        return outcome, retries, sleeps
+
+    first = run()
+    second = run()
+    assert first == second  # same seed, same jitter schedule
+    outcome, retries, sleeps = first
+    assert outcome == "done" and retries == 3
+    assert len(sleeps) == 3
+    assert all(0.0 < s <= 0.05 for s in sleeps)
