@@ -46,7 +46,11 @@ from repro.storage.partition import (
     AdaptiveMorselSizer,
     morsel_ranges,
 )
-from repro.storage.zonemaps import filter_prune_flags, scan_morsel_decisions
+from repro.storage.zonemaps import (
+    filter_prune_flags,
+    predicate_band,
+    scan_morsel_decisions,
+)
 from repro.util.keycodes import combine_codes, dense_table_worthwhile, joint_codes
 
 # Serial-below-this threshold, re-exported under the historical name so
@@ -507,6 +511,9 @@ class Executor:
             view = relation.range_view(start, stop, counters=worker)
             return np.flatnonzero(mask_fn(view)) + start
 
+        # Decode bitmap selections on the main thread before fan-out:
+        # every morsel slices one shared positions array.
+        relation.settle_selections()
         if ranges is None:
             parts = self._adaptive_map(
                 metrics, relation.num_rows, task, out_rows=len
@@ -633,6 +640,7 @@ class Executor:
 
         total = sum(stop - start for start, stop in ranges)
         if self._parallel and len(ranges) >= 2 and total >= _MIN_PARALLEL_ROWS:
+            relation.settle_selections()
             return self._map_morsels(metrics, ranges, task)
         return [task(start, stop, metrics) for start, stop in ranges]
 
@@ -666,6 +674,51 @@ class Executor:
         if not any(pruned) and not any(accepted):
             return None
         return ranges, pruned, accepted
+
+    def _scan_band_search(
+        self, alias: str, table, predicate, metrics: ExecutionMetrics
+    ) -> tuple[int, int] | None:
+        """Clustered-band fast path: the scan's row band, or ``None``.
+
+        When the predicate is one value band on a column the zone map
+        proves globally sorted (no NaN), the surviving rows are exactly
+        one contiguous range — two binary searches replace per-morsel
+        min/max checks *and* every row-wise predicate evaluation.  The
+        searched bounds follow numpy comparison order, the same total
+        order the sortedness check verified, so the band equals the
+        serial ``flatnonzero`` selection exactly (byte-identical
+        results at any parallelism).  Gated on zone maps being enabled:
+        with them off, executions must report zero skipped rows.
+        """
+        if not self._zone_maps or table.num_rows == 0:
+            return None
+        band = predicate_band(predicate, alias)
+        if band is None:
+            return None
+        column, low, low_inclusive, high, high_inclusive = band
+        zone = self._zone_map(table.name, column)
+        if zone is None or not zone.sorted_ascending:
+            return None
+        values = table.column(column)
+        try:
+            lo = 0 if low is None else int(np.searchsorted(
+                values, low, side="left" if low_inclusive else "right"
+            ))
+            hi = len(values) if high is None else int(np.searchsorted(
+                values, high, side="right" if high_inclusive else "left"
+            ))
+        except (TypeError, ValueError):
+            # Literal not comparable against the column under numpy's
+            # order; fall back to normal evaluation.
+            return None
+        hi = max(lo, hi)
+        # Every morsel was decided by the two searches, and every row —
+        # kept or not — avoided row-wise evaluation: same accounting as
+        # the constant-morsel short-circuit (skipped work, not skipped
+        # output).
+        metrics.morsels_band_searched += len(self._table_ranges(table))
+        metrics.rows_skipped += table.num_rows
+        return lo, hi
 
     def _bitvector_zone_pruning(
         self,
@@ -856,6 +909,7 @@ class Executor:
             and len(kept_ranges) >= 2
             and total >= _MIN_PARALLEL_ROWS
         ):
+            probe_rel.settle_selections()
             parts = self._map_morsels(metrics, kept_ranges, task)
         else:
             parts = [
@@ -898,8 +952,20 @@ class Executor:
                     predicate, view.provider, view.num_rows
                 )
 
-            pruning = self._scan_zone_pruning(node.alias, table, predicate)
-            if pruning is not None:
+            band = self._scan_band_search(
+                node.alias, table, predicate, metrics
+            )
+            pruning = (
+                None
+                if band is not None
+                else self._scan_zone_pruning(node.alias, table, predicate)
+            )
+            if band is not None:
+                # The whole predicate is answered by the band: the
+                # survivors are rows [lo, hi) of the base table, held
+                # as a zero-copy slice view.
+                relation = self._settle(relation.narrow(*band))
+            elif pruning is not None:
                 # Zone maps proved some morsels empty (pruned) or full
                 # (accepted): evaluate the predicate only over the
                 # undecided morsels, keep accepted morsels whole, and
@@ -909,14 +975,14 @@ class Executor:
                 selection = self._scan_selection_with_zones(
                     relation, ranges, pruned, accepted, metrics, mask_fn
                 )
-                relation = self._settle(relation.gather(selection))
+                relation = self._settle(relation.select_sorted(selection))
             else:
                 selection = self._parallel_selection(
                     relation, metrics, mask_fn,
                     ranges=self._scan_ranges(table),
                 )
                 if selection is not None:
-                    relation = self._settle(relation.gather(selection))
+                    relation = self._settle(relation.select_sorted(selection))
                 else:
                     mask = evaluate_predicate(
                         predicate, relation.provider, relation.num_rows
@@ -1055,6 +1121,7 @@ class Executor:
             build_idx, probe_idx = matcher.match(encode_probe(view))
             return build_idx, probe_idx + start
 
+        probe_rel.settle_selections()
         parts = self._adaptive_map(
             metrics, probe_rel.num_rows, task,
             out_rows=lambda part: len(part[1]),
@@ -1237,6 +1304,7 @@ class Executor:
                     **self._filter_options,
                 )
 
+            build_rel.settle_selections()
             partials = self._map_morsels(metrics, ranges, task)
             metrics.filter_builds_parallel += 1
             metrics.filter_partials_built += len(partials)
@@ -1348,13 +1416,13 @@ class Executor:
                     relation, pending_ranges, metrics, mask_fn
                 )
                 pending_ranges = None
-                relation = self._settle(relation.gather(selection))
+                relation = self._settle(relation.select_sorted(selection))
                 continue
             # Filters are immutable after construction, so per-morsel
             # probes are lock-free reads of one shared structure.
             selection = self._parallel_selection(relation, metrics, mask_fn)
             if selection is not None:
-                relation = self._settle(relation.gather(selection))
+                relation = self._settle(relation.select_sorted(selection))
                 continue
             key_columns = [
                 relation.column(alias, column)

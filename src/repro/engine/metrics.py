@@ -84,6 +84,17 @@ class ExecutionMetrics:
         # the pruned ones and the constant-morsel short-circuits below.
         self.morsels_pruned = 0
         self.rows_skipped = 0
+        # Sorted-band fast path (see the executor's scan band search):
+        # morsels answered by binary-searching a clustered column to the
+        # predicate's value band instead of per-morsel min/max checks.
+        self.morsels_band_searched = 0
+        # Succinct selection accounting (see repro.engine.relation):
+        # bytes of selection state actually created by row-filter
+        # operations vs. what dense int64 position vectors would have
+        # held for the same survivors.  The gap is the tentpole's
+        # resident-memory win between operators.
+        self.selection_bytes = 0
+        self.selection_bytes_dense = 0
         # Constant-morsel short-circuits: morsels whose zone map proves
         # the scan predicate *true* for every row, kept whole without a
         # single row-wise evaluation (their rows also land in
@@ -116,6 +127,16 @@ class ExecutionMetrics:
         self.rows_copied += int(rows)
         self.bytes_gathered += int(nbytes)
 
+    def count_selection(self, nbytes: int, dense_nbytes: int) -> None:
+        """Record one selection structure creation (called by Relation).
+
+        ``nbytes`` is what the chosen representation holds resident
+        (packed words for bitmaps, the index array otherwise);
+        ``dense_nbytes`` is the int64 position vector equivalent.
+        """
+        self.selection_bytes += int(nbytes)
+        self.selection_bytes_dense += int(dense_nbytes)
+
     def merge_counters(self, worker: "ExecutionMetrics") -> None:
         """Fold one morsel worker's flat counters into this metrics.
 
@@ -133,6 +154,9 @@ class ExecutionMetrics:
         self.filter_cache_misses += worker.filter_cache_misses
         self.morsels_pruned += worker.morsels_pruned
         self.rows_skipped += worker.rows_skipped
+        self.morsels_band_searched += worker.morsels_band_searched
+        self.selection_bytes += worker.selection_bytes
+        self.selection_bytes_dense += worker.selection_bytes_dense
         self.morsels_short_circuited += worker.morsels_short_circuited
         self.filter_builds_parallel += worker.filter_builds_parallel
         self.filter_partials_built += worker.filter_partials_built

@@ -131,6 +131,27 @@ class BitvectorFilter(abc.ABC):
         """Number of key tuples inserted at build time."""
 
     @property
+    def resident_bytes(self) -> int:
+        """Bytes actually resident for this filter, auxiliary structures
+        included.  The default derives from :attr:`size_bits`, which
+        suits the hashed kinds (their payload *is* the word array);
+        implementations with side structures (membership tables, raw
+        fallback columns) must override so cache-footprint accounting
+        never silently under-reports a mode."""
+        return (self.size_bits + 7) // 8
+
+    def describe(self) -> dict:
+        """Geometry of the resident representation for explain output.
+
+        Every mode a filter can be in — including fallback modes —
+        must surface here with at least ``mode`` and ``resident_bytes``.
+        """
+        return {
+            "mode": type(self).__name__,
+            "resident_bytes": self.resident_bytes,
+        }
+
+    @property
     def may_have_false_positives(self) -> bool:
         """Whether this implementation can report spurious matches."""
         return True

@@ -196,3 +196,18 @@ class BitvectorFilterCache(LruCache):
     def size_bits(self) -> int:
         """Total memory footprint of all cached filter payloads."""
         return sum(entry.size_bits for entry in self.values())
+
+    def resident_bytes(self) -> int:
+        """Total bytes actually resident across cached filters —
+        payloads plus auxiliary structures (membership bitvectors,
+        dictionaries, fallback raw columns).  This is the working-set
+        number the succinct representations exist to shrink."""
+        return sum(entry.resident_bytes for entry in self.values())
+
+    def mode_summary(self) -> dict[str, int]:
+        """Cached-filter count per representation mode, for explain."""
+        summary: dict[str, int] = {}
+        for entry in self.values():
+            mode = entry.describe().get("mode", type(entry).__name__)
+            summary[mode] = summary.get(mode, 0) + 1
+        return summary

@@ -22,16 +22,36 @@ from __future__ import annotations
 import numpy as np
 
 from repro.filters.base import BitvectorFilter, validate_key_columns
+from repro.succinct import Bitvector
 from repro.util.keycodes import (
     ColumnDictionary,
     combine_codes,
-    dense_table_worthwhile,
     joint_codes,
 )
 
-# Largest combined key domain for which a dense bool membership table
-# is kept alongside the sorted code set (1 MiB at bool width).
-_MEMBER_TABLE_CAP = 1 << 20
+# Largest combined key domain for which a packed membership bitvector
+# is kept alongside the sorted code set (1 MiB at 1 bit per slot — the
+# same memory that used to buy a 2^20-slot bool table now spans 2^23).
+_MEMBER_TABLE_CAP = 1 << 23
+
+
+def _packed_table_worthwhile(domain: int, count: int) -> bool:
+    """Cost model for the packed membership bitvector.
+
+    The bool-table predecessor used ``dense_table_worthwhile`` (4x
+    sparsity, 8 bits/slot).  At 1 bit/slot the same bytes-per-member
+    break-even sits at 32x sparsity; the floor rises with it so small
+    domains always qualify.
+    """
+    return 0 < domain <= max(32 * count, 8192) and domain <= _MEMBER_TABLE_CAP
+
+
+# Domains small enough that a decoded bool view of the member bitvector
+# is trivially cache-resident (<= 128 KiB).  Below this, one bool gather
+# beats the word-probe's shift/mask op chain, so probes go through a
+# lazily decoded view; above it the packed word probe wins on cache
+# residency (the crossover is measured in BENCH_succinct_filters.json).
+_PROBE_VIEW_CAP = 1 << 17
 
 
 class ExactFilter(BitvectorFilter):
@@ -45,12 +65,15 @@ class ExactFilter(BitvectorFilter):
         self._key_columns: list[np.ndarray] | None = None
         self._dictionaries: list[ColumnDictionary] | None = None
         self._code_set: np.ndarray | None = None
-        self._member_table: np.ndarray | None = None
+        self._member_table: Bitvector | None = None
+        self._probe_view: np.ndarray | None = None
+        self._mode = "indexed"
 
         if any(column.dtype.kind in "fc" for column in key_columns):
             # Float keys: stay on joint factorization for NaN parity
             # with the engine's fallback join path (see module doc).
             self._key_columns = key_columns
+            self._mode = "float-fallback"
             return
         dictionaries = [ColumnDictionary.build(c) for c in key_columns]
         radices = [d.num_values for d in dictionaries]
@@ -59,19 +82,21 @@ class ExactFilter(BitvectorFilter):
             # Mixed-radix overflow (astronomically wide keys): keep the
             # raw columns and fall back to joint factorization probes.
             self._key_columns = key_columns
+            self._mode = "overflow-fallback"
             return
         self._dictionaries = dictionaries
         self._code_set = np.unique(combined)
         domain = 1
         for radix in radices:
             domain *= max(radix, 1)
-        if domain > 0 and dense_table_worthwhile(
-            domain, len(self._code_set), _MEMBER_TABLE_CAP
-        ):
-            # Dense membership bitmap over the combined key domain:
-            # repeated probes become one O(1)-per-element gather.
-            self._member_table = np.zeros(domain, dtype=bool)
-            self._member_table[self._code_set] = True
+        if _packed_table_worthwhile(domain, len(self._code_set)):
+            # Packed membership bitvector over the combined key domain:
+            # repeated probes become one word gather + shift per element
+            # at 1 bit per domain slot (8x smaller than the bool table
+            # this replaces).
+            self._member_table = Bitvector.from_positions(
+                self._code_set, domain
+            )
         # The raw build columns are not retained in indexed mode: the
         # dictionaries' (values, codes) pair reconstructs them exactly
         # (values[codes]) and is never larger — codes are int64 while
@@ -136,9 +161,23 @@ class ExactFilter(BitvectorFilter):
             merged_domains.append(merged_values)
             translations.append(partial_codes)
         radices = [len(domain) for domain in merged_domains]
+        domain = 1
+        for radix in radices:
+            domain *= max(radix, 1)
+        member_table: Bitvector | None = None
         if num_columns == 1:
+            # Every dictionary value occurs in some key, so the merged
+            # set is the full domain — and its membership bitvector is
+            # all-ones words, no scatter at all.
             code_set = np.arange(radices[0], dtype=np.int64)
+            if _packed_table_worthwhile(domain, len(code_set)):
+                member_table = Bitvector.ones(domain)
         else:
+            upper_count = sum(len(p._code_set) for p in partials)
+            scatter = _packed_table_worthwhile(domain, upper_count)
+            member_words: Bitvector | None = (
+                Bitvector.zeros(domain) if scatter else None
+            )
             translated: list[np.ndarray] = []
             for i, partial in enumerate(partials):
                 decoded = partial._decode_code_set()
@@ -154,11 +193,26 @@ class ExactFilter(BitvectorFilter):
                     # each partial's fit: rebuild — the serial
                     # constructor reaches the same fallback mode.
                     return cls._merge_rebuild(partials, num_keys)
-                translated.append(combined)
-            code_set = np.unique(np.concatenate(translated))
+                if member_words is not None:
+                    # Per-partition packed bitmap, OR-merged word by
+                    # word like Bloom partials — no sorted union pass.
+                    member_words.ior_words(
+                        Bitvector.from_positions(combined, domain)
+                    )
+                else:
+                    translated.append(combined)
+            if member_words is not None:
+                # The sorted unique union falls out of the bitmap for
+                # free: select over the merged words.
+                code_set = member_words.positions()
+                if _packed_table_worthwhile(domain, len(code_set)):
+                    member_table = member_words
+            else:
+                code_set = np.unique(np.concatenate(translated))
         merged = cls.__new__(cls)
         merged._num_keys = int(num_keys)
         merged._key_columns = None
+        merged._mode = "indexed"
         # Dictionary codes decode the code set: values[codes] per column
         # yields the distinct key tuples — the faithful build-column
         # set the legacy probe path reconstructs (it only needs the key
@@ -170,15 +224,8 @@ class ExactFilter(BitvectorFilter):
             )
         ]
         merged._code_set = code_set
-        merged._member_table = None
-        domain = 1
-        for radix in radices:
-            domain *= max(radix, 1)
-        if domain > 0 and dense_table_worthwhile(
-            domain, len(code_set), _MEMBER_TABLE_CAP
-        ):
-            merged._member_table = np.zeros(domain, dtype=bool)
-            merged._member_table[code_set] = True
+        merged._member_table = member_table
+        merged._probe_view = None
         return merged
 
     @classmethod
@@ -275,7 +322,13 @@ class ExactFilter(BitvectorFilter):
             return np.zeros(len(combined), dtype=bool)
         if self._member_table is not None:
             valid = combined >= 0
-            return self._member_table[np.where(valid, combined, 0)] & valid
+            positions = np.where(valid, combined, 0)
+            if self._member_table.num_bits <= _PROBE_VIEW_CAP:
+                view = self._probe_view
+                if view is None:
+                    view = self._probe_view = self._member_table.to_mask()
+                return view[positions] & valid
+            return self._member_table.get(positions) & valid
         return np.isin(combined, self._code_set)
 
     @property
@@ -289,6 +342,49 @@ class ExactFilter(BitvectorFilter):
     @property
     def num_keys(self) -> int:
         return self._num_keys
+
+    @property
+    def resident_bytes(self) -> int:
+        """Actual resident footprint, whatever mode the filter is in.
+
+        Indexed mode counts the sorted code set, the per-column
+        dictionaries, and the packed membership bitvector (words plus
+        any lazily built rank directory).  The fallback modes count the
+        retained raw key columns — previously these reported nothing,
+        so a cache full of float-keyed filters looked free.
+        """
+        total = 0
+        if self._code_set is not None:
+            total += self._code_set.nbytes
+        if self._dictionaries is not None:
+            for dictionary in self._dictionaries:
+                total += dictionary.values.nbytes + dictionary.codes.nbytes
+        if self._member_table is not None:
+            total += self._member_table.resident_bytes
+        if self._probe_view is not None:
+            total += self._probe_view.nbytes
+        if self._key_columns is not None:
+            for column in self._key_columns:
+                total += column.nbytes
+        return total
+
+    def describe(self) -> dict:
+        """Geometry of the resident representation (all modes)."""
+        info: dict = {
+            "mode": self._mode,
+            "num_keys": self._num_keys,
+            "resident_bytes": self.resident_bytes,
+        }
+        if self._code_set is not None:
+            info["code_set"] = len(self._code_set)
+            if self._member_table is not None:
+                info["member_table_bits"] = self._member_table.num_bits
+                info["member_table_bytes"] = self._member_table.resident_bytes
+                if self._probe_view is not None:
+                    info["probe_view_bytes"] = self._probe_view.nbytes
+        if self._key_columns is not None:
+            info["raw_columns"] = len(self._key_columns)
+        return info
 
     def key_bounds(self) -> list[tuple | None] | None:
         """Bounds straight off the sorted per-column dictionaries.

@@ -44,6 +44,17 @@ class ServiceMetrics:
     morsels_pruned: int = 0
     rows_skipped: int = 0
     morsels_short_circuited: int = 0
+    # Clustered band search: morsels answered by binary-searching a
+    # sorted column to the predicate's value band (no per-morsel
+    # checks, no row-wise evaluation).
+    morsels_band_searched: int = 0
+    # Succinct selection state (repro.engine.relation): bytes of
+    # selection structures created during execution vs. the dense
+    # int64 position vectors they replace, and the bytes resident in
+    # the shared filter cache after this query.
+    selection_bytes: int = 0
+    selection_bytes_dense: int = 0
+    filter_bytes_resident: int = 0
     # Parallel build-side pipeline (repro.engine.executor): filters
     # constructed via partition-build-then-merge, and the wall-clock
     # the query spent building filters (cache hits cost nothing).
@@ -80,6 +91,12 @@ class ServiceStats:
     total_morsels_pruned: int = 0
     total_rows_skipped: int = 0
     total_morsels_short_circuited: int = 0
+    total_morsels_band_searched: int = 0
+    total_selection_bytes: int = 0
+    total_selection_bytes_dense: int = 0
+    # Point-in-time, not a sum: the filter cache footprint after the
+    # most recently folded query.
+    filter_bytes_resident: int = 0
     total_filter_builds_parallel: int = 0
     total_filter_build_seconds: float = 0.0
     # Resilience aggregates.  ``failures`` / ``timeouts`` are counted
@@ -109,6 +126,10 @@ class ServiceStats:
         self.total_morsels_pruned += metrics.morsels_pruned
         self.total_rows_skipped += metrics.rows_skipped
         self.total_morsels_short_circuited += metrics.morsels_short_circuited
+        self.total_morsels_band_searched += metrics.morsels_band_searched
+        self.total_selection_bytes += metrics.selection_bytes
+        self.total_selection_bytes_dense += metrics.selection_bytes_dense
+        self.filter_bytes_resident = metrics.filter_bytes_resident
         self.total_filter_builds_parallel += metrics.filter_builds_parallel
         self.total_filter_build_seconds += metrics.filter_build_seconds
         if metrics.degraded:

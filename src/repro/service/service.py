@@ -310,6 +310,10 @@ class QueryService:
             morsels_pruned=result.metrics.morsels_pruned,
             rows_skipped=result.metrics.rows_skipped,
             morsels_short_circuited=result.metrics.morsels_short_circuited,
+            morsels_band_searched=result.metrics.morsels_band_searched,
+            selection_bytes=result.metrics.selection_bytes,
+            selection_bytes_dense=result.metrics.selection_bytes_dense,
+            filter_bytes_resident=self.filter_cache.resident_bytes(),
             filter_builds_parallel=result.metrics.filter_builds_parallel,
             filter_build_seconds=result.metrics.filter_build_seconds,
             degraded=degraded,
@@ -488,6 +492,25 @@ class QueryService:
             f"{self.filter_cache.size_bits()} bits, "
             f"{self.filter_cache.build_seconds_saved * 1e3:.2f} ms build amortized, "
             f"{self.filter_cache.builds_deduped} builds deduped",
+            f"-- filter residency: {self.filter_cache.resident_bytes()} bytes "
+            + "("
+            + (
+                ", ".join(
+                    f"{mode}: {count}"
+                    for mode, count in sorted(
+                        self.filter_cache.mode_summary().items()
+                    )
+                )
+                or "empty"
+            )
+            + ")",
+            f"-- selections: {stats.total_selection_bytes} bytes resident "
+            f"vs {stats.total_selection_bytes_dense} dense so far"
+            + (
+                f", {stats.total_morsels_band_searched} morsels band-searched"
+                if stats.total_morsels_band_searched
+                else ""
+            ),
             f"-- dictionary indexes: {dictionaries['entries']} columns resident "
             f"({dictionaries['builds']} builds / {dictionaries['lookups']} lookups)",
             f"-- parallel execution: parallelism={self._executor.parallelism} "

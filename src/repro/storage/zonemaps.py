@@ -54,6 +54,7 @@ __all__ = [
     "predicate_prunes_morsel",
     "predicate_accepts_morsel",
     "filter_prunes_morsel",
+    "predicate_band",
     "predicate_prune_flags",
     "predicate_accept_flags",
     "scan_morsel_decisions",
@@ -108,7 +109,9 @@ class ColumnZoneMap:
     base (identity scans) can therefore be pruned morsel-by-morsel.
     """
 
-    __slots__ = ("ranges", "mins", "maxs", "null_counts", "known")
+    __slots__ = (
+        "ranges", "mins", "maxs", "null_counts", "known", "sorted_ascending"
+    )
 
     def __init__(
         self,
@@ -117,6 +120,7 @@ class ColumnZoneMap:
         maxs: tuple,
         null_counts: tuple[int, ...],
         known: tuple[bool, ...] | None = None,
+        sorted_ascending: bool = False,
     ) -> None:
         self.ranges = ranges
         self.mins = mins
@@ -127,6 +131,15 @@ class ColumnZoneMap:
         # must never prune — distinct from the all-NaN state, which is
         # definite knowledge that no comparable value exists.
         self.known = known if known is not None else (True,) * len(ranges)
+        # Whether the whole column is ascending with no NaN: the
+        # clustered-band precondition.  A sorted column turns any
+        # single-column value band into one contiguous row range —
+        # binary search replaces per-morsel interval checks entirely
+        # (see the executor's scan band search).  NaN must disqualify:
+        # NaN compares false under every ordered predicate yet sorts
+        # *last* under ``searchsorted``, so a "sorted" column with NaN
+        # would band-include rows the evaluator rejects.
+        self.sorted_ascending = sorted_ascending
 
     @classmethod
     def build(
@@ -185,12 +198,20 @@ class ColumnZoneMap:
                 else:
                     mins.append(low)
                     maxs.append(high)
+        if sum(nulls) or not all(known):
+            sorted_ascending = False
+        else:
+            try:
+                sorted_ascending = bool(np.all(column[1:] >= column[:-1]))
+            except TypeError:  # unorderable object values
+                sorted_ascending = False
         return cls(
             tuple((int(a), int(b)) for a, b in ranges),
             tuple(mins),
             tuple(maxs),
             tuple(nulls),
             tuple(known),
+            sorted_ascending,
         )
 
     @property
@@ -447,6 +468,98 @@ def _split_comparison(
     ):
         return predicate.right, predicate.left, True
     return None, None, False
+
+
+def predicate_band(
+    predicate: Expression, alias: str
+) -> tuple[str, object | None, bool, object | None, bool] | None:
+    """The predicate as one value band on one column, or ``None``.
+
+    Returns ``(column, low, low_inclusive, high, high_inclusive)`` when
+    the predicate is *exactly* a conjunction of ordered comparisons /
+    ``BETWEEN`` against literals on a single column of ``alias`` — the
+    shape a sorted (clustered) column can answer with two binary
+    searches instead of any row-wise evaluation.  Either bound may be
+    ``None`` (unbounded on that side).  Anything the band cannot
+    represent losslessly (``<>``, ``IN``, ``OR``, ``NOT``, multiple
+    columns, column-vs-column, non-literal bounds, NULL literals)
+    returns ``None`` — the caller falls back to normal evaluation, so
+    banding is always byte-identical to evaluating.
+    """
+    if isinstance(predicate, And):
+        merged = None
+        for operand in predicate.operands:
+            band = predicate_band(operand, alias)
+            if band is None:
+                return None
+            merged = band if merged is None else _merge_bands(merged, band)
+            if merged is None:
+                return None
+        return merged
+    if isinstance(predicate, Between):
+        operand = predicate.operand
+        if not isinstance(operand, ColumnRef) or operand.alias != alias:
+            return None
+        low = _literal(predicate.low)
+        high = _literal(predicate.high)
+        if low is None or high is None:
+            return None
+        return (operand.column, low, True, high, True)
+    if isinstance(predicate, Comparison):
+        column, literal, flipped = _split_comparison(predicate)
+        if column is None or column.alias != alias:
+            return None
+        op = predicate.op
+        if flipped:
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                  "=": "=", "<>": "<>"}[op]
+        value = literal.value
+        if value is None:
+            return None
+        name = column.column
+        if op == "=":
+            return (name, value, True, value, True)
+        if op == "<":
+            return (name, None, False, value, False)
+        if op == "<=":
+            return (name, None, False, value, True)
+        if op == ">":
+            return (name, value, False, None, False)
+        if op == ">=":
+            return (name, value, True, None, False)
+        return None  # <> is two rays, not a band
+    return None
+
+
+def _merge_bands(left, right):
+    """Intersection of two bands on the same column (``None`` when the
+    columns differ or the bound values are not comparable)."""
+    if left[0] != right[0]:
+        return None
+    try:
+        low, low_inclusive = _tighter_bound(
+            left[1], left[2], right[1], right[2], prefer_high=True
+        )
+        high, high_inclusive = _tighter_bound(
+            left[3], left[4], right[3], right[4], prefer_high=False
+        )
+    except TypeError:
+        return None
+    return (left[0], low, low_inclusive, high, high_inclusive)
+
+
+def _tighter_bound(a, a_inclusive, b, b_inclusive, prefer_high: bool):
+    """The tighter of two band bounds (higher low / lower high); on a
+    tie, inclusive only when both sides are."""
+    if a is None:
+        return b, b_inclusive
+    if b is None:
+        return a, a_inclusive
+    if bool(a == b):
+        return a, a_inclusive and b_inclusive
+    if bool(b > a) == prefer_high:
+        return b, b_inclusive
+    return a, a_inclusive
 
 
 def predicate_prune_flags(

@@ -1,0 +1,14 @@
+"""Succinct rank/select bitvectors (vectorized numpy implementation).
+
+The package implements the word-packed bitvector with an interleaved
+two-level rank directory described in "Theory Meets Practice for Bit
+Vectors Supporting Rank and Select" (Kurpicz et al., PAPERS.md) — the
+structure ROADMAP item 4 names as the replacement for the engine's two
+fattest resident artifacts: the exact filter's bool membership table
+(8 bits/slot -> 1 bit/slot) and int64 selection vectors (64 bits per
+surviving row -> 1 bit per base row).
+"""
+
+from repro.succinct.bitvector import Bitvector, popcount
+
+__all__ = ["Bitvector", "popcount"]

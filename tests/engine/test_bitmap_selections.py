@@ -1,0 +1,159 @@
+"""Bitmap selection representation inside :class:`Relation`.
+
+Above ``_BITMAP_MIN_ROWS`` candidate rows, ``mask``/``select_sorted``
+hold the surviving row set as a packed :class:`Bitvector` (1 bit per
+candidate row) instead of an int64 position vector; below the floor the
+classic position vector is kept.  These tests pin the invariants the
+executor relies on:
+
+* the chosen representation never changes decoded positions or column
+  values — small-path and bitmap-path views are byte-identical;
+* selection-state accounting (``selection_bytes`` vs. the dense
+  ``selection_bytes_dense`` counterfactual) reflects the packing win;
+* materialization boundaries (``column``, ``narrow``, ``column_head``,
+  ``base_source``) behave lazily: sampling a head never forces the full
+  position decode, and ``settle_selections`` forces it exactly once.
+"""
+
+import numpy as np
+
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.relation import (
+    _BITMAP_MIN_ROWS,
+    BitmapSelection,
+    Relation,
+)
+
+_ROWS = _BITMAP_MIN_ROWS + 1000  # just above the packing floor
+
+
+def big_relation(counters=None, rows=_ROWS):
+    columns = {
+        ("t", "a"): np.arange(rows, dtype=np.int64),
+        ("t", "b"): np.arange(rows, dtype=np.float64) * 0.5,
+    }
+    sources = {("t", "a"): ("base", "a"), ("t", "b"): ("base", "b")}
+    return Relation(columns, rows, sources=sources, counters=counters)
+
+
+def selection_of(relation):
+    return relation._groups[0].selection
+
+
+class TestRepresentationChoice:
+    def test_mask_above_floor_packs_a_bitmap(self):
+        view = big_relation().mask(np.arange(_ROWS) % 3 == 0)
+        assert isinstance(selection_of(view), BitmapSelection)
+
+    def test_mask_below_floor_keeps_positions(self):
+        relation = big_relation(rows=_BITMAP_MIN_ROWS - 1)
+        view = relation.mask(np.arange(_BITMAP_MIN_ROWS - 1) % 3 == 0)
+        assert isinstance(selection_of(view), np.ndarray)
+
+    def test_select_sorted_above_floor_packs_a_bitmap(self):
+        positions = np.arange(0, _ROWS, 7, dtype=np.int64)
+        view = big_relation().select_sorted(positions)
+        selection = selection_of(view)
+        assert isinstance(selection, BitmapSelection)
+        # The vector was already in hand: the decode cache is seeded,
+        # no select1 pass needed later.
+        assert selection._base_positions is positions
+
+    def test_small_and_bitmap_paths_read_identically(self):
+        mask = np.random.default_rng(3).random(_ROWS) < 0.25
+        packed = big_relation().mask(mask)
+        small = big_relation()
+        small.num_rows = _BITMAP_MIN_ROWS - 1  # force the small path
+        unpacked = small.mask(mask)
+        assert isinstance(selection_of(packed), BitmapSelection)
+        assert isinstance(selection_of(unpacked), np.ndarray)
+        np.testing.assert_array_equal(
+            packed.column("t", "a"), unpacked.column("t", "a")
+        )
+        assert packed.num_rows == unpacked.num_rows == mask.sum()
+
+
+class TestComposition:
+    def test_stacked_masks_refine_in_bitmap_form(self):
+        first = big_relation().mask(np.arange(_ROWS) % 2 == 0)
+        second = first.mask(first.column("t", "a") % 3 == 0)
+        assert isinstance(selection_of(second), BitmapSelection)
+        assert second.column("t", "a").tolist() == list(
+            range(0, _ROWS, 6)
+        )
+
+    def test_select_sorted_of_bitmap_subsets(self):
+        view = big_relation().mask(np.arange(_ROWS) % 2 == 0)
+        narrowed = view.select_sorted(
+            np.arange(0, view.num_rows, 5, dtype=np.int64)
+        )
+        assert isinstance(selection_of(narrowed), BitmapSelection)
+        assert narrowed.column("t", "a").tolist() == list(
+            range(0, _ROWS, 10)
+        )
+
+    def test_gather_exits_to_positions(self):
+        view = big_relation().mask(np.arange(_ROWS) % 2 == 0)
+        taken = view.gather(np.array([5, 0, 0]))
+        assert taken.column("t", "a").tolist() == [10, 0, 0]
+
+    def test_slice_view_offset_rebases_into_base(self):
+        morsel = big_relation().range_view(1000, 1000 + _ROWS - 1000)
+        mask = np.zeros(morsel.num_rows, dtype=bool)
+        mask[:4] = True
+        view = morsel.mask(mask)
+        selection = selection_of(view)
+        assert isinstance(selection, BitmapSelection)
+        assert selection.offset == 1000
+        assert view.column("t", "a").tolist() == [1000, 1001, 1002, 1003]
+
+    def test_narrow_slices_the_decoded_positions_without_copying(self):
+        view = big_relation().mask(np.arange(_ROWS) % 2 == 0)
+        band = view.narrow(10, 14)
+        assert band.column("t", "a").tolist() == [20, 22, 24, 26]
+        # The band's selection is a numpy view of the decoded cache.
+        cache = selection_of(view)._base_positions
+        assert selection_of(band).base is cache.base or np.shares_memory(
+            selection_of(band), cache
+        )
+
+
+class TestLazyDecode:
+    def test_column_head_samples_via_select1_without_full_decode(self):
+        view = big_relation().mask(np.arange(_ROWS) % 2 == 1)
+        head = view.column_head("t", "a", 3)
+        assert head.tolist() == [1, 3, 5]
+        assert selection_of(view)._base_positions is None
+
+    def test_settle_selections_decodes_once(self):
+        view = big_relation().mask(np.arange(_ROWS) % 2 == 1)
+        assert selection_of(view)._base_positions is None
+        view.settle_selections()
+        decoded = selection_of(view)._base_positions
+        assert decoded is not None
+        view.settle_selections()
+        assert selection_of(view)._base_positions is decoded
+
+    def test_base_source_hands_consumers_decoded_positions(self):
+        view = big_relation().mask(np.arange(_ROWS) % 2 == 0)
+        table, column, selection = view.base_source("t", "a")
+        assert (table, column) == ("base", "a")
+        assert isinstance(selection, np.ndarray)
+        assert selection[:3].tolist() == [0, 2, 4]
+
+
+class TestAccounting:
+    def test_bitmap_selection_counts_fewer_resident_bytes(self):
+        metrics = ExecutionMetrics()
+        big_relation(metrics).mask(np.arange(_ROWS) % 2 == 0)
+        assert 0 < metrics.selection_bytes
+        assert metrics.selection_bytes < metrics.selection_bytes_dense
+        # ~1 bit/candidate vs 8 bytes/survivor at 50% selectivity: the
+        # packed state is two orders of magnitude smaller.
+        assert metrics.selection_bytes * 8 <= metrics.selection_bytes_dense
+
+    def test_small_path_counts_dense_bytes_as_resident(self):
+        metrics = ExecutionMetrics()
+        rows = _BITMAP_MIN_ROWS - 1
+        big_relation(metrics, rows=rows).mask(np.arange(rows) % 2 == 0)
+        assert metrics.selection_bytes == metrics.selection_bytes_dense > 0

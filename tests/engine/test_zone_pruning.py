@@ -178,17 +178,57 @@ def test_constant_column_prunes_all_or_nothing():
         ],
         zone_maps=True, morsel_rows=_MORSEL_ROWS,
     )
-    # The matching constant takes the short-circuit: every morsel is
-    # provably all-true, so all rows are kept without one row-wise
-    # evaluation (their rows count as skipped *work*, not skipped
-    # output).
+    # A constant column is trivially sorted, so both equality queries
+    # are answered by the clustered band search — two binary searches,
+    # zero row-wise evaluations (all rows count as skipped *work*,
+    # whether kept or not).
     assert hit.scalar("c") == _ROWS
     assert hit.metrics.morsels_pruned == 0
-    assert hit.metrics.morsels_short_circuited > 0
+    assert hit.metrics.morsels_band_searched > 0
     assert hit.metrics.rows_skipped == _ROWS
     assert miss.scalar("c") == 0
-    assert miss.metrics.morsels_short_circuited == 0
+    assert miss.metrics.morsels_band_searched > 0
     assert miss.metrics.rows_skipped == _ROWS
+
+
+def test_constant_morsel_short_circuit_without_band():
+    """An OR of bands is not one band, so the band search stands aside
+    and the constant-morsel short-circuit keeps morsels whole."""
+    database = _build_database("constant")
+    (hit,) = _run_all(
+        database,
+        ["SELECT COUNT(*) AS c FROM fact f WHERE f.k = 42 OR f.k = 43"],
+        zone_maps=True, morsel_rows=_MORSEL_ROWS,
+    )
+    assert hit.scalar("c") == _ROWS
+    assert hit.metrics.morsels_band_searched == 0
+    assert hit.metrics.morsels_short_circuited > 0
+    assert hit.metrics.rows_skipped == _ROWS
+
+
+def test_clustered_band_search_replaces_morsel_checks():
+    """On the clustered layout a BETWEEN band is answered entirely by
+    binary search: byte-identical rows, no per-morsel prune flags."""
+    database = _build_database("clustered")
+    (banded,) = _run_all(
+        database,
+        ["SELECT COUNT(*) AS c, SUM(f.v) AS s FROM fact f "
+         "WHERE f.k BETWEEN 100 AND 149"],
+        zone_maps=True, morsel_rows=_MORSEL_ROWS,
+    )
+    (plain,) = _run_all(
+        database,
+        ["SELECT COUNT(*) AS c, SUM(f.v) AS s FROM fact f "
+         "WHERE f.k BETWEEN 100 AND 149"],
+        zone_maps=False, morsel_rows=_MORSEL_ROWS,
+    )
+    assert banded.metrics.morsels_band_searched > 0
+    assert banded.metrics.rows_skipped == _ROWS
+    for label in plain.aggregates:
+        assert np.array_equal(
+            banded.aggregates[label], plain.aggregates[label]
+        )
+        assert banded.aggregates[label].dtype == plain.aggregates[label].dtype
 
 
 def test_eager_baseline_never_prunes():

@@ -68,10 +68,30 @@ class TestIndexedEdgeCases:
         result = f.contains([int_col([-1000, 10, 25, 10**9])])
         assert result.tolist() == [False, True, False, False]
 
-    def test_dense_member_table_used_for_compact_domains(self):
+    def test_packed_member_table_used_for_compact_domains(self):
         f = ExactFilter.build([int_col(range(100))])
         assert f._member_table is not None
-        assert f._member_table.sum() == 100
+        assert f._member_table.count() == 100
+        # 1 bit per domain slot, not the bool table's 8.
+        assert f._member_table.nbytes <= 100 // 8 + 8
+
+    def test_describe_reports_geometry_in_every_mode(self):
+        indexed = ExactFilter.build([int_col(range(100))])
+        info = indexed.describe()
+        assert info["mode"] == "indexed"
+        assert info["member_table_bits"] == 100
+        assert info["resident_bytes"] > 0
+
+        floats = ExactFilter.build([np.array([1.0, np.nan])])
+        info = floats.describe()
+        assert info["mode"] == "float-fallback"
+        assert info["resident_bytes"] >= 16  # the retained raw column
+
+        wide = [int_col(np.arange(2**21)) for _ in range(3)]
+        overflow = ExactFilter.build(wide)
+        info = overflow.describe()
+        assert info["mode"] == "overflow-fallback"
+        assert info["resident_bytes"] >= sum(c.nbytes for c in wide)
 
     def test_mixed_dtype_probe(self):
         f = ExactFilter.build([int_col([1, 2, 3])])

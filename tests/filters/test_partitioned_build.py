@@ -121,7 +121,48 @@ def test_exact_merge_internals_match_serial(num_partitions):
         assert np.array_equal(serial_dict.values, merged_dict.values)
     assert (serial._member_table is None) == (merged._member_table is None)
     if serial._member_table is not None:
-        assert np.array_equal(serial._member_table, merged._member_table)
+        # The merge OR-combines per-partition packed bitmaps; the words
+        # must come out bit-identical to the serial build's scatter.
+        assert serial._member_table.num_bits == merged._member_table.num_bits
+        assert np.array_equal(
+            serial._member_table.words, merged._member_table.words
+        )
+
+
+@pytest.mark.parametrize("num_partitions", [2, 4])
+def test_exact_multi_column_or_merge_is_word_identical(num_partitions):
+    """Multi-column merge takes the packed OR path: each partial's
+    translated codes scatter into a per-partition bitvector and the
+    words OR together — no sorted-union pass.  The dense two-column
+    geometry here (256 x 256 domain, ~30k distinct tuples) is required:
+    the sparse layouts of the parametrized suite never build a packed
+    member table, so this is the only coverage of ``ior_words`` inside
+    the exact merge."""
+    rng = np.random.default_rng(17)
+    columns = [
+        rng.integers(0, 256, 40_000),
+        rng.integers(0, 256, 40_000),
+    ]
+    serial = ExactFilter.build(columns)
+    assert serial._member_table is not None, (
+        "geometry no longer builds a packed member table; "
+        "the OR-merge path is untested"
+    )
+    merged = ExactFilter.build_partitioned(
+        _partition(columns, num_partitions)
+    )
+    assert merged._member_table is not None
+    assert np.array_equal(
+        serial._member_table.words, merged._member_table.words
+    )
+    # The merged sorted code set falls out of the OR'd words via
+    # select: it must be both internally consistent and serial-equal.
+    assert np.array_equal(
+        merged._code_set, merged._member_table.positions()
+    )
+    assert np.array_equal(serial._code_set, merged._code_set)
+    probe = [rng.integers(-10, 300, 8_000) for _ in range(2)]
+    assert np.array_equal(serial.contains(probe), merged.contains(probe))
 
 
 def test_exact_float_nan_fallback_matches_serial():

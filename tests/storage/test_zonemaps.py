@@ -21,6 +21,7 @@ from repro.storage.table import Table
 from repro.storage.zonemaps import (
     ColumnZoneMap,
     filter_prunes_morsel,
+    predicate_band,
     predicate_prunes_morsel,
 )
 
@@ -350,3 +351,115 @@ class TestZoneMapSingleFlight:
             churner.join()
         info = database.zone_map_cache_info()
         assert 1 <= info["builds"] <= invalidations + 1
+
+
+class TestPredicateBand:
+    """``predicate_band``: lossless single-column value bands.
+
+    The executor's clustered band search replaces row-wise predicate
+    evaluation with two binary searches only when the predicate is
+    *exactly* a band; any lossy translation here would silently change
+    results, so the rejection cases matter as much as the accepted ones.
+    """
+
+    def test_between_is_an_inclusive_band(self):
+        band = predicate_band(Between(col("t", "k"), lit(3), lit(9)), "t")
+        assert band == ("k", 3, True, 9, True)
+
+    def test_equality_is_a_degenerate_band(self):
+        assert predicate_band(cmp("=", "k", 42), "t") == (
+            "k", 42, True, 42, True
+        )
+
+    def test_comparison_rays(self):
+        assert predicate_band(cmp("<", "k", 7), "t") == (
+            "k", None, False, 7, False
+        )
+        assert predicate_band(cmp("<=", "k", 7), "t") == (
+            "k", None, False, 7, True
+        )
+        assert predicate_band(cmp(">", "k", 7), "t") == (
+            "k", 7, False, None, False
+        )
+        assert predicate_band(cmp(">=", "k", 7), "t") == (
+            "k", 7, True, None, False
+        )
+
+    def test_flipped_literal_reverses_the_operator(self):
+        # 7 < k means k > 7.
+        band = predicate_band(Comparison("<", lit(7), col("t", "k")), "t")
+        assert band == ("k", 7, False, None, False)
+
+    def test_conjunction_intersects_bounds(self):
+        band = predicate_band(
+            And((cmp(">=", "k", 2), cmp("<", "k", 10), cmp(">", "k", 4))),
+            "t",
+        )
+        assert band == ("k", 4, False, 10, False)
+
+    def test_tied_bounds_stay_inclusive_only_when_both_are(self):
+        band = predicate_band(
+            And((cmp(">=", "k", 5), cmp(">", "k", 5))), "t"
+        )
+        assert band == ("k", 5, False, None, False)
+
+    def test_contradictory_band_is_still_a_band(self):
+        # k > 9 AND k < 2: an empty band is representable (the caller's
+        # searchsorted clamp yields zero rows) — no fallback needed.
+        band = predicate_band(
+            And((cmp(">", "k", 9), cmp("<", "k", 2))), "t"
+        )
+        assert band == ("k", 9, False, 2, False)
+
+    def test_rejections_fall_back_to_evaluation(self):
+        for predicate in (
+            cmp("<>", "k", 5),                       # two rays
+            Or((cmp("=", "k", 1), cmp("=", "k", 2))),  # disjunction
+            InList(col("t", "k"), (1, 2)),           # code list
+            Not(cmp("=", "k", 1)),                   # negation
+            cmp("=", "k", None),                     # NULL literal
+            Comparison("<", col("t", "k"), col("t", "v")),  # col vs col
+            And((cmp(">", "k", 1), cmp("<", "v", 9))),  # two columns
+        ):
+            assert predicate_band(predicate, "t") is None
+
+    def test_other_alias_is_not_this_scan(self):
+        assert predicate_band(cmp("=", "k", 1), "u") is None
+
+    def test_incomparable_bound_types_reject(self):
+        # Two low bounds that cannot be ordered against each other: the
+        # intersection is undefined, so no band may be claimed.
+        band = predicate_band(
+            And((cmp(">", "k", 5), cmp(">", "k", "zebra"))), "t"
+        )
+        assert band is None
+
+
+class TestSortedAscending:
+    def test_sorted_column_is_detected(self):
+        zone = ColumnZoneMap.build(
+            np.array([1, 2, 2, 5, 9]), [(0, 2), (2, 5)]
+        )
+        assert zone.sorted_ascending
+
+    def test_constant_column_is_trivially_sorted(self):
+        zone = ColumnZoneMap.build(np.full(6, 7), [(0, 3), (3, 6)])
+        assert zone.sorted_ascending
+
+    def test_shuffled_column_is_not(self):
+        zone = ColumnZoneMap.build(np.array([3, 1, 2]), [(0, 3)])
+        assert not zone.sorted_ascending
+
+    def test_nan_poisons_sortedness(self):
+        # NaN sorts last under searchsorted but compares false under
+        # every predicate: a band search over it would be unsound.
+        zone = ColumnZoneMap.build(
+            np.array([1.0, 2.0, np.nan]), [(0, 3)]
+        )
+        assert not zone.sorted_ascending
+
+    def test_unorderable_text_is_not_sorted(self):
+        zone = ColumnZoneMap.build(
+            np.array(["a", None, "b"], dtype=object), [(0, 3)]
+        )
+        assert not zone.sorted_ascending
