@@ -323,6 +323,52 @@ def run_succinct(args) -> None:
     print(f"wrote {path}")
 
 
+def run_trace_overhead(args) -> None:
+    from repro.bench.trace_overhead import (
+        DEFAULT_PARALLELISM,
+        DEFAULT_SCALE,
+        run_trace_overhead as run_experiment,
+        write_trace_overhead_report,
+    )
+
+    parallelism = (
+        args.parallelism[0] if args.parallelism else DEFAULT_PARALLELISM
+    )
+    payload = run_experiment(
+        scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+        parallelism=parallelism,
+    )
+    overhead = payload["overhead"]
+    identity = payload["identity"]
+    print(render_table(
+        [
+            {
+                "scenario": "warm tpcds_lite (service)",
+                "disarmed_s": overhead["disarmed_seconds"],
+                "armed_s": overhead["armed_seconds"],
+                "armed": f"{overhead['armed_overhead_fraction'] * 100:+.2f}%",
+                "noise": f"{overhead['disarmed_noise_fraction'] * 100:.2f}%",
+                "spans": overhead["spans_per_round"],
+            }
+        ],
+        "\n=== trace overhead — tracer armed vs. off (warm path) ===",
+    ))
+    for level in identity["levels"]:
+        print(
+            f"parallelism {level['parallelism']}: checksums identical "
+            f"(on vs. off): {level['checksums_identical']}"
+        )
+    telemetry = payload["surfaces"]["telemetry"]
+    execute = telemetry.get("execute_seconds", {})
+    if execute.get("count"):
+        print(
+            f"telemetry: execute_seconds p50 {execute['p50'] * 1e3:.2f} ms, "
+            f"p95 {execute['p95'] * 1e3:.2f} ms over {execute['count']} queries"
+        )
+    path = write_trace_overhead_report(payload, _artifact_path(args))
+    print(f"wrote {path}")
+
+
 class _Experiment:
     """One registry entry: help text, artifact default, and dispatch."""
 
@@ -367,6 +413,11 @@ EXPERIMENTS: dict[str, _Experiment] = {
         "deadline-check overhead, shed/degrade rates, fault recovery",
         "BENCH_robustness.json",
         run_robustness,
+    ),
+    "trace-overhead": _Experiment(
+        "structured tracing armed vs. off: overhead and answer identity",
+        "BENCH_trace_overhead.json",
+        run_trace_overhead,
     ),
     "succinct-filters": _Experiment(
         "packed rank/select member tables and bitmap selections vs. dense",

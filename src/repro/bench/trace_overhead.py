@@ -1,0 +1,200 @@
+"""Tracing overhead benchmark: observability must be (nearly) free.
+
+The ``repro.obs`` tracer is strictly opt-in: every instrumented site in
+the executor/service guards on ``metrics.tracer is not None`` — one
+attribute load and a ``None`` test, the same discipline as cooperative
+deadline checkpoints and fault points.  This benchmark holds that
+contract to numbers, in one JSON artifact (``BENCH_trace_overhead.json``):
+
+* **Armed overhead** — the warm tpcds_lite workload served through a
+  :class:`~repro.service.QueryService`, untraced versus with a fresh
+  :class:`~repro.obs.Tracer` armed per round (span construction,
+  per-thread ring-buffer appends, histogram observation all included).
+  Interleaved best-of-N rounds; the armed fraction must stay under 3%.
+* **Disarmed noise floor** — two untraced passes measured the same
+  way.  The disarmed instrumentation cost cannot be separated from
+  scheduler noise, so the gate is that the *difference between two
+  identical untraced runs* stays within 0.5% — "unmeasurable".
+* **Answer identity** — per-query checksums with tracing on vs. off at
+  parallelism 1 and 4 must match exactly: tracing observes execution,
+  it never participates in it.
+
+The payload also carries the armed service's telemetry snapshot
+(latency/row histograms) and a rendered ``explain_analyze`` sample, so
+the committed artifact doubles as documentation of the surfaces.
+
+Used by ``benchmarks/test_trace_overhead.py`` (loose gates, CI-noise
+tolerant) and by the CLI::
+
+    python -m repro.bench --experiment trace-overhead \
+        --output BENCH_trace_overhead.json
+
+The committed artifact carries the tight numbers from a quiet machine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench.harness import _checksum
+from repro.bench.reporting import available_cores
+from repro.obs import Tracer
+from repro.service import QueryService
+from repro.workloads import tpcds_lite
+
+#: Large enough that morsel fan-out actually happens (a scale-0.1
+#: workload runs mostly serial scans, which would under-exercise the
+#: per-morsel instrumentation the overhead gate exists to police).
+DEFAULT_SCALE = 0.2
+DEFAULT_PARALLELISM = 4
+#: Checksum identity is proven at these worker counts (serial and
+#: fan-out paths exercise different instrumentation sites).
+_IDENTITY_LEVELS = (1, 4)
+#: The explain_analyze sample in the artifact profiles this query — a
+#: three-table join with pruning, filter builds, and an aggregate.
+_SAMPLE_QUERY = "ds_q30"
+
+
+def _best_pass(service, sqls, tracer, best: list[float]) -> None:
+    """One workload pass, folding per-query minima into ``best``.
+
+    Per-query best-of-N is the noise strategy: a shared machine's
+    interference is *bursty*, so whole-workload wall clocks jitter by
+    percents no matter how many rounds run — but every query is only a
+    few milliseconds, and over N rounds each one lands in a clean
+    scheduling window at least once.  Summing per-query minima
+    reconstructs an interference-free pass.
+    """
+    for index, (name, sql) in enumerate(sqls):
+        started = time.perf_counter()
+        service.execute(sql, name=name, tracer=tracer)
+        elapsed = time.perf_counter() - started
+        if elapsed < best[index]:
+            best[index] = elapsed
+
+
+def _measure_overhead(scale: float, rounds: int, parallelism: int) -> dict:
+    """Warm tpcds_lite through the service, tracer off vs. armed.
+
+    Rounds interleave off/armed/off so slow drift (cache warmth,
+    frequency scaling) hits every mode equally.  A fresh Tracer per
+    armed round charges arming itself — per-thread buffer registration
+    included — to the traced side.
+    """
+    database, _specs = tpcds_lite.build(scale=scale)
+    sqls = tpcds_lite.query_sqls()
+    service = QueryService(database, parallelism=parallelism)
+    for name, sql in sqls:  # warm plan cache, filter cache, pool
+        service.execute(sql, name=name)
+
+    infinity = float("inf")
+    disarmed = [infinity] * len(sqls)
+    disarmed_repeat = [infinity] * len(sqls)
+    armed = [infinity] * len(sqls)
+    spans_per_round = 0
+    spans_dropped = 0
+    for _ in range(rounds):
+        _best_pass(service, sqls, None, disarmed)
+        tracer = Tracer()
+        _best_pass(service, sqls, tracer, armed)
+        spans_per_round = len(tracer.spans())
+        spans_dropped = tracer.dropped
+        _best_pass(service, sqls, None, disarmed_repeat)
+
+    disarmed_seconds = sum(disarmed)
+    repeat_seconds = sum(disarmed_repeat)
+    armed_seconds = sum(armed)
+    baseline = min(disarmed_seconds, repeat_seconds)
+    return {
+        "workload": "tpcds_lite",
+        "scale": scale,
+        "queries": len(sqls),
+        "rounds": rounds,
+        "parallelism": parallelism,
+        "disarmed_seconds": round(disarmed_seconds, 6),
+        "disarmed_repeat_seconds": round(repeat_seconds, 6),
+        "armed_seconds": round(armed_seconds, 6),
+        # Armed cost over the best untraced pass: the <3% gate.
+        "armed_overhead_fraction": round(
+            armed_seconds / max(baseline, 1e-9) - 1.0, 6
+        ),
+        # Two identical untraced passes: the "unmeasurable" gate.  Any
+        # disarmed instrumentation cost hides below this noise floor.
+        "disarmed_noise_fraction": round(
+            abs(repeat_seconds - disarmed_seconds) / max(baseline, 1e-9), 6
+        ),
+        "spans_per_round": spans_per_round,
+        "spans_dropped": spans_dropped,
+    }
+
+
+def _measure_identity(scale: float) -> dict:
+    """Per-query checksums, tracing on vs. off, serial and parallel."""
+    database, _specs = tpcds_lite.build(scale=scale)
+    sqls = tpcds_lite.query_sqls()
+    levels = []
+    for parallelism in _IDENTITY_LEVELS:
+        service = QueryService(database, parallelism=parallelism)
+        off = [
+            round(_checksum(service.execute(sql, name=name).result), 6)
+            for name, sql in sqls
+        ]
+        tracer = Tracer()
+        on = [
+            round(
+                _checksum(
+                    service.execute(sql, name=name, tracer=tracer).result
+                ),
+                6,
+            )
+            for name, sql in sqls
+        ]
+        levels.append({
+            "parallelism": parallelism,
+            "queries": len(sqls),
+            "checksum_sum": round(sum(off), 6),
+            "checksums_identical": off == on,
+        })
+    return {
+        "levels": levels,
+        "all_identical": all(level["checksums_identical"] for level in levels),
+    }
+
+
+def _sample_surfaces(scale: float, parallelism: int) -> dict:
+    """One armed service: telemetry snapshot + explain_analyze render."""
+    database, _specs = tpcds_lite.build(scale=scale)
+    sqls = dict(tpcds_lite.query_sqls())
+    service = QueryService(database, parallelism=parallelism)
+    for name, sql in sqls.items():
+        service.execute(sql, name=name)
+    sample = service.explain_analyze(sqls[_SAMPLE_QUERY], name=_SAMPLE_QUERY)
+    return {
+        "telemetry": service.telemetry_snapshot(),
+        "explain_analyze_query": _SAMPLE_QUERY,
+        "explain_analyze_sample": sample,
+    }
+
+
+def run_trace_overhead(
+    scale: float = DEFAULT_SCALE,
+    rounds: int = 9,
+    parallelism: int = DEFAULT_PARALLELISM,
+) -> dict:
+    """Run all three sections; returns a JSON-ready payload."""
+    return {
+        "experiment": "trace-overhead",
+        "cpu_cores": available_cores(),
+        "overhead": _measure_overhead(scale, rounds, parallelism),
+        "identity": _measure_identity(scale),
+        "surfaces": _sample_surfaces(scale, parallelism),
+    }
+
+
+def write_trace_overhead_report(payload: dict, path: str | Path) -> Path:
+    """Write the trace-overhead payload as JSON (the in-repo artifact)."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

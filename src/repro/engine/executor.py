@@ -203,6 +203,7 @@ class Executor:
         plan: PlanNode,
         predicate_overrides: dict[str, object] | None = None,
         context: ExecutionContext | None = None,
+        tracer=None,
     ) -> ExecutionResult:
         """Execute a plan.
 
@@ -223,8 +224,18 @@ class Executor:
         abort happens *between* tasks, the shared pool and any attached
         filter cache stay clean for the next query.  ``None`` (the
         default) is the zero-overhead path.
+
+        ``tracer`` arms structured tracing (see :mod:`repro.obs`): plan
+        nodes, morsel tasks, filter builds, and zone-pruning outcomes
+        record spans/events, and per-node inclusive wall time lands in
+        ``NodeMetrics.wall_seconds``.  ``None`` (the default) keeps
+        every instrumented site a single attribute test; tracing never
+        changes what is computed, so results are byte-identical on or
+        off.
         """
         metrics = ExecutionMetrics()
+        if tracer is not None:
+            metrics.tracer = tracer
         if context is not None and context.enabled:
             metrics.context = context
             try:
@@ -234,6 +245,14 @@ class Executor:
             except ResilienceError as exc:
                 if exc.partial_metrics is None:
                     exc.partial_metrics = metrics
+                if tracer is not None:
+                    # The abort cause as an instant event under whatever
+                    # span was open when the limit tripped.
+                    tracer.event(
+                        "resilience.abort",
+                        cause=type(exc).__name__,
+                        detail=str(exc),
+                    )
                 raise
         return self._execute_guarded(plan, predicate_overrides, metrics)
 
@@ -260,15 +279,27 @@ class Executor:
                 relation = self._run(
                     inner.child, metrics, filters, needed, overrides
                 )
-                aggregates = self._aggregate(inner, relation, metrics)
-                aggregates = self._topk_aggregates(plan, aggregates, metrics)
+                aggregates = self._finalize(
+                    "aggregate", inner, metrics,
+                    lambda: self._aggregate(inner, relation, metrics),
+                )
+                aggregates = self._finalize(
+                    "topk", plan, metrics,
+                    lambda: self._topk_aggregates(plan, aggregates, metrics),
+                )
                 aggregates = _drop_hidden(inner, aggregates)
             else:
                 relation = self._run(inner, metrics, filters, needed, overrides)
-                relation = self._topk_relation(plan, relation, metrics)
+                relation = self._finalize(
+                    "topk", plan, metrics,
+                    lambda: self._topk_relation(plan, relation, metrics),
+                )
         elif isinstance(plan, AggregateNode):
             relation = self._run(plan.child, metrics, filters, needed, overrides)
-            aggregates = self._aggregate(plan, relation, metrics)
+            aggregates = self._finalize(
+                "aggregate", plan, metrics,
+                lambda: self._aggregate(plan, relation, metrics),
+            )
             aggregates = _drop_hidden(plan, aggregates)
         else:
             relation = self._run(plan, metrics, filters, needed, overrides)
@@ -299,7 +330,47 @@ class Executor:
         if context is not None:
             context.checkpoint(metrics)
 
+    def _finalize(self, name: str, node: PlanNode,
+                  metrics: ExecutionMetrics, fn):
+        """Run one root-finalize step (aggregate / top-k) under a span.
+
+        Disarmed, this is the bare call; armed, the step gets a span and
+        its inclusive wall time lands on the node's metrics record.
+        """
+        tracer = metrics.tracer
+        if tracer is None:
+            return fn()
+        span = tracer.span(name, node_id=node.node_id, label=node.label)
+        with span:
+            result = fn()
+        metrics.add_wall(node.node_id, span.duration)
+        return result
+
     def _run(
+        self,
+        node: PlanNode,
+        metrics: ExecutionMetrics,
+        filters: dict[int, BitvectorFilter],
+        needed: dict[str, set[str]],
+        overrides: dict[str, object],
+    ) -> Relation:
+        tracer = metrics.tracer
+        if tracer is None:
+            return self._dispatch(node, metrics, filters, needed, overrides)
+        span = tracer.span(
+            "node", node_id=node.node_id, label=node.label
+        )
+        with span:
+            relation = self._dispatch(
+                node, metrics, filters, needed, overrides
+            )
+            span.set(rows_out=relation.num_rows)
+        # Inclusive (children counted): the same convention EXPLAIN
+        # ANALYZE reports in most engines, taken from the span's clock.
+        metrics.add_wall(node.node_id, span.duration)
+        return relation
+
+    def _dispatch(
         self,
         node: PlanNode,
         metrics: ExecutionMetrics,
@@ -360,6 +431,28 @@ class Executor:
         """
         workers = [ExecutionMetrics() for _ in ranges]
         context = metrics.context
+        tracer = metrics.tracer
+        if tracer is not None:
+            # The parent id is captured here, on the dispatching thread,
+            # so each worker's "morsel" span hangs under the plan-node
+            # (or filter-build) span that fanned the region out.
+            parent = tracer.current_span_id()
+
+            def fn(start: int, stop: int, worker: ExecutionMetrics,
+                   _fn=fn, _parent=parent):
+                with tracer.span(
+                    "morsel", parent=_parent, rows_in=stop - start
+                ) as span:
+                    result = _fn(start, stop, worker)
+                    rows = _result_rows(result)
+                    if rows is not None:
+                        span.set(rows_out=rows)
+                    if worker.morsels_pruned or worker.rows_skipped:
+                        span.set(
+                            morsels_pruned=worker.morsels_pruned,
+                            rows_skipped=worker.rows_skipped,
+                        )
+                return result
         if sizer is None:
             inner = fn
         else:
@@ -548,12 +641,21 @@ class Executor:
                       pruned: list[bool]) -> list[tuple[int, int]]:
         """Account the pruned morsels into ``metrics``; return the kept."""
         kept = []
+        pruned_count = skipped = 0
         for row_range, flag in zip(ranges, pruned):
             if flag:
-                metrics.morsels_pruned += 1
-                metrics.rows_skipped += row_range[1] - row_range[0]
+                pruned_count += 1
+                skipped += row_range[1] - row_range[0]
             else:
                 kept.append(row_range)
+        metrics.morsels_pruned += pruned_count
+        metrics.rows_skipped += skipped
+        if metrics.tracer is not None and pruned_count:
+            metrics.tracer.event(
+                "zone.prune",
+                morsels_pruned=pruned_count,
+                rows_skipped=skipped,
+            )
         return kept
 
     def _scan_selection_with_zones(
@@ -576,15 +678,26 @@ class Executor:
         whole-relation ``flatnonzero`` exactly.
         """
         eval_ranges = []
+        pruned_count = accepted_count = skipped = 0
         for row_range, is_pruned, is_accepted in zip(ranges, pruned, accepted):
             if is_pruned:
-                metrics.morsels_pruned += 1
-                metrics.rows_skipped += row_range[1] - row_range[0]
+                pruned_count += 1
+                skipped += row_range[1] - row_range[0]
             elif is_accepted:
-                metrics.morsels_short_circuited += 1
-                metrics.rows_skipped += row_range[1] - row_range[0]
+                accepted_count += 1
+                skipped += row_range[1] - row_range[0]
             else:
                 eval_ranges.append(row_range)
+        metrics.morsels_pruned += pruned_count
+        metrics.morsels_short_circuited += accepted_count
+        metrics.rows_skipped += skipped
+        if metrics.tracer is not None and skipped:
+            metrics.tracer.event(
+                "zone.prune",
+                morsels_pruned=pruned_count,
+                morsels_short_circuited=accepted_count,
+                rows_skipped=skipped,
+            )
         evaluated = iter(
             self._selection_parts_over_ranges(
                 relation, eval_ranges, metrics, mask_fn
@@ -718,6 +831,13 @@ class Executor:
         # output).
         metrics.morsels_band_searched += len(self._table_ranges(table))
         metrics.rows_skipped += table.num_rows
+        if metrics.tracer is not None:
+            metrics.tracer.event(
+                "scan.band_search",
+                table=table.name,
+                column=column,
+                band_rows=hi - lo,
+            )
         return lo, hi
 
     def _bitvector_zone_pruning(
@@ -1024,14 +1144,28 @@ class Executor:
                 # nothing; the build phase is wall-clocked here so the
                 # metrics see only constructions actually paid for.
                 started = time.perf_counter()
-                built = self._build_join_filter(definition, build_rel, metrics)
+                tracer = metrics.tracer
+                if tracer is None:
+                    built = self._build_join_filter(
+                        definition, build_rel, metrics
+                    )
+                else:
+                    with tracer.span(
+                        "filter.build",
+                        filter_id=definition.filter_id,
+                        build_rows=build_rel.num_rows,
+                        kind=self._filter_kind,
+                    ):
+                        built = self._build_join_filter(
+                            definition, build_rel, metrics
+                        )
                 metrics.filter_build_seconds += time.perf_counter() - started
                 return built
 
             cache_key = self._cacheable_filter_key(node, definition, overrides)
             if cache_key is not None:
                 bitvector, was_cached = self._filter_cache.get_or_build(
-                    cache_key, build_filter
+                    cache_key, build_filter, tracer=metrics.tracer
                 )
                 filters[definition.filter_id] = bitvector
                 if was_cached:
@@ -1711,6 +1845,24 @@ class Executor:
 # ----------------------------------------------------------------------
 # Helpers
 # ----------------------------------------------------------------------
+
+
+def _result_rows(result) -> int | None:
+    """Output-row count of one morsel task's result, when recognisable.
+
+    Selection/gather tasks return an offset array; probe tasks return a
+    ``(build_idx, probe_idx)`` pair.  Anything else reports None — the
+    morsel span then simply carries no ``rows_out`` attribute.
+    """
+    if isinstance(result, np.ndarray):
+        return int(len(result))
+    if (
+        isinstance(result, tuple)
+        and len(result) == 2
+        and isinstance(result[1], np.ndarray)
+    ):
+        return int(len(result[1]))
+    return None
 
 
 def _morsel_task(fn, start: int, stop: int, worker: ExecutionMetrics,

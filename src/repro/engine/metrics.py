@@ -40,6 +40,10 @@ class NodeMetrics:
     components: dict[str, float] = dataclasses.field(
         default_factory=lambda: {name: 0.0 for name in _COMPONENTS}
     )
+    # Inclusive wall-clock seconds spent producing this node's output
+    # (children included).  Only filled while a tracer is armed — the
+    # disarmed path never reads a clock per node.
+    wall_seconds: float = 0.0
 
     def add(self, component: str, count: float) -> None:
         self.components[component] += count
@@ -121,6 +125,13 @@ class ExecutionMetrics:
         # operator already sees.  None (the default, and for worker
         # metrics) keeps every checkpoint a single None test.
         self.context = None
+        # Optional repro.obs.Tracer, attached by the executor when the
+        # caller opted into tracing.  Same pattern as context/sizer:
+        # every instrumented site is guarded by `metrics.tracer is not
+        # None`, so the disarmed path costs one attribute load.  Worker
+        # metrics stay None; morsel spans are opened by the task
+        # wrapper with an explicit parent id instead.
+        self.tracer = None
 
     def count_copy(self, rows: int, nbytes: int) -> None:
         """Record one column materialization (called by Relation)."""
@@ -161,6 +172,12 @@ class ExecutionMetrics:
         self.filter_builds_parallel += worker.filter_builds_parallel
         self.filter_partials_built += worker.filter_partials_built
         self.filter_build_seconds += worker.filter_build_seconds
+
+    def add_wall(self, node_id: int, seconds: float) -> None:
+        """Accumulate inclusive wall time on a node (tracer-armed only)."""
+        record = self._nodes.get(node_id)
+        if record is not None:
+            record.wall_seconds += seconds
 
     def node(self, node_id: int, label: str, kind: str) -> NodeMetrics:
         metrics = self._nodes.get(node_id)

@@ -100,13 +100,19 @@ class BitvectorFilterCache(LruCache):
         self._builds_deduped = 0
 
     def get_or_build(
-        self, key: tuple, builder: Callable[[], BitvectorFilter]
+        self, key: tuple, builder: Callable[[], BitvectorFilter],
+        tracer=None,
     ) -> tuple[BitvectorFilter, bool]:
         """Return ``(filter, was_cached)``, building and caching on miss.
 
         ``was_cached`` is True both for plain cache hits and for waits
         resolved by another thread's in-flight build — either way this
         caller paid no construction.
+
+        ``tracer`` (an optional :class:`repro.obs.Tracer`) records a
+        ``filter.cache.wait`` span around each single-flight wait, so
+        time spent riding another query's in-flight build is visible in
+        traces rather than silently folded into execute latency.
         """
         waited = False
         while True:
@@ -126,7 +132,11 @@ class BitvectorFilterCache(LruCache):
                 else:
                     is_builder = False
             if not is_builder:
-                pending.event.wait()
+                if tracer is None:
+                    pending.event.wait()
+                else:
+                    with tracer.span("filter.cache.wait"):
+                        pending.event.wait()
                 if pending.error is not None:
                     # The build this caller was riding on failed; every
                     # rider shares its fate (one failure, not N retries

@@ -160,6 +160,7 @@ def optimize_query(
     lambda_thresh: float = DEFAULT_LAMBDA_THRESH,
     build_parallelism: int = 1,
     context=None,
+    tracer=None,
 ) -> OptimizedPlan:
     """Optimize ``spec`` with a named pipeline.
 
@@ -176,6 +177,10 @@ def optimize_query(
     :class:`~repro.errors.QueryTimeout` instead of burning the deadline
     before execution even starts.
 
+    ``tracer`` (a :class:`repro.obs.Tracer`) wraps the pipeline run in
+    an ``optimize`` span carrying the pipeline name and the resulting
+    plan's estimated cout; ``None`` is the zero-overhead default.
+
     >>> # doctest-style sketch; see examples/quickstart.py for a runnable one
     """
     try:
@@ -185,9 +190,19 @@ def optimize_query(
             f"unknown pipeline {pipeline!r}; expected one of {sorted(PIPELINES)}"
         ) from None
     started = time.perf_counter()
-    optimized = runner(
-        database, spec, lambda_thresh, build_parallelism=build_parallelism,
-        context=context,
-    )
+    if tracer is None:
+        optimized = runner(
+            database, spec, lambda_thresh,
+            build_parallelism=build_parallelism, context=context,
+        )
+    else:
+        with tracer.span(
+            "optimize", pipeline=pipeline, query=spec.name
+        ) as span:
+            optimized = runner(
+                database, spec, lambda_thresh,
+                build_parallelism=build_parallelism, context=context,
+            )
+            span.set(estimated_cout=optimized.estimated_cout)
     optimized.optimize_seconds = time.perf_counter() - started
     return optimized

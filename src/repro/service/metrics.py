@@ -30,6 +30,11 @@ class ServiceMetrics:
     output_rows: int
     filter_cache_hits: int
     filter_cache_misses: int
+    # Wall-clock for the whole service call, end to end: optimize +
+    # execute + (for run_many slots) every retry attempt.  Carried on
+    # every record — including the error records batch isolation builds
+    # — so batch telemetry never needs re-timing by callers.
+    wall_seconds: float = 0.0
     # Zero-copy execution accounting (repro.engine.metrics): columns
     # actually gathered and join-key encodings served by the
     # table-resident dictionary indexes.
@@ -83,6 +88,7 @@ class ServiceStats:
     invalidations: int = 0
     total_optimize_seconds: float = 0.0
     total_execute_seconds: float = 0.0
+    total_wall_seconds: float = 0.0
     total_metered_cpu: float = 0.0
     total_rows_copied: int = 0
     total_bytes_gathered: int = 0
@@ -107,6 +113,10 @@ class ServiceStats:
     timeouts: int = 0
     degradations: int = 0
     retries: int = 0
+    # Latency/row histogram snapshots (repro.obs.ServiceTelemetry),
+    # attached by QueryService.stats() at snapshot time — never folded,
+    # the telemetry registry is the live aggregate.
+    telemetry: dict = dataclasses.field(default_factory=dict)
 
     def fold(self, metrics: ServiceMetrics) -> None:
         self.queries += 1
@@ -118,6 +128,7 @@ class ServiceStats:
         self.filter_cache_misses += metrics.filter_cache_misses
         self.total_optimize_seconds += metrics.optimize_seconds
         self.total_execute_seconds += metrics.execute_seconds
+        self.total_wall_seconds += metrics.wall_seconds
         self.total_metered_cpu += metrics.metered_cpu
         self.total_rows_copied += metrics.rows_copied
         self.total_bytes_gathered += metrics.bytes_gathered

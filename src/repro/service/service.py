@@ -41,6 +41,7 @@ from repro.engine.parallel import DEFAULT_MORSEL_ROWS
 from repro.errors import QueryTimeout, ResourceExhausted, ServiceError
 from repro.expr.expressions import substitute_parameters
 from repro.filters.cache import BitvectorFilterCache
+from repro.obs import ServiceTelemetry, Tracer
 from repro.optimizer.pipelines import PIPELINES, optimize_query
 from repro.plan.display import format_plan
 from repro.service.metrics import ServiceMetrics, ServiceStats
@@ -137,6 +138,17 @@ class QueryService:
     retry_policy:
         Optional :class:`~repro.service.retry.RetryPolicy` applied by
         :meth:`run_many` to whitelisted transient failures.
+    tracer:
+        Optional :class:`repro.obs.Tracer` armed for *every* query this
+        service runs (per-call override on :meth:`execute`;
+        :meth:`explain_analyze` always arms a fresh one).  ``None``
+        (default) keeps every instrumented site a single attribute
+        test, and results are byte-identical on or off.  Independently
+        of tracing, the service keeps an always-on
+        :class:`repro.obs.ServiceTelemetry` registry of latency/row
+        histograms (see :meth:`telemetry_snapshot`) — those record from
+        values the service already measured, so they cost one histogram
+        increment per query.
     """
 
     def __init__(
@@ -157,6 +169,7 @@ class QueryService:
         budget: ResourceBudget | None = None,
         degrade: str = "error",
         retry_policy: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if pipeline not in PIPELINES:
             raise ServiceError(
@@ -197,6 +210,10 @@ class QueryService:
             zone_maps=zone_maps,
         )
         self._stats = ServiceStats()
+        self.telemetry = ServiceTelemetry()
+        self._tracer = tracer
+        if tracer is not None and tracer.telemetry is None:
+            tracer.telemetry = self.telemetry
         self._lock = threading.Lock()
         self._schema_version = database.schema_version
         # Persistent run_many pool: created lazily on the first batch,
@@ -217,6 +234,7 @@ class QueryService:
         pipeline: str | None = None,
         deadline_seconds: float | None = None,
         budget: ResourceBudget | None = None,
+        tracer: Tracer | None = None,
     ) -> ServiceResult:
         """Parse (or recognize), optimize (or reuse), and execute ``sql``.
 
@@ -226,11 +244,22 @@ class QueryService:
         raises the matching :class:`~repro.errors.ResilienceError` —
         unless ``degrade="serial"`` absorbs a budget breach — and the
         failure is counted in :meth:`stats`.
+
+        ``tracer`` arms structured tracing for this one statement
+        (``None`` inherits the service default, usually off): the call
+        records an ``execute`` span over parse/bind, plan-cache
+        lookup, optimize, and every engine-level span (see
+        :mod:`repro.obs`).
         """
+        wall_started = time.perf_counter()
         pipeline = pipeline or self._pipeline
         context = self._make_context(name, deadline_seconds, budget)
+        if tracer is None:
+            tracer = self._tracer
         try:
-            return self._execute_once(sql, name, pipeline, context)
+            return self._execute_once(
+                sql, name, pipeline, context, tracer, wall_started
+            )
         except BaseException as exc:
             with self._lock:
                 self._stats.failures += 1
@@ -259,10 +288,37 @@ class QueryService:
         name: str,
         pipeline: str,
         context: ExecutionContext | None,
+        tracer: Tracer | None = None,
+        wall_started: float | None = None,
     ) -> ServiceResult:
+        if tracer is None:
+            return self._execute_body(
+                sql, name, pipeline, context, None, wall_started
+            )
+        with tracer.span("execute", query=name, pipeline=pipeline) as span:
+            outcome = self._execute_body(
+                sql, name, pipeline, context, tracer, wall_started
+            )
+            span.set(
+                rows=outcome.num_rows,
+                plan_cache_hit=outcome.metrics.plan_cache_hit,
+            )
+        return outcome
+
+    def _execute_body(
+        self,
+        sql: str,
+        name: str,
+        pipeline: str,
+        context: ExecutionContext | None,
+        tracer: Tracer | None,
+        wall_started: float | None,
+    ) -> ServiceResult:
+        if wall_started is None:
+            wall_started = time.perf_counter()
         started = time.perf_counter()
         entry, fingerprint, overrides, hit = self._prepare(
-            sql, pipeline, context
+            sql, pipeline, context, tracer
         )
         optimize_seconds = time.perf_counter() - started
 
@@ -270,7 +326,8 @@ class QueryService:
         started = time.perf_counter()
         try:
             result = self._executor.execute(
-                entry.plan, predicate_overrides=overrides, context=context
+                entry.plan, predicate_overrides=overrides, context=context,
+                tracer=tracer,
             )
         except ResourceExhausted:
             if self._degrade != "serial" or context is None:
@@ -280,6 +337,11 @@ class QueryService:
             # filter cache, deadline still live on a fresh token,
             # budget unenforced so the retry cannot trip it again).
             degraded = True
+            if tracer is not None:
+                tracer.event(
+                    "degrade", query=name, cause="ResourceExhausted",
+                    mode="serial",
+                )
             fallback_context = (
                 ExecutionContext(query=name, deadline=context.deadline)
                 if context.deadline is not None
@@ -288,9 +350,18 @@ class QueryService:
             result = self._fallback(  # serial, eager-off
             ).execute(
                 entry.plan, predicate_overrides=overrides,
-                context=fallback_context,
+                context=fallback_context, tracer=tracer,
             )
         execute_seconds = time.perf_counter() - started
+
+        telemetry = self.telemetry
+        telemetry.record("execute_seconds", execute_seconds)
+        telemetry.record("optimize_seconds", optimize_seconds)
+        if result.metrics.filter_build_seconds:
+            telemetry.record(
+                "filter_build_seconds", result.metrics.filter_build_seconds
+            )
+        telemetry.record("output_rows", result.num_rows)
 
         metrics = ServiceMetrics(
             query=name,
@@ -317,6 +388,7 @@ class QueryService:
             filter_builds_parallel=result.metrics.filter_builds_parallel,
             filter_build_seconds=result.metrics.filter_build_seconds,
             degraded=degraded,
+            wall_seconds=time.perf_counter() - wall_started,
         )
         with self._lock:
             self._stats.fold(metrics)
@@ -394,6 +466,7 @@ class QueryService:
     ) -> ServiceResult:
         """One batch statement: retries applied, failure captured."""
         attempts = 0
+        wall_started = time.perf_counter()
         try:
             if self._retry_policy is None:
                 return self.execute(sql, name=name, pipeline=pipeline)
@@ -406,7 +479,10 @@ class QueryService:
                 outcome = ServiceResult(
                     result=outcome.result,
                     metrics=dataclasses.replace(
-                        outcome.metrics, retries=attempts
+                        outcome.metrics, retries=attempts,
+                        # The slot's wall clock covers every attempt,
+                        # not just the one that answered.
+                        wall_seconds=time.perf_counter() - wall_started,
                     ),
                     error=None,
                 )
@@ -425,6 +501,7 @@ class QueryService:
                 filter_cache_misses=0,
                 retries=attempts,
                 error=f"{type(exc).__name__}: {exc}",
+                wall_seconds=time.perf_counter() - wall_started,
             )
             if attempts:
                 with self._lock:
@@ -548,9 +625,117 @@ class QueryService:
         return "\n".join(header) + "\n" + format_plan(entry.plan)
 
     def stats(self) -> ServiceStats:
-        """Snapshot of service-level aggregates."""
+        """Snapshot of service-level aggregates.
+
+        The snapshot's ``telemetry`` field carries the latency/row
+        histogram summaries (count/mean/p50/p95/p99 per histogram) from
+        the service's :class:`repro.obs.ServiceTelemetry` registry.
+        """
         with self._lock:
-            return self._stats.snapshot()
+            snapshot = self._stats.snapshot()
+        snapshot.telemetry = self.telemetry.snapshot()
+        return snapshot
+
+    def telemetry_snapshot(self) -> dict:
+        """Histogram summaries keyed by name (execute/optimize/filter-
+        build/morsel-task latency, output rows): count, total, mean,
+        min, max, and p50/p95/p99 quantile estimates.  The morsel-task
+        histogram fills only while a tracer is armed; everything else
+        is always on."""
+        return self.telemetry.snapshot()
+
+    def explain_analyze(
+        self,
+        sql: str,
+        name: str = "explain_analyze",
+        pipeline: str | None = None,
+    ) -> str:
+        """Execute ``sql`` under a fresh tracer and render the profile.
+
+        The plan tree is annotated per node with *actual* rows,
+        inclusive wall time, and metered CPU next to the optimizer's
+        cardinality estimate — the standard EXPLAIN ANALYZE contract.
+        The header summarizes the call (wall/optimize/execute split,
+        plan-cache outcome, pruning and filter-build counters) and the
+        trace (span count per name).  Tracing is armed for this call
+        only; results are byte-identical to a plain :meth:`execute`.
+        """
+        pipeline = pipeline or self._pipeline
+        tracer = Tracer(telemetry=self.telemetry)
+        outcome = self.execute(sql, name=name, pipeline=pipeline, tracer=tracer)
+        result = outcome.result
+        metrics = outcome.metrics
+        entry, fingerprint, _overrides, _hit = self._prepare(sql, pipeline)
+
+        # Optimizer estimates, re-derived with the same model the
+        # pipelines cost plans with (cold path — one parse + bind).
+        from repro.cost.cout import EstimatedCardModel
+        from repro.stats.estimator import CardinalityEstimator
+
+        statement = parse_select(sql)
+        spec = bind_select(self._database, statement, name)
+        model = EstimatedCardModel(
+            CardinalityEstimator(self._database, spec.alias_tables)
+        )
+        executed = {node.node_id: node for node in result.metrics.nodes}
+        annotations: dict[int, str] = {}
+        for node in entry.plan.walk():
+            record = executed.get(node.node_id)
+            try:
+                estimate = f"{model.rows_out(node):.0f}"
+            except Exception:
+                estimate = "n/a"
+            if record is None:
+                annotations[node.node_id] = f"(est {estimate} rows, not run)"
+                continue
+            annotations[node.node_id] = (
+                f"actual {record.rows_out} rows in "
+                f"{record.wall_seconds * 1e3:.2f} ms"
+                f" (cpu {record.cpu():.0f}, est {estimate} rows)"
+            )
+
+        span_counts: dict[str, int] = {}
+        for span in tracer.spans():
+            span_counts[span.name] = span_counts.get(span.name, 0) + 1
+        morsels = tracer.spans("morsel")
+        header = [
+            f"-- EXPLAIN ANALYZE {metrics.query}  pipeline {pipeline}"
+            f"  plan cache {'HIT' if metrics.plan_cache_hit else 'MISS'}",
+            f"-- wall {metrics.wall_seconds * 1e3:.2f} ms = optimize "
+            f"{metrics.optimize_seconds * 1e3:.2f} ms + execute "
+            f"{metrics.execute_seconds * 1e3:.2f} ms; "
+            f"{metrics.output_rows} rows out",
+            f"-- pruning: {metrics.morsels_pruned} morsels pruned, "
+            f"{metrics.morsels_short_circuited} short-circuited, "
+            f"{metrics.morsels_band_searched} band-searched, "
+            f"{metrics.rows_skipped} rows skipped",
+            f"-- filters: {metrics.filter_cache_hits} cache hits / "
+            f"{metrics.filter_cache_misses} misses, "
+            f"{metrics.filter_build_seconds * 1e3:.2f} ms built"
+            + (
+                f" ({metrics.filter_builds_parallel} partitioned)"
+                if metrics.filter_builds_parallel
+                else ""
+            ),
+            "-- spans: "
+            + (
+                ", ".join(
+                    f"{span_name}={count}"
+                    for span_name, count in sorted(span_counts.items())
+                )
+                or "(none)"
+            )
+            + (f", {tracer.dropped} dropped" if tracer.dropped else ""),
+        ]
+        if morsels:
+            total = sum(span.duration for span in morsels)
+            header.append(
+                f"-- morsel tasks: {len(morsels)} spanning "
+                f"{total * 1e3:.2f} ms of worker time"
+            )
+        return "\n".join(header) + "\n" + format_plan(
+            entry.plan, annotations=annotations
+        )
 
     def invalidate(self) -> None:
         """Drop every cached plan and filter (e.g. after a data reload)."""
@@ -565,7 +750,9 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def _prepare(
-        self, sql: str, pipeline: str, context: ExecutionContext | None = None
+        self, sql: str, pipeline: str,
+        context: ExecutionContext | None = None,
+        tracer: Tracer | None = None,
     ) -> tuple[CachedPlan, QueryFingerprint, dict, bool]:
         """Fingerprint ``sql`` and return an executable cached entry.
 
@@ -580,12 +767,18 @@ class QueryService:
         key = (fingerprint.text, pipeline)
         entry = self.plan_cache.get(key)
         hit = entry is not None
+        if tracer is not None:
+            tracer.event(
+                "plan_cache", hit=hit, fingerprint=fingerprint.digest
+            )
         if entry is None:
             # Read the generation before the (slow) build: if an
             # invalidation lands mid-optimize, the put is dropped and
             # the possibly-stale plan serves only this one request.
             generation = self.plan_cache.generation
-            entry = self._build_entry(sql, fingerprint, pipeline, context)
+            entry = self._build_entry(
+                sql, fingerprint, pipeline, context, tracer
+            )
             self.plan_cache.put(key, entry, generation=generation)
         if entry.num_parameters != fingerprint.num_parameters:
             raise ServiceError(
@@ -605,18 +798,30 @@ class QueryService:
         fingerprint: QueryFingerprint,
         pipeline: str,
         context: ExecutionContext | None = None,
+        tracer: Tracer | None = None,
     ) -> CachedPlan:
         """Cache-miss path: full parse → bind → optimize."""
-        statement = parse_select(sql)
-        template_statement, parameters = parameterize_statement(statement)
-        if parameters != fingerprint.parameters:
-            raise ServiceError(
-                "parameter extraction mismatch between token stream and AST "
-                f"({parameters!r} vs {fingerprint.parameters!r})"
+
+        def parse_and_bind():
+            statement = parse_select(sql)
+            template_statement, parameters = parameterize_statement(statement)
+            if parameters != fingerprint.parameters:
+                raise ServiceError(
+                    "parameter extraction mismatch between token stream "
+                    f"and AST ({parameters!r} vs {fingerprint.parameters!r})"
+                )
+            name = f"q_{fingerprint.digest}"
+            spec = bind_select(self._database, statement, name)
+            template_spec = bind_select(
+                self._database, template_statement, name
             )
-        name = f"q_{fingerprint.digest}"
-        spec = bind_select(self._database, statement, name)
-        template_spec = bind_select(self._database, template_statement, name)
+            return spec, template_spec
+
+        if tracer is None:
+            spec, template_spec = parse_and_bind()
+        else:
+            with tracer.span("parse_bind", fingerprint=fingerprint.digest):
+                spec, template_spec = parse_and_bind()
         optimized = optimize_query(
             self._database, spec, pipeline, lambda_thresh=self._lambda_thresh,
             # Filter selection discounts build cost by the executor
@@ -624,6 +829,7 @@ class QueryService:
             # partitioned build pipeline).
             build_parallelism=self._executor.parallelism,
             context=context,
+            tracer=tracer,
         )
         return CachedPlan(
             fingerprint=fingerprint.digest,

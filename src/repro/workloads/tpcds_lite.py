@@ -575,3 +575,14 @@ _QUERIES: list[tuple[str, str]] = [
 def queries(database: Database) -> list[QuerySpec]:
     """Bind the TPC-DS-lite query set against a built database."""
     return [parse_query(database, sql, name) for name, sql in _QUERIES]
+
+
+def query_sqls() -> list[tuple[str, str]]:
+    """The workload's ``(name, sql)`` pairs, unbound.
+
+    Service-level benchmarks (e.g. ``repro.bench.trace_overhead``) feed
+    these through :class:`repro.service.QueryService` so the measured
+    path includes parsing, plan caching, and instrumentation — not just
+    pre-bound plan execution.
+    """
+    return list(_QUERIES)

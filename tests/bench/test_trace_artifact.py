@@ -1,0 +1,22 @@
+"""The committed trace-overhead artifact must hold its acceptance gates.
+
+CI gates the committed ``BENCH_trace_overhead.json`` with
+``tools/check_trace_overhead.py`` (armed overhead < 3%, disarmed noise
+<= 0.5%, on/off checksum identity at parallelism 1 and 4); this test
+keeps the same gate inside the tier-1 run so a regenerated artifact
+that misses the contract fails before it ships.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_trace_overhead import check  # noqa: E402
+
+
+def test_committed_artifact_passes_the_observability_gates():
+    assert check(REPO_ROOT / "BENCH_trace_overhead.json") == []

@@ -1,0 +1,137 @@
+"""Metrics under concurrency: merges lose nothing, snapshots never tear."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.metrics import ExecutionMetrics
+from repro.service import QueryService
+
+_SQL = (
+    "SELECT COUNT(*) AS cnt FROM fact f, dim1 d1 "
+    "WHERE f.fk1 = d1.id AND d1.v < {threshold}"
+)
+
+
+def test_merge_counters_is_exact_over_many_workers():
+    main = ExecutionMetrics()
+    workers = []
+    for index in range(1, 33):
+        worker = ExecutionMetrics()
+        worker.rows_copied = index
+        worker.bytes_gathered = 8 * index
+        worker.morsels_pruned = 1
+        worker.rows_skipped = 100
+        worker.filter_build_seconds = 0.25
+        workers.append(worker)
+    for worker in workers:
+        main.merge_counters(worker)
+    assert main.rows_copied == sum(range(1, 33))
+    assert main.bytes_gathered == 8 * sum(range(1, 33))
+    assert main.morsels_pruned == 32
+    assert main.rows_skipped == 3200
+    assert main.filter_build_seconds == pytest.approx(8.0)
+
+
+def test_merge_counters_from_parallel_threads_loses_nothing():
+    """Workers merged sequentially after a barrier — the executor's
+    contract — even when the worker metrics were *filled* in parallel."""
+    per_worker = 1000
+    workers = [ExecutionMetrics() for _ in range(8)]
+
+    def fill(worker: ExecutionMetrics) -> None:
+        for _ in range(per_worker):
+            worker.rows_copied += 1
+            worker.dictionary_hits += 2
+
+    threads = [
+        threading.Thread(target=fill, args=(worker,)) for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    main = ExecutionMetrics()
+    for worker in workers:
+        main.merge_counters(worker)
+    assert main.rows_copied == 8 * per_worker
+    assert main.dictionary_hits == 16 * per_worker
+
+
+def test_add_wall_accumulates_only_on_known_nodes():
+    metrics = ExecutionMetrics()
+    record = metrics.node(7, "HashJoin", "join")
+    metrics.add_wall(7, 0.5)
+    metrics.add_wall(7, 0.25)
+    metrics.add_wall(99, 1.0)  # unknown node: silently ignored
+    assert record.wall_seconds == pytest.approx(0.75)
+
+
+def test_concurrent_executes_never_tear_service_stats(star_db):
+    """stats() snapshots taken *during* a concurrent burst must be
+    internally consistent and monotonic — no torn or backwards counters."""
+    service = QueryService(star_db, parallelism=2)
+    executes, observers = 6, 2
+    threshold_counts = 4
+    done = threading.Event()
+    failures: list[str] = []
+
+    def run_queries(worker: int) -> None:
+        for round_index in range(threshold_counts):
+            service.execute(
+                _SQL.format(threshold=1 + (worker + round_index) % 9),
+                name=f"w{worker}_{round_index}",
+            )
+
+    def watch() -> None:
+        last_queries = 0
+        while not done.is_set():
+            stats = service.stats()
+            if stats.queries < last_queries:
+                failures.append("queries went backwards")
+            last_queries = stats.queries
+            if stats.plan_cache_hits + stats.plan_cache_misses != stats.queries:
+                failures.append(
+                    f"torn snapshot: {stats.plan_cache_hits}+"
+                    f"{stats.plan_cache_misses} != {stats.queries}"
+                )
+            # Telemetry records before the fold, so its count may run
+            # at most one in-flight query ahead per executor thread —
+            # but never behind what the folded stats already claim.
+            if stats.telemetry["execute_seconds"]["count"] < stats.queries:
+                failures.append("telemetry behind folded stats")
+
+    runners = [
+        threading.Thread(target=run_queries, args=(worker,))
+        for worker in range(executes)
+    ]
+    watchers = [threading.Thread(target=watch) for _ in range(observers)]
+    for thread in watchers + runners:
+        thread.start()
+    for thread in runners:
+        thread.join()
+    done.set()
+    for thread in watchers:
+        thread.join()
+
+    assert not failures
+    final = service.stats()
+    assert final.queries == executes * threshold_counts
+    assert final.plan_cache_hits + final.plan_cache_misses == final.queries
+    assert final.telemetry["execute_seconds"]["count"] == final.queries
+    assert final.total_wall_seconds >= final.total_execute_seconds > 0
+
+
+def test_run_many_folds_every_slot_exactly_once(star_db):
+    service = QueryService(star_db, parallelism=2)
+    sqls = [_SQL.format(threshold=1 + i % 7) for i in range(12)]
+    results = service.run_many(sqls, max_workers=4)
+    assert all(result.ok for result in results)
+    stats = service.stats()
+    assert stats.queries == len(sqls)
+    assert stats.telemetry["execute_seconds"]["count"] == len(sqls)
+    assert stats.total_wall_seconds == pytest.approx(
+        sum(result.metrics.wall_seconds for result in results), rel=0.25
+    )

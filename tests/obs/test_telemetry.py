@@ -1,0 +1,133 @@
+"""LogHistogram and ServiceTelemetry: quantiles, merging, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import LogHistogram, ServiceTelemetry, Tracer
+
+
+def test_snapshot_counts_totals_and_extremes():
+    histogram = LogHistogram(resolution=1e-6)
+    for value in (0.001, 0.002, 0.004, 0.1):
+        histogram.record(value)
+    snap = histogram.snapshot()
+    assert snap["count"] == 4
+    assert snap["total"] == pytest.approx(0.107)
+    assert snap["mean"] == pytest.approx(0.107 / 4)
+    assert snap["min"] == pytest.approx(0.001)
+    assert snap["max"] == pytest.approx(0.1)
+    assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+
+def test_quantiles_are_within_bucket_error_on_a_known_distribution():
+    rng = np.random.default_rng(7)
+    samples = rng.lognormal(mean=-6.0, sigma=1.0, size=10_000)
+    histogram = LogHistogram(resolution=1e-6)
+    for value in samples:
+        histogram.record(float(value))
+    for q in (0.50, 0.95, 0.99):
+        exact = float(np.quantile(samples, q))
+        estimate = histogram.quantile(q)
+        # Power-of-two buckets bound the error to the bucket width.
+        assert exact / 2 <= estimate <= exact * 2
+
+
+def test_small_sample_quantiles_stay_within_observed_range():
+    histogram = LogHistogram(resolution=1e-6)
+    histogram.record(0.003)
+    assert histogram.quantile(0.5) == pytest.approx(0.003)
+    assert histogram.quantile(0.99) == pytest.approx(0.003)
+    assert LogHistogram().quantile(0.5) == 0.0
+
+
+def test_negative_and_zero_values_clamp_to_the_first_bucket():
+    histogram = LogHistogram(resolution=1e-6)
+    histogram.record(0.0)
+    histogram.record(-1.0)
+    assert histogram.count == 2
+    assert histogram.quantile(0.5) <= 0.0  # clamped to observed max
+
+
+def test_merge_is_bucketwise_and_checks_resolution():
+    left = LogHistogram(resolution=1e-6)
+    right = LogHistogram(resolution=1e-6)
+    for value in (0.001, 0.002):
+        left.record(value)
+    for value in (0.004, 0.008, 0.016):
+        right.record(value)
+    left.merge(right)
+    snap = left.snapshot()
+    assert snap["count"] == 5
+    assert snap["total"] == pytest.approx(0.031)
+    assert snap["min"] == pytest.approx(0.001)
+    assert snap["max"] == pytest.approx(0.016)
+    with pytest.raises(ValueError):
+        left.merge(LogHistogram(resolution=1.0))
+    with pytest.raises(ValueError):
+        LogHistogram(resolution=0.0)
+
+
+def test_concurrent_records_lose_nothing():
+    histogram = LogHistogram(resolution=1e-6)
+    per_thread, threads = 5_000, 8
+
+    def record_many(value: float) -> None:
+        for _ in range(per_thread):
+            histogram.record(value)
+
+    workers = [
+        threading.Thread(target=record_many, args=(0.001 * (i + 1),))
+        for i in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    snap = histogram.snapshot()
+    assert snap["count"] == per_thread * threads
+    expected_total = per_thread * sum(0.001 * (i + 1) for i in range(threads))
+    assert snap["total"] == pytest.approx(expected_total)
+
+
+def test_registry_has_the_standing_histograms():
+    telemetry = ServiceTelemetry()
+    snap = telemetry.snapshot()
+    assert set(snap) == {
+        "execute_seconds",
+        "optimize_seconds",
+        "filter_build_seconds",
+        "morsel_task_seconds",
+        "output_rows",
+    }
+    telemetry.record("execute_seconds", 0.25)
+    assert telemetry.snapshot()["execute_seconds"]["count"] == 1
+    with pytest.raises(KeyError):
+        telemetry.record("unknown_histogram", 1.0)
+
+
+def test_observe_span_feeds_only_recognised_span_names():
+    telemetry = ServiceTelemetry()
+    tracer = Tracer(telemetry=telemetry)
+    with tracer.span("morsel", rows_in=100):
+        pass
+    with tracer.span("node", node_id=1):
+        pass
+    snap = telemetry.snapshot()
+    assert snap["morsel_task_seconds"]["count"] == 1
+    assert snap["execute_seconds"]["count"] == 0
+
+
+def test_registry_merge_folds_every_histogram():
+    left, right = ServiceTelemetry(), ServiceTelemetry()
+    left.record("execute_seconds", 0.1)
+    right.record("execute_seconds", 0.2)
+    right.record("output_rows", 42.0)
+    left.merge(right)
+    snap = left.snapshot()
+    assert snap["execute_seconds"]["count"] == 2
+    assert snap["output_rows"]["count"] == 1
+    assert snap["output_rows"]["max"] == pytest.approx(42.0)
