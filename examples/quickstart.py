@@ -118,6 +118,44 @@ def main() -> None:
     print(f"  stats: {stats.timeouts} timeouts, {stats.degradations} "
           f"degradations, {stats.failures} failures")
 
+    print()
+    print("=== serving real traffic: the admission-controlled asyncio facade ===")
+    import asyncio
+
+    from repro.errors import QueryShed
+    from repro.service import AdmissionConfig, AsyncQueryService
+
+    async def serve() -> None:
+        # Tiny queue + strict per-client quota so overload is visible
+        # in a quickstart; production configs run much wider.
+        config = AdmissionConfig(queue_capacity=4, quota_rate=2.0,
+                                 quota_burst=3.0)
+        async with AsyncQueryService(
+            database, pipeline="bqo", max_concurrency=2,
+            deadline_seconds=5.0, admission=config,
+        ) as svc:
+            answered = sheds = 0
+            for i in range(8):
+                try:
+                    result = await svc.execute(
+                        sql, name=f"async_{i}", client="dashboard",
+                        priority="interactive",
+                    )
+                    answered += 1
+                    if i == 0:
+                        print(f"  awaited orders={result.scalar('orders')}")
+                except QueryShed as shed:
+                    sheds += 1
+                    if sheds == 1:
+                        print(f"  shed ({shed.reason}): retry in "
+                              f"{shed.retry_after:.2f}s")
+            stats = svc.admission_stats()
+            print(f"  {answered} answered, {sheds} shed "
+                  f"(shed_rate={stats.shed_rate:.2f}, "
+                  f"admitted={stats.admitted})")
+
+    asyncio.run(serve())
+
 
 if __name__ == "__main__":
     main()

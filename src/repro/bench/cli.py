@@ -369,6 +369,47 @@ def run_trace_overhead(args) -> None:
     print(f"wrote {path}")
 
 
+def run_overload(args) -> None:
+    from repro.bench.overload import (
+        DEFAULT_SCALE,
+        run_overload as run_experiment,
+        write_overload_report,
+    )
+
+    payload = run_experiment(
+        scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+    )
+    rows = [
+        {
+            "load": f"{level['factor']}x",
+            "clients": level["clients"],
+            "goodput_qps": level["goodput_qps"],
+            "p50_ms": round(level["admitted_p50_seconds"] * 1e3, 2),
+            "p99_ms": round(level["admitted_p99_seconds"] * 1e3, 2),
+            "shed_rate": f"{level['shed_rate'] * 100:.1f}%",
+            "shed_p99_ms": round(level["shed_p99_seconds"] * 1e3, 3),
+            "identical": level["checksums_identical"],
+        }
+        for level in payload["levels"]
+    ]
+    print(render_table(
+        rows,
+        f"\n=== overload — closed-loop load vs. capacity "
+        f"({payload['max_concurrency']} slots, queue of "
+        f"{payload['queue_capacity']}, deadline "
+        f"{payload['deadline_seconds'] * 1e3:.0f} ms) ===",
+    ))
+    base = payload["levels"][0]["goodput_qps"]
+    peak = payload["levels"][-1]
+    if base:
+        print(
+            f"goodput at {peak['factor']}x load: "
+            f"{peak['goodput_qps'] / base * 100:.1f}% of the 1x level"
+        )
+    path = write_overload_report(payload, _artifact_path(args))
+    print(f"wrote {path}")
+
+
 class _Experiment:
     """One registry entry: help text, artifact default, and dispatch."""
 
@@ -418,6 +459,11 @@ EXPERIMENTS: dict[str, _Experiment] = {
         "structured tracing armed vs. off: overhead and answer identity",
         "BENCH_trace_overhead.json",
         run_trace_overhead,
+    ),
+    "overload": _Experiment(
+        "closed-loop load beyond capacity: shed rate, goodput, latency",
+        "BENCH_overload.json",
+        run_overload,
     ),
     "succinct-filters": _Experiment(
         "packed rank/select member tables and bitmap selections vs. dense",

@@ -1,0 +1,244 @@
+"""Overload benchmark: graceful shedding under load beyond capacity.
+
+Closed-loop load generation against the admission-controlled
+:class:`~repro.service.AsyncQueryService`: ``factor × max_concurrency``
+clients per level, each re-issuing star-workload queries back-to-back
+(a shed client backs off by the returned retry hint).  Levels at 1×,
+4×, and 16× capacity answer the overload questions that matter for a
+serving tier:
+
+* **Latency stays predictable.**  Admitted-query p50/p99 must stay
+  within the deadline at every level — queued queries consume their
+  deadline while waiting and are shed instead of served late.
+* **Sheds are cheap.**  A refusal is pure bookkeeping; its p99 must be
+  far below one query's service time (the 10 ms gate in
+  ``tools/check_overload.py``), and every shed carries a retry-after
+  hint.
+* **Goodput holds.**  Successful answers per second at 16× offered
+  load must stay within a whisker of the 1× level — overload cannot be
+  allowed to melt throughput (the classic congestion-collapse failure
+  of unbounded queues).
+* **Answers stay right.**  Every admitted answer is checksummed
+  against a serial oracle; load never changes results.
+
+Used by ``benchmarks/test_overload.py`` (loose, CI-noise tolerant) and
+by the CLI::
+
+    python -m repro.bench --experiment overload --output BENCH_overload.json
+
+The committed artifact carries the tight numbers from a quiet machine
+and is gated by ``tools/check_overload.py`` in tier-1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro.bench.harness import _checksum
+from repro.bench.reporting import available_cores
+from repro.bench.scaling import star_workload_sqls
+from repro.errors import QueryShed, QueryTimeout
+from repro.service import AdmissionConfig, AsyncQueryService, QueryService
+from repro.workloads import star
+
+DEFAULT_SCALE = 1.0
+DEFAULT_CONCURRENCY = 4
+DEFAULT_FACTORS = (1, 4, 16)
+DEFAULT_LEVEL_SECONDS = 2.0
+#: Deadline headroom over the calibrated mean service time.  Generous
+#: enough that 1× traffic never times out, tight enough that a 16×
+#: backlog cannot hide behind the queue.
+_DEADLINE_MULTIPLIER = 25.0
+_DEADLINE_FLOOR_SECONDS = 0.25
+#: Cap on how long a shed client backs off.  High enough that a shed
+#: client genuinely yields the machine (shed-handling churn would
+#: otherwise eat goodput on small hosts), low enough that offered load
+#: stays far beyond capacity at 16×.
+_MAX_BACKOFF_SECONDS = 0.25
+
+
+def _quantile(values: list[float], q: float) -> float:
+    """Nearest-rank quantile of ``values`` (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(int(q * len(ordered) + 0.999999) - 1, 0)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def _calibrate(database, sqls: list[str]) -> tuple[dict[str, float], float]:
+    """Serial oracle checksums plus the warm mean service time."""
+    service = QueryService(database)
+    oracle: dict[str, float] = {}
+    for sql in sqls:
+        oracle[sql] = _checksum(service.execute(sql).result)
+    started = time.perf_counter()
+    for sql in sqls:
+        service.execute(sql)
+    mean_service = (time.perf_counter() - started) / len(sqls)
+    service.close()
+    return oracle, mean_service
+
+
+async def _client(
+    service: AsyncQueryService,
+    sqls: list[str],
+    oracle: dict[str, float],
+    client_index: int,
+    deadline_seconds: float,
+    stop_at: float,
+    record: dict,
+) -> None:
+    """One closed-loop client: issue, measure, back off on shed, repeat."""
+    offset = client_index
+    while time.perf_counter() < stop_at:
+        sql = sqls[offset % len(sqls)]
+        offset += 1
+        started = time.perf_counter()
+        try:
+            result = await service.execute(
+                sql,
+                name=f"load_c{client_index}_{offset}",
+                client=f"client_{client_index}",
+                deadline_seconds=deadline_seconds,
+            )
+        except QueryShed as shed:
+            record["shed_latencies"].append(time.perf_counter() - started)
+            record["sheds_by_reason"][shed.reason] = (
+                record["sheds_by_reason"].get(shed.reason, 0) + 1
+            )
+            if shed.retry_after is None:
+                record["sheds_without_hint"] += 1
+            backoff = min(shed.retry_after or 0.001, _MAX_BACKOFF_SECONDS)
+            await asyncio.sleep(backoff)
+        except QueryTimeout:
+            record["timeouts"] += 1
+        else:
+            record["admitted_latencies"].append(
+                time.perf_counter() - started
+            )
+            if _checksum(result.result) != oracle[sql]:
+                record["checksum_mismatches"] += 1
+
+
+async def _run_level(
+    database,
+    sqls: list[str],
+    oracle: dict[str, float],
+    factor: int,
+    max_concurrency: int,
+    deadline_seconds: float,
+    level_seconds: float,
+) -> dict:
+    """One load level: ``factor × max_concurrency`` closed-loop clients."""
+    config = AdmissionConfig(queue_capacity=2 * max_concurrency)
+    record = {
+        "admitted_latencies": [],
+        "shed_latencies": [],
+        "sheds_by_reason": {},
+        "sheds_without_hint": 0,
+        "timeouts": 0,
+        "checksum_mismatches": 0,
+    }
+    async with AsyncQueryService(
+        database,
+        max_concurrency=max_concurrency,
+        admission=config,
+        parallelism=1,
+    ) as service:
+        # Warm the plan/filter caches and the service-time EWMA so the
+        # timed window measures steady state, not cold compilation.
+        for sql in sqls:
+            await service.execute(sql, deadline_seconds=deadline_seconds)
+        clients = factor * max_concurrency
+        started = time.perf_counter()
+        stop_at = started + level_seconds
+        await asyncio.gather(
+            *(
+                _client(
+                    service, sqls, oracle, i, deadline_seconds, stop_at, record
+                )
+                for i in range(clients)
+            )
+        )
+        elapsed = time.perf_counter() - started
+        stats = service.admission_stats()
+
+    admitted = record["admitted_latencies"]
+    sheds = record["shed_latencies"]
+    attempts = len(admitted) + len(sheds) + record["timeouts"]
+    return {
+        "factor": factor,
+        "clients": clients,
+        "elapsed_seconds": round(elapsed, 4),
+        "attempts": attempts,
+        "successes": len(admitted),
+        "sheds": len(sheds),
+        "timeouts": record["timeouts"],
+        "shed_rate": round(len(sheds) / attempts, 4) if attempts else 0.0,
+        "sheds_by_reason": record["sheds_by_reason"],
+        "sheds_without_hint": record["sheds_without_hint"],
+        "goodput_qps": round(len(admitted) / elapsed, 3),
+        "admitted_p50_seconds": round(_quantile(admitted, 0.50), 6),
+        "admitted_p99_seconds": round(_quantile(admitted, 0.99), 6),
+        "shed_p99_seconds": round(_quantile(sheds, 0.99), 6),
+        "checksum_mismatches": record["checksum_mismatches"],
+        "checksums_identical": record["checksum_mismatches"] == 0,
+        "max_queue_depth": stats.max_queue_depth,
+        "mean_wait_seconds": round(
+            stats.total_wait_seconds / stats.dispatched, 6
+        )
+        if stats.dispatched
+        else 0.0,
+    }
+
+
+def run_overload(
+    scale: float = DEFAULT_SCALE,
+    max_concurrency: int = DEFAULT_CONCURRENCY,
+    factors: tuple[int, ...] = DEFAULT_FACTORS,
+    level_seconds: float = DEFAULT_LEVEL_SECONDS,
+) -> dict:
+    """Run the closed-loop overload levels; returns a JSON-ready payload."""
+    database = star.build_database(scale=scale)
+    sqls = star_workload_sqls()
+    oracle, mean_service = _calibrate(database, sqls)
+    deadline_seconds = max(
+        _DEADLINE_FLOOR_SECONDS, _DEADLINE_MULTIPLIER * mean_service
+    )
+    levels = [
+        asyncio.run(
+            _run_level(
+                database,
+                sqls,
+                oracle,
+                factor,
+                max_concurrency,
+                deadline_seconds,
+                level_seconds,
+            )
+        )
+        for factor in factors
+    ]
+    return {
+        "experiment": "overload",
+        "cpu_cores": available_cores(),
+        "workload": "star-20q",
+        "scale": scale,
+        "max_concurrency": max_concurrency,
+        "queue_capacity": 2 * max_concurrency,
+        "level_seconds": level_seconds,
+        "calibrated_mean_service_seconds": round(mean_service, 6),
+        "deadline_seconds": round(deadline_seconds, 6),
+        "levels": levels,
+    }
+
+
+def write_overload_report(payload: dict, path: str | Path) -> Path:
+    """Write the overload payload as JSON (the in-repo artifact)."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

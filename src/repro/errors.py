@@ -86,6 +86,17 @@ class ServiceError(ReproError):
     """
 
 
+class ServiceClosed(ServiceError):
+    """Raised when a query reaches a service that has been closed.
+
+    :meth:`repro.service.QueryService.close` and
+    :meth:`repro.service.AsyncQueryService.close` are terminal and
+    idempotent: in-flight queries complete, queued admissions are
+    cancelled with this error, and every later submission raises it
+    immediately instead of touching a dead pool.
+    """
+
+
 class ResilienceError(ReproError):
     """Base for resource-policy failures of one in-flight query.
 
@@ -135,3 +146,26 @@ class ResourceExhausted(ResilienceError):
     can instead degrade the query to the serial path when configured
     with ``degrade="serial"``.
     """
+
+
+class QueryShed(ResilienceError):
+    """Raised when admission control refuses a query under overload.
+
+    Shedding is the service tier protecting the queries it already
+    accepted: a shed response returns in microseconds instead of
+    queueing doomed work.  ``reason`` names the policy that refused
+    admission (``"quota"``, ``"queue"``, ``"deadline"``, ``"breaker"``)
+    and ``retry_after`` is the controller's hint, in seconds, for when
+    a retry has a realistic chance of being admitted (``None`` when the
+    controller cannot estimate one).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "overload",
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after

@@ -144,13 +144,19 @@ class LogHistogram:
         return result
 
 
-# Histogram names -> resolution. Latencies at 1 µs; row counts at 1.
+# Histogram names -> resolution. Latencies at 1 µs; counts at 1.
+# ``admission_wait_seconds`` (time a query spent queued before
+# dispatch) and ``queue_depth`` (admission queue depth observed at each
+# arrival) fill only on the admission-controlled async path
+# (:class:`repro.service.AsyncQueryService`).
 _HISTOGRAMS = {
     "execute_seconds": 1e-6,
     "optimize_seconds": 1e-6,
     "filter_build_seconds": 1e-6,
     "morsel_task_seconds": 1e-6,
     "output_rows": 1.0,
+    "admission_wait_seconds": 1e-6,
+    "queue_depth": 1.0,
 }
 
 # Span names a tracer feeds straight into histograms on span close.

@@ -7,6 +7,13 @@ the reproduction's sql → optimizer → plan → executor stack:
 
 * :class:`QueryService` — the facade: ``execute(sql)``,
   ``run_many(sqls)`` (thread pool), ``explain(sql)``, ``stats()``;
+* :class:`AsyncQueryService` — the admission-controlled ``asyncio``
+  front door: awaitable ``execute``, bounded concurrency, and graceful
+  overload shedding with typed :class:`~repro.errors.QueryShed`;
+* :class:`~repro.service.admission.AdmissionController` — the overload
+  policies behind it: bounded priority queue, per-client token-bucket
+  quotas, deadline shed-on-arrival, per-fingerprint failure-rate
+  breakers;
 * :class:`~repro.service.plan_cache.PlanCache` — fingerprint-keyed LRU
   of optimized plans with parameter templates;
 * :class:`~repro.service.metrics.ServiceMetrics` /
@@ -19,6 +26,15 @@ The companion bitvector filter cache lives in
 :mod:`repro.sql.parameterize`.
 """
 
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRequest,
+    AdmissionStats,
+    FailureRateBreaker,
+    TokenBucket,
+)
+from repro.service.async_service import AsyncQueryService
 from repro.service.metrics import ServiceMetrics, ServiceStats
 from repro.service.plan_cache import CachedPlan, PlanCache
 from repro.service.retry import RetryPolicy
@@ -26,10 +42,17 @@ from repro.service.service import QueryService, ServiceResult
 
 __all__ = [
     "QueryService",
+    "AsyncQueryService",
     "ServiceResult",
     "ServiceMetrics",
     "ServiceStats",
     "PlanCache",
     "CachedPlan",
     "RetryPolicy",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionRequest",
+    "AdmissionStats",
+    "TokenBucket",
+    "FailureRateBreaker",
 ]

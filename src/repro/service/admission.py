@@ -1,0 +1,647 @@
+"""Admission control for the service front-end: queueing, quotas, shedding.
+
+The serving tier's overload contract is the dual of the engine's
+resilience contract (PR 7): where :class:`~repro.engine.context.Deadline`
+bounds how long one *accepted* query may run, admission control bounds
+how much work the service *accepts* in the first place.  Under offered
+load beyond capacity, the correct behavior is not "queue everything and
+miss every deadline" but "serve a capacity's worth predictably and
+refuse the rest in microseconds, with an honest retry hint".
+
+Four cooperating policies, composed by :class:`AdmissionController`:
+
+* **Bounded priority queue.**  Arriving queries wait in a heap ordered
+  by priority class (``"interactive"`` < ``"normal"`` < ``"batch"``)
+  then arrival order.  The queue is bounded, and lower priority classes
+  are refused at *watermarks* below the full capacity — when the
+  execution slots are all occupied, background work sheds first and
+  interactive traffic keeps its headroom.
+* **Per-client token buckets.**  Each client refills
+  ``quota_rate`` tokens/second up to ``quota_burst``; a query that
+  finds the bucket empty sheds with the exact time the next token
+  accrues as its retry hint.  One greedy client cannot starve the rest.
+* **Deadline-aware shed-on-arrival.**  A queued query consumes its own
+  deadline while waiting, so the controller estimates queue wait from
+  an EWMA of observed service times and refuses on arrival any query
+  whose remaining :meth:`~repro.engine.context.Deadline.remaining`
+  cannot cover the estimated wait plus one execution — shedding in
+  microseconds beats timing out after burning a slot.  The estimate is
+  re-checked at dispatch: a ticket whose deadline expired while queued
+  is shed instead of dispatched.
+* **Per-fingerprint failure-rate breaker.**  A sliding window of recent
+  outcomes per query fingerprint; when the failure rate crosses the
+  threshold the breaker opens and admissions of that fingerprint shed
+  for a cooldown, then a single half-open probe decides between closing
+  and re-opening.  This stops retry storms: a query shape that is
+  currently failing cannot keep re-entering the queue at full rate.
+
+Everything is synchronous, lock-protected, and clock-injectable, so the
+policies are unit-testable without an event loop; the
+:class:`~repro.service.async_service.AsyncQueryService` facade drives
+the controller from asyncio.  Two fault sites (``"service.admit"``,
+``"service.dequeue"`` — see :mod:`repro.testing.faults`) make overload
+behavior chaos-testable deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import threading
+import time
+from collections import deque
+from typing import Callable, Mapping
+
+from repro.engine.context import Deadline
+from repro.errors import QueryShed, ServiceClosed, ServiceError
+from repro.testing.faults import fault_point
+
+#: Priority classes, lowest rank dispatches first.
+PRIORITIES: dict[str, int] = {
+    "interactive": 0,
+    "normal": 1,
+    "batch": 2,
+}
+
+#: Fraction of the queue capacity a class may fill before it sheds.
+#: Interactive traffic may use the whole queue; batch work is refused
+#: once the queue is half full so bursts of low-value work never crowd
+#: out latency-sensitive clients.
+DEFAULT_WATERMARKS: dict[str, float] = {
+    "interactive": 1.0,
+    "normal": 0.85,
+    "batch": 0.5,
+}
+
+#: Retry hint floor: never tell a client to retry in less than this.
+_MIN_RETRY_AFTER = 0.001
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` tokens/second up to ``burst``.
+
+    >>> bucket = TokenBucket(rate=10.0, burst=2.0, clock=lambda: 0.0)
+    >>> bucket.try_acquire(), bucket.try_acquire()
+    (None, None)
+    >>> round(bucket.try_acquire(), 3)  # empty: seconds until a token
+    0.1
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock", "_lock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ServiceError("token bucket rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> float | None:
+        """Take ``tokens`` if available; else seconds until they accrue.
+
+        Returns ``None`` on success (the tokens are consumed), or the
+        wait in seconds a caller should back off before retrying — the
+        retry-after hint a quota shed carries.
+        """
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return None
+            return (tokens - self._tokens) / self.rate
+
+
+class FailureRateBreaker:
+    """Sliding-window failure-rate breaker for one query fingerprint.
+
+    States: *closed* (admitting, counting outcomes), *open* (shedding
+    until the cooldown elapses), *half-open* (one probe in flight; its
+    outcome closes or re-opens the breaker).  Not internally locked —
+    the :class:`AdmissionController` serializes all calls under its own
+    lock.
+    """
+
+    __slots__ = (
+        "window", "min_samples", "failure_threshold", "cooldown_seconds",
+        "trips", "_outcomes", "_state", "_opened_at", "_probe_inflight",
+        "_clock",
+    )
+
+    def __init__(
+        self,
+        window: int = 16,
+        min_samples: int = 8,
+        failure_threshold: float = 0.5,
+        cooldown_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.failure_threshold = float(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.trips = 0
+        self._outcomes: deque[bool] = deque(maxlen=self.window)
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._clock = clock
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> float | None:
+        """``None`` to admit, else the retry-after hint of a shed.
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open and admits exactly one probe; further admissions shed
+        until the probe's outcome is recorded.
+        """
+        if self._state == "closed":
+            return None
+        if self._state == "open":
+            remaining = self._opened_at + self.cooldown_seconds - self._clock()
+            if remaining > 0:
+                return max(remaining, _MIN_RETRY_AFTER)
+            self._state = "half_open"
+            self._probe_inflight = False
+        if self._probe_inflight:
+            return max(self.cooldown_seconds, _MIN_RETRY_AFTER)
+        self._probe_inflight = True
+        return None
+
+    def record(self, ok: bool) -> None:
+        """Fold one execution outcome (sheds are never recorded)."""
+        if self._state == "half_open":
+            self._probe_inflight = False
+            if ok:
+                self._state = "closed"
+                self._outcomes.clear()
+            else:
+                self._trip()
+            return
+        if self._state == "open":
+            # A straggler admitted before the trip; the window restarts
+            # from the half-open probe, so its outcome is moot.
+            return
+        self._outcomes.append(ok)
+        if len(self._outcomes) >= self.min_samples:
+            failures = sum(1 for outcome in self._outcomes if not outcome)
+            if failures / len(self._outcomes) >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self.trips += 1
+        self._outcomes.clear()
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionConfig:
+    """Tunables for one :class:`AdmissionController`.
+
+    ``quota_rate`` / ``quota_burst`` apply to every client without an
+    entry in ``client_quotas`` (``quota_rate=None`` disables quotas for
+    such clients).  Watermarks map priority class to the fraction of
+    ``queue_capacity`` that class may fill while the execution slots
+    are saturated; unknown classes are rejected at admission.
+    """
+
+    queue_capacity: int = 32
+    watermarks: Mapping[str, float] = dataclasses.field(
+        default_factory=lambda: dict(DEFAULT_WATERMARKS)
+    )
+    quota_rate: float | None = None
+    quota_burst: float = 8.0
+    client_quotas: Mapping[str, tuple[float, float]] = dataclasses.field(
+        default_factory=dict
+    )
+    breaker_window: int = 16
+    breaker_min_samples: int = 8
+    breaker_failure_threshold: float = 0.5
+    breaker_cooldown_seconds: float = 1.0
+    shed_on_arrival: bool = True
+    #: EWMA weight for the observed-service-time estimate.
+    service_time_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ServiceError("queue_capacity must be >= 1")
+        for priority, watermark in self.watermarks.items():
+            if priority not in PRIORITIES:
+                raise ServiceError(
+                    f"unknown priority class {priority!r}; expected one of "
+                    f"{sorted(PRIORITIES)}"
+                )
+            if not 0.0 < watermark <= 1.0:
+                raise ServiceError(
+                    f"watermark for {priority!r} must be in (0, 1]"
+                )
+        if not 0.0 < self.breaker_failure_threshold <= 1.0:
+            raise ServiceError("breaker_failure_threshold must be in (0, 1]")
+        if self.breaker_min_samples < 1 or self.breaker_window < self.breaker_min_samples:
+            raise ServiceError(
+                "breaker_window must be >= breaker_min_samples >= 1"
+            )
+
+
+@dataclasses.dataclass
+class AdmissionRequest:
+    """What the controller knows about one arriving query."""
+
+    name: str
+    client: str = "default"
+    priority: str = "normal"
+    fingerprint: str = ""
+    deadline: Deadline | None = None
+
+
+class Ticket:
+    """One admitted query's place in the queue.
+
+    ``waiter`` is an opaque slot for the async facade (it stores the
+    ``asyncio.Future`` resolved at dispatch); the controller never
+    touches it.  ``dequeue_error`` carries a typed error decided *at
+    dispatch* (an expired deadline, or an injected ``service.dequeue``
+    fault) — the dispatcher delivers it to the waiter and releases the
+    slot, so a doomed ticket never occupies an executor.
+    """
+
+    __slots__ = (
+        "request", "seq", "enqueued_at", "dispatched_at", "state",
+        "waiter", "dequeue_error", "wait_seconds",
+    )
+
+    def __init__(self, request: AdmissionRequest, seq: int, now: float) -> None:
+        self.request = request
+        self.seq = seq
+        self.enqueued_at = now
+        self.dispatched_at: float | None = None
+        self.state = "queued"
+        self.waiter = None
+        self.dequeue_error: BaseException | None = None
+        self.wait_seconds = 0.0
+
+
+@dataclasses.dataclass
+class AdmissionStats:
+    """Counters the controller keeps (snapshot with :meth:`snapshot`)."""
+
+    submitted: int = 0
+    admitted: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    failures: int = 0
+    sheds: int = 0
+    shed_quota: int = 0
+    shed_queue: int = 0
+    shed_deadline: int = 0
+    shed_breaker: int = 0
+    cancelled_on_close: int = 0
+    breaker_trips: int = 0
+    max_queue_depth: int = 0
+    total_wait_seconds: float = 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.sheds / self.submitted if self.submitted else 0.0
+
+    def snapshot(self) -> "AdmissionStats":
+        return dataclasses.replace(self)
+
+
+class AdmissionController:
+    """Composes queue, quotas, deadline shedding, and breakers.
+
+    Thread-safe and event-loop-agnostic: :meth:`admit` /
+    :meth:`next_ready` / :meth:`release` may be called from any thread.
+    ``telemetry`` (a :class:`repro.obs.ServiceTelemetry`) receives
+    ``queue_depth`` on every admission and ``admission_wait_seconds``
+    on every dispatch.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int,
+        config: AdmissionConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        telemetry=None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ServiceError("max_concurrency must be >= 1")
+        self.max_concurrency = int(max_concurrency)
+        self.config = config if config is not None else AdmissionConfig()
+        self._clock = clock
+        self._telemetry = telemetry
+        self._lock = threading.Lock()
+        self._heap: list[tuple[int, int, Ticket]] = []
+        self._seq = 0
+        self._queued = 0
+        self._running = 0
+        self._closed = False
+        self._buckets: dict[str, TokenBucket] = {}
+        self._breakers: dict[str, FailureRateBreaker] = {}
+        self._service_seconds: float | None = None
+        self._stats = AdmissionStats()
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def running(self) -> int:
+        return self._running
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def occupancy(self) -> float:
+        """Execution-slot occupancy in [0, 1] — the morsel-pool feed."""
+        return self._running / self.max_concurrency
+
+    @property
+    def estimated_service_seconds(self) -> float | None:
+        """EWMA of observed per-query service time (``None`` cold)."""
+        return self._service_seconds
+
+    def stats(self) -> AdmissionStats:
+        with self._lock:
+            return self._stats.snapshot()
+
+    def estimated_wait_seconds(self) -> float:
+        """Coarse queue-wait estimate for a query arriving now."""
+        with self._lock:
+            return self._estimated_wait_locked()
+
+    def _estimated_wait_locked(self) -> float:
+        est = self._service_seconds
+        if est is None:
+            return 0.0
+        backlog = self._queued + self._running - self.max_concurrency + 1
+        if backlog <= 0:
+            return 0.0
+        return est * backlog / self.max_concurrency
+
+    # -- admission ------------------------------------------------------
+
+    def admit(self, request: AdmissionRequest) -> Ticket:
+        """Admit ``request`` into the queue or refuse it, in microseconds.
+
+        Raises :class:`~repro.errors.ServiceClosed` after :meth:`close`,
+        or :class:`~repro.errors.QueryShed` (with ``reason`` and a
+        ``retry_after`` hint) when a policy refuses.  Policy order:
+        breaker, queue watermark, deadline shed-on-arrival, and the
+        client quota *last* — a query refused by queue state never
+        burns one of its client's tokens.
+        """
+        fault_point("service.admit")
+        rank = PRIORITIES.get(request.priority)
+        if rank is None:
+            raise ServiceError(
+                f"unknown priority {request.priority!r}; expected one of "
+                f"{sorted(PRIORITIES)}"
+            )
+        with self._lock:
+            self._stats.submitted += 1
+            if self._closed:
+                raise ServiceClosed(
+                    f"query {request.name!r} refused: service is closed"
+                )
+            retry_after = self._breaker_allow_locked(request.fingerprint)
+            if retry_after is not None:
+                self._stats.sheds += 1
+                self._stats.shed_breaker += 1
+                raise QueryShed(
+                    f"query {request.name!r} shed: breaker open for "
+                    f"fingerprint {request.fingerprint or '(none)'} "
+                    f"(retry in {retry_after:.3f}s)",
+                    reason="breaker",
+                    retry_after=retry_after,
+                )
+            capacity = self.config.queue_capacity
+            watermark = self.config.watermarks.get(request.priority, 1.0)
+            limit = max(1, int(watermark * capacity))
+            saturated = self._running >= self.max_concurrency
+            if self._queued >= capacity or (saturated and self._queued >= limit):
+                hint = max(self._estimated_wait_locked(), _MIN_RETRY_AFTER)
+                self._stats.sheds += 1
+                self._stats.shed_queue += 1
+                raise QueryShed(
+                    f"query {request.name!r} shed: admission queue at "
+                    f"{self._queued}/{capacity} (class {request.priority!r} "
+                    f"limit {limit}, retry in {hint:.3f}s)",
+                    reason="queue",
+                    retry_after=hint,
+                )
+            if self.config.shed_on_arrival and request.deadline is not None:
+                est = self._service_seconds
+                wait = self._estimated_wait_locked()
+                if est is not None and wait + est >= request.deadline.remaining():
+                    hint = max(wait, _MIN_RETRY_AFTER)
+                    self._stats.sheds += 1
+                    self._stats.shed_deadline += 1
+                    raise QueryShed(
+                        f"query {request.name!r} shed on arrival: estimated "
+                        f"wait {wait:.3f}s + service {est:.3f}s exceeds the "
+                        f"remaining deadline "
+                        f"{request.deadline.remaining():.3f}s",
+                        reason="deadline",
+                        retry_after=hint,
+                    )
+            retry_after = self._quota_acquire_locked(request.client)
+            if retry_after is not None:
+                self._stats.sheds += 1
+                self._stats.shed_quota += 1
+                raise QueryShed(
+                    f"query {request.name!r} shed: client "
+                    f"{request.client!r} is out of quota (retry in "
+                    f"{retry_after:.3f}s)",
+                    reason="quota",
+                    retry_after=max(retry_after, _MIN_RETRY_AFTER),
+                )
+            now = self._clock()
+            ticket = Ticket(request, self._seq, now)
+            self._seq += 1
+            heapq.heappush(self._heap, (rank, ticket.seq, ticket))
+            self._queued += 1
+            self._stats.admitted += 1
+            if self._queued > self._stats.max_queue_depth:
+                self._stats.max_queue_depth = self._queued
+            depth = self._queued
+        if self._telemetry is not None:
+            self._telemetry.record("queue_depth", depth)
+        return ticket
+
+    def _breaker_allow_locked(self, fingerprint: str) -> float | None:
+        if not fingerprint:
+            return None
+        breaker = self._breakers.get(fingerprint)
+        if breaker is None:
+            return None
+        before = breaker.trips
+        allowed = breaker.allow()
+        self._stats.breaker_trips += breaker.trips - before
+        return allowed
+
+    def _quota_acquire_locked(self, client: str) -> float | None:
+        quota = self.config.client_quotas.get(client)
+        if quota is None:
+            if self.config.quota_rate is None:
+                return None
+            quota = (self.config.quota_rate, self.config.quota_burst)
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            rate, burst = quota
+            bucket = TokenBucket(rate, burst, clock=self._clock)
+            self._buckets[client] = bucket
+        return bucket.try_acquire()
+
+    # -- dispatch -------------------------------------------------------
+
+    def next_ready(self) -> Ticket | None:
+        """Pop the best queued ticket if an execution slot is free.
+
+        The popped ticket is counted as running; the caller *must*
+        balance every returned ticket with :meth:`release`.  A ticket
+        whose deadline expired while it queued — or whose
+        ``service.dequeue`` fault fired — comes back with
+        ``dequeue_error`` set instead of being silently dropped, so the
+        dispatcher can deliver the typed error and immediately release
+        the slot.
+        """
+        with self._lock:
+            if self._running >= self.max_concurrency:
+                return None
+            ticket = None
+            while self._heap:
+                _, _, candidate = heapq.heappop(self._heap)
+                if candidate.state == "queued":
+                    ticket = candidate
+                    break
+            if ticket is None:
+                return None
+            self._queued -= 1
+            self._running += 1
+            now = self._clock()
+            ticket.dispatched_at = now
+            ticket.wait_seconds = max(now - ticket.enqueued_at, 0.0)
+            ticket.state = "dispatched"
+            self._stats.dispatched += 1
+            self._stats.total_wait_seconds += ticket.wait_seconds
+            try:
+                fault_point("service.dequeue")
+            except BaseException as exc:  # noqa: BLE001 - delivered typed
+                ticket.dequeue_error = exc
+                return ticket
+            deadline = ticket.request.deadline
+            if deadline is not None and deadline.expired():
+                self._stats.sheds += 1
+                self._stats.shed_deadline += 1
+                ticket.dequeue_error = QueryShed(
+                    f"query {ticket.request.name!r} shed at dispatch: "
+                    f"deadline expired after {ticket.wait_seconds:.3f}s "
+                    "in the admission queue",
+                    reason="deadline",
+                    retry_after=max(
+                        self._estimated_wait_locked(), _MIN_RETRY_AFTER
+                    ),
+                )
+                return ticket
+        if self._telemetry is not None:
+            self._telemetry.record(
+                "admission_wait_seconds", ticket.wait_seconds
+            )
+        return ticket
+
+    def release(self, ticket: Ticket, outcome: str) -> None:
+        """Return ``ticket``'s slot; ``outcome`` is ``"ok"``/``"error"``/``"shed"``.
+
+        Execution outcomes (``"ok"``/``"error"``) feed the ticket's
+        fingerprint breaker and — on success — the service-time EWMA;
+        ``"shed"`` releases the slot without polluting either (a shed
+        says nothing about the query's health).
+        """
+        if outcome not in ("ok", "error", "shed"):
+            raise ServiceError(f"unknown release outcome {outcome!r}")
+        with self._lock:
+            if ticket.state == "released":
+                return
+            ticket.state = "released"
+            self._running -= 1
+            if outcome == "shed":
+                return
+            if outcome == "ok":
+                self._stats.completed += 1
+                if ticket.dispatched_at is not None:
+                    observed = self._clock() - ticket.dispatched_at
+                    alpha = self.config.service_time_alpha
+                    if self._service_seconds is None:
+                        self._service_seconds = observed
+                    else:
+                        self._service_seconds += alpha * (
+                            observed - self._service_seconds
+                        )
+            else:
+                self._stats.failures += 1
+            fingerprint = ticket.request.fingerprint
+            if fingerprint:
+                breaker = self._breakers.get(fingerprint)
+                if breaker is None:
+                    breaker = FailureRateBreaker(
+                        window=self.config.breaker_window,
+                        min_samples=self.config.breaker_min_samples,
+                        failure_threshold=self.config.breaker_failure_threshold,
+                        cooldown_seconds=self.config.breaker_cooldown_seconds,
+                        clock=self._clock,
+                    )
+                    self._breakers[fingerprint] = breaker
+                before = breaker.trips
+                breaker.record(outcome == "ok")
+                self._stats.breaker_trips += breaker.trips - before
+
+    def breaker_state(self, fingerprint: str) -> str:
+        """The breaker state for ``fingerprint`` (``"closed"`` if none)."""
+        with self._lock:
+            breaker = self._breakers.get(fingerprint)
+            return breaker.state if breaker is not None else "closed"
+
+    # -- shutdown -------------------------------------------------------
+
+    def close(self) -> list[Ticket]:
+        """Refuse new admissions and drain the queue (idempotent).
+
+        Returns the tickets that were still queued, each already marked
+        ``"cancelled"`` — the caller delivers the typed
+        :class:`~repro.errors.ServiceClosed` to their waiters.  Running
+        tickets are untouched; they complete and release normally.
+        """
+        with self._lock:
+            if self._closed and not self._heap:
+                return []
+            self._closed = True
+            cancelled = []
+            while self._heap:
+                _, _, ticket = heapq.heappop(self._heap)
+                if ticket.state == "queued":
+                    ticket.state = "cancelled"
+                    cancelled.append(ticket)
+            self._queued = 0
+            self._stats.cancelled_on_close += len(cancelled)
+            return cancelled

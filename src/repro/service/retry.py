@@ -18,6 +18,11 @@ times.  Two disciplines keep this safe in a serving tier:
   drawn as ``min(cap, uniform(base, previous * 3))`` from a seeded
   stream (:func:`repro.util.rng.derive_rng`), so backoff is spread out
   yet exactly reproducible in tests.
+* **Deadline-aware backoff.**  A retry loop that carries a
+  :class:`~repro.engine.context.Deadline` never sleeps past it: a
+  backoff the remaining budget cannot cover raises
+  :class:`~repro.errors.QueryTimeout` at once instead of burning the
+  deadline asleep.
 """
 
 from __future__ import annotations
@@ -26,7 +31,8 @@ import dataclasses
 import time
 from typing import Callable
 
-from repro.errors import ResilienceError
+from repro.engine.context import Deadline
+from repro.errors import QueryTimeout, ResilienceError
 from repro.testing.faults import TransientFault
 from repro.util.rng import derive_rng
 
@@ -76,12 +82,20 @@ class RetryPolicy:
         self,
         fn: Callable[[], object],
         sleep: Callable[[float], None] = time.sleep,
+        deadline: Deadline | None = None,
     ) -> tuple[object, int]:
         """Run ``fn`` with retries; return ``(result, retries_used)``.
 
         Non-retryable failures (and the last allowed attempt's failure)
         propagate unchanged.  The jitter stream is derived fresh per
         call, so one statement's retries never perturb another's.
+
+        With a ``deadline``, every backoff sleep is checked against
+        :meth:`~repro.engine.context.Deadline.remaining` *before* it is
+        taken: a sleep the remaining budget cannot cover raises
+        :class:`~repro.errors.QueryTimeout` immediately (chaining the
+        attempt's failure as ``__cause__``) rather than burning the
+        budget asleep only to time out on the next attempt anyway.
         """
         rng = derive_rng(self.seed, "retry:backoff")
         previous = self.base_seconds
@@ -97,4 +111,10 @@ class RetryPolicy:
                     self.cap_seconds,
                     float(rng.uniform(self.base_seconds, previous * 3)),
                 )
+                if deadline is not None and previous >= deadline.remaining():
+                    raise QueryTimeout(
+                        f"retry backoff of {previous:.3f}s exceeds the "
+                        f"remaining deadline of {deadline.remaining():.3f}s "
+                        f"(after {attempt} failed attempt(s))"
+                    ) from exc
                 sleep(previous)

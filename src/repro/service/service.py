@@ -38,7 +38,13 @@ from repro.cost.constants import DEFAULT_LAMBDA_THRESH
 from repro.engine.context import ExecutionContext, ResourceBudget
 from repro.engine.executor import ExecutionResult, Executor
 from repro.engine.parallel import DEFAULT_MORSEL_ROWS
-from repro.errors import QueryTimeout, ResourceExhausted, ServiceError
+from repro.engine.context import Deadline
+from repro.errors import (
+    QueryTimeout,
+    ResourceExhausted,
+    ServiceClosed,
+    ServiceError,
+)
 from repro.expr.expressions import substitute_parameters
 from repro.filters.cache import BitvectorFilterCache
 from repro.obs import ServiceTelemetry, Tracer
@@ -222,17 +228,36 @@ class QueryService:
         self._batch_pool: ThreadPoolExecutor | None = None
         self._batch_pool_width = 0
         self._batch_pool_lock = threading.Lock()
+        # close() is terminal: set under _batch_pool_lock, checked at
+        # every entry point so submissions against a closed service get
+        # a typed ServiceClosed instead of a dead pool's RuntimeError.
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
+
+    @property
+    def deadline_seconds(self) -> float | None:
+        """The service-default per-query deadline (``None`` = off)."""
+        return self._deadline_seconds
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The tracer armed for every query, if any."""
+        return self._tracer
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (terminal)."""
+        return self._closed
 
     def execute(
         self,
         sql: str,
         name: str = "query",
         pipeline: str | None = None,
-        deadline_seconds: float | None = None,
+        deadline_seconds: float | Deadline | None = None,
         budget: ResourceBudget | None = None,
         tracer: Tracer | None = None,
     ) -> ServiceResult:
@@ -240,7 +265,11 @@ class QueryService:
 
         ``deadline_seconds`` / ``budget`` override the service defaults
         for this one statement (``None`` inherits; the service default
-        of ``None`` means unenforced).  A query that trips either limit
+        of ``None`` means unenforced).  ``deadline_seconds`` also
+        accepts an already-running
+        :class:`~repro.engine.context.Deadline` — the admission tier
+        and the batch retry path pass one so queue wait and earlier
+        attempts consume the same budget.  A query that trips either limit
         raises the matching :class:`~repro.errors.ResilienceError` —
         unless ``degrade="serial"`` absorbs a budget breach — and the
         failure is counted in :meth:`stats`.
@@ -251,6 +280,10 @@ class QueryService:
         lookup, optimize, and every engine-level span (see
         :mod:`repro.obs`).
         """
+        if self._closed:
+            raise ServiceClosed(
+                f"query {name!r} refused: this QueryService is closed"
+            )
         wall_started = time.perf_counter()
         pipeline = pipeline or self._pipeline
         context = self._make_context(name, deadline_seconds, budget)
@@ -270,7 +303,7 @@ class QueryService:
     def _make_context(
         self,
         name: str,
-        deadline_seconds: float | None,
+        deadline_seconds: float | Deadline | None,
         budget: ResourceBudget | None,
     ) -> ExecutionContext | None:
         deadline = (
@@ -429,8 +462,15 @@ class QueryService:
         worker's exception and silently abandoned the later futures.)
         With a :class:`~repro.service.retry.RetryPolicy` configured,
         whitelisted transient failures are retried with decorrelated-
-        jitter backoff before being reported.
+        jitter backoff before being reported.  A batch submitted after
+        :meth:`close` raises :class:`~repro.errors.ServiceClosed`; a
+        close that lands *mid-batch* keeps every slot already submitted
+        (they drain on the retired pool) and fills the remaining slots
+        with isolated ``ServiceClosed`` error records — never a dead
+        pool's ``RuntimeError``.
         """
+        if self._closed:
+            raise ServiceClosed("run_many refused: this QueryService is closed")
         workers = max_workers or self._max_workers
         if workers <= 1 or len(sqls) <= 1:
             return [
@@ -439,39 +479,85 @@ class QueryService:
             ]
         pool = self._ensure_batch_pool(workers)
         futures = []
+        results: list[ServiceResult | None] = [None] * len(sqls)
         for i, sql in enumerate(sqls):
             try:
                 futures.append(
-                    pool.submit(
+                    (i, pool.submit(
                         self._execute_isolated, sql, f"batch_{i}", pipeline
-                    )
+                    ))
                 )
             except RuntimeError:
                 # A concurrent wider batch (or close()) retired this
                 # pool between our lookup and this submit; queries it
                 # already accepted still run, so only this statement
-                # moves to the fresh pool.
-                pool = self._ensure_batch_pool(workers)
+                # moves to the fresh pool — unless the service closed,
+                # in which case this and later slots get typed error
+                # records while the accepted slots still drain.
+                try:
+                    pool = self._ensure_batch_pool(workers)
+                except ServiceClosed as closed:
+                    results[i] = self._closed_slot(f"batch_{i}", pipeline, closed)
+                    continue
                 futures.append(
-                    pool.submit(
+                    (i, pool.submit(
                         self._execute_isolated, sql, f"batch_{i}", pipeline
-                    )
+                    ))
                 )
         # _execute_isolated never raises, so every future resolves and
         # no sibling result is abandoned.
-        return [future.result() for future in futures]
+        for i, future in futures:
+            results[i] = future.result()
+        return results
+
+    def _closed_slot(
+        self, name: str, pipeline: str | None, error: ServiceClosed
+    ) -> ServiceResult:
+        """The isolated error record for a slot refused by close()."""
+        metrics = ServiceMetrics(
+            query=name,
+            fingerprint="",
+            pipeline=pipeline or self._pipeline,
+            plan_cache_hit=False,
+            optimize_seconds=0.0,
+            execute_seconds=0.0,
+            metered_cpu=0.0,
+            output_rows=0,
+            filter_cache_hits=0,
+            filter_cache_misses=0,
+            error=f"{type(error).__name__}: {error}",
+        )
+        return ServiceResult(result=None, metrics=metrics, error=error)
 
     def _execute_isolated(
         self, sql: str, name: str, pipeline: str | None
     ) -> ServiceResult:
-        """One batch statement: retries applied, failure captured."""
+        """One batch statement: retries applied, failure captured.
+
+        With both a deadline and a retry policy configured, the *slot*
+        carries one :class:`~repro.engine.context.Deadline` across every
+        attempt: retries consume the same budget as the attempt that
+        failed, and the policy refuses to schedule a backoff sleep the
+        remaining budget cannot cover (raising
+        :class:`~repro.errors.QueryTimeout` immediately instead of
+        burning the deadline asleep).
+        """
         attempts = 0
         wall_started = time.perf_counter()
         try:
             if self._retry_policy is None:
                 return self.execute(sql, name=name, pipeline=pipeline)
+            deadline = (
+                Deadline.after(self._deadline_seconds)
+                if self._deadline_seconds is not None
+                else None
+            )
             outcome, attempts = self._retry_policy.call(
-                lambda: self.execute(sql, name=name, pipeline=pipeline)
+                lambda: self.execute(
+                    sql, name=name, pipeline=pipeline,
+                    deadline_seconds=deadline,
+                ),
+                deadline=deadline,
             )
             if attempts:
                 with self._lock:
@@ -511,6 +597,10 @@ class QueryService:
     def _ensure_batch_pool(self, workers: int) -> ThreadPoolExecutor:
         """The persistent batch pool, at least ``workers`` wide."""
         with self._batch_pool_lock:
+            if self._closed:
+                raise ServiceClosed(
+                    "batch refused: this QueryService is closed"
+                )
             if self._batch_pool is None or self._batch_pool_width < workers:
                 retired = self._batch_pool
                 self._batch_pool = ThreadPoolExecutor(
@@ -525,13 +615,19 @@ class QueryService:
             return self._batch_pool
 
     def close(self) -> None:
-        """Shut down the persistent batch pool (idempotent).
+        """Shut down the service (terminal, idempotent, concurrency-safe).
 
-        The service remains usable afterwards — the next ``run_many``
-        lazily recreates the pool — but long-lived deployments should
-        close once at teardown to release the worker threads.
+        In-flight :meth:`execute` calls complete normally and batch
+        slots already submitted drain on the retired pool; everything
+        that arrives *after* close — a new ``execute``, a new batch, or
+        the unsubmitted tail of a batch racing this call — is refused
+        with a typed :class:`~repro.errors.ServiceClosed` instead of a
+        dead pool's ``RuntimeError``.  Closing twice (or from two
+        threads at once) is a no-op; the pool is shut down exactly
+        once, outside the lock, waiting for its in-flight work.
         """
         with self._batch_pool_lock:
+            self._closed = True
             retired = self._batch_pool
             self._batch_pool = None
             self._batch_pool_width = 0

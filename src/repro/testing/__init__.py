@@ -6,6 +6,8 @@ the chaos suite and the robustness benchmark.
 """
 
 from repro.testing.faults import (
+    ENGINE_SITES,
+    REGISTERED_SITES,
     FaultPlan,
     InjectedFault,
     TransientFault,
@@ -14,6 +16,8 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "ENGINE_SITES",
+    "REGISTERED_SITES",
     "FaultPlan",
     "InjectedFault",
     "TransientFault",

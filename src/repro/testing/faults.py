@@ -19,6 +19,10 @@ Registered sites (the engine's ``fault_point(site)`` calls):
                           :meth:`~repro.filters.base.BitvectorFilter.build_partitioned`)
 ``"cache.publish"``       publication of a built filter into the
                           :class:`~repro.filters.cache.BitvectorFilterCache`
+``"service.admit"``       one admission decision in the service front-end
+                          (:meth:`repro.service.admission.AdmissionController.admit`)
+``"service.dequeue"``     dispatch of one queued admission ticket
+                          (:meth:`repro.service.admission.AdmissionController.next_ready`)
 ========================  =====================================================
 
 Each site keeps an invocation counter; rules trigger on exact
@@ -60,6 +64,16 @@ REGISTERED_SITES = (
     "morsel.task",
     "filter.build_partition",
     "cache.publish",
+    "service.admit",
+    "service.dequeue",
+)
+
+#: The subset of sites reached by a plain (non-admission-controlled)
+#: ``Executor`` / ``QueryService`` execution; the ``service.*`` sites
+#: fire only on the admission-controlled async path
+#: (:class:`repro.service.AsyncQueryService`).
+ENGINE_SITES = tuple(
+    site for site in REGISTERED_SITES if not site.startswith("service.")
 )
 
 

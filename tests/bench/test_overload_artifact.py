@@ -1,0 +1,23 @@
+"""The committed overload artifact must hold its acceptance gates.
+
+CI gates the committed ``BENCH_overload.json`` with
+``tools/check_overload.py`` (admitted p99 within deadline, shed p99
+under 10 ms with retry hints, goodput at 16x >= 80% of 1x and monotone
+non-increasing, serial-oracle checksum identity); this test keeps the
+same gate inside the tier-1 run so a regenerated artifact that misses
+the overload contract fails before it ships.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_overload import check  # noqa: E402
+
+
+def test_committed_artifact_passes_the_overload_gates():
+    assert check(REPO_ROOT / "BENCH_overload.json") == []

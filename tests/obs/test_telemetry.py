@@ -102,6 +102,8 @@ def test_registry_has_the_standing_histograms():
         "filter_build_seconds",
         "morsel_task_seconds",
         "output_rows",
+        "admission_wait_seconds",
+        "queue_depth",
     }
     telemetry.record("execute_seconds", 0.25)
     assert telemetry.snapshot()["execute_seconds"]["count"] == 1

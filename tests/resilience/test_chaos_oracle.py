@@ -20,7 +20,7 @@ import repro.engine.executor as executor_module
 from repro import QueryService
 from repro.errors import MorselTaskError, QueryTimeout, ReproError
 from repro.testing import FaultPlan, InjectedFault, inject
-from repro.testing.faults import REGISTERED_SITES
+from repro.testing.faults import ENGINE_SITES
 
 @pytest.fixture(autouse=True)
 def _partitionable_build_side(monkeypatch):
@@ -54,7 +54,10 @@ def _assert_byte_identical(answer, star_db, sql):
         assert actual.tobytes() == expected.tobytes(), f"{label} diverged"
 
 
-@pytest.mark.parametrize("site", REGISTERED_SITES)
+# Engine sites only: the ``service.admit`` / ``service.dequeue`` sites
+# fire on the admission-controlled async path, exercised by
+# ``tests/resilience/test_overload_chaos.py``.
+@pytest.mark.parametrize("site", ENGINE_SITES)
 @pytest.mark.parametrize("sql", [COUNT_SQL, SUM_SQL])
 def test_fault_at_every_site_is_typed_and_recoverable(star_db, site, sql):
     service = _parallel_service(star_db)

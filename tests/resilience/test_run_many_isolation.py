@@ -9,6 +9,8 @@ with seeded decorrelated-jitter backoff.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -176,3 +178,75 @@ def test_retry_backoff_is_seeded_and_bounded():
     assert outcome == "done" and retries == 3
     assert len(sleeps) == 3
     assert all(0.0 < s <= 0.05 for s in sleeps)
+
+
+def test_retry_refuses_to_sleep_past_the_deadline():
+    """A backoff the remaining budget cannot cover raises QueryTimeout
+    at once (chaining the attempt's failure) instead of burning the
+    deadline asleep."""
+    from repro.engine.context import Deadline
+
+    policy = RetryPolicy(
+        max_attempts=5, base_seconds=0.2, cap_seconds=0.5, seed=3
+    )
+    sleeps = []
+
+    def always_flaky():
+        raise TransientFault("blip")
+
+    with pytest.raises(QueryTimeout) as excinfo:
+        policy.call(
+            always_flaky, sleep=sleeps.append, deadline=Deadline.after(0.05)
+        )
+    assert sleeps == []  # never slept: the first backoff already broke it
+    assert isinstance(excinfo.value.__cause__, TransientFault)
+
+
+def test_retry_sleeps_normally_under_a_generous_deadline():
+    from repro.engine.context import Deadline
+
+    policy = RetryPolicy(
+        max_attempts=3, base_seconds=0.001, cap_seconds=0.002, seed=3
+    )
+    attempts = {"n": 0}
+
+    def flaky_once():
+        attempts["n"] += 1
+        if attempts["n"] == 1:
+            raise TransientFault("blip")
+        return "done"
+
+    sleeps = []
+    outcome, retries = policy.call(
+        flaky_once, sleep=sleeps.append, deadline=Deadline.after(60.0)
+    )
+    assert (outcome, retries) == ("done", 1)
+    assert len(sleeps) == 1
+
+
+def test_service_retry_consults_the_slot_deadline(star_db):
+    """run_many threads one per-slot deadline through execution AND
+    retry backoff: a transient fault whose backoff exceeds the budget
+    surfaces as QueryTimeout, not as a sleep past the deadline."""
+    service = QueryService(
+        star_db,
+        deadline_seconds=0.5,
+        retry_policy=RetryPolicy(
+            max_attempts=3, base_seconds=1.0, cap_seconds=2.0
+        ),
+    )
+    plan = FaultPlan(seed=9).raise_at(
+        "cache.publish", invocation=0, exc_type=TransientFault
+    )
+    started = time.perf_counter()
+    with inject(plan):
+        results = service.run_many(
+            [_count_sql(3), _count_sql(4)], max_workers=2
+        )
+    elapsed = time.perf_counter() - started
+    errors = [r.error for r in results if not r.ok]
+    assert len(errors) == 1
+    assert isinstance(errors[0], QueryTimeout)
+    assert elapsed < 1.0  # it refused the 1-2s backoff outright
+    # The sibling statement still answered.
+    assert any(r.ok for r in results)

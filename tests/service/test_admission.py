@@ -1,0 +1,386 @@
+"""Admission-control units: buckets, breakers, and the controller.
+
+Everything runs on injected fake clocks — no sleeps, no event loop —
+so the policies are exercised at exact boundaries: the token that
+accrues precisely at the refill instant, the breaker cooldown edge,
+the deadline that cannot cover the estimated wait.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.context import Deadline
+from repro.errors import QueryShed, ServiceClosed, ServiceError
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRequest,
+    FailureRateBreaker,
+    TokenBucket,
+)
+from repro.testing import FaultPlan, InjectedFault, inject
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+
+
+def test_bucket_serves_burst_then_returns_retry_after():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+    assert bucket.try_acquire() is None
+    assert bucket.try_acquire() is None
+    hint = bucket.try_acquire()
+    assert hint == pytest.approx(0.1)  # one token at 10/s
+
+
+def test_bucket_refills_at_rate_and_caps_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+    bucket.try_acquire()
+    bucket.try_acquire()
+    clock.advance(0.1)  # exactly one token accrues
+    assert bucket.try_acquire() is None
+    assert bucket.try_acquire() is not None
+    clock.advance(100.0)  # refill far beyond burst: capped at 2
+    assert bucket.try_acquire() is None
+    assert bucket.try_acquire() is None
+    assert bucket.try_acquire() is not None
+
+
+def test_bucket_rejects_non_positive_parameters():
+    with pytest.raises(ServiceError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ServiceError):
+        TokenBucket(rate=1.0, burst=0.0)
+
+
+# ----------------------------------------------------------------------
+# FailureRateBreaker
+# ----------------------------------------------------------------------
+
+
+def _breaker(clock, **overrides):
+    params = dict(
+        window=8, min_samples=4, failure_threshold=0.5,
+        cooldown_seconds=1.0, clock=clock,
+    )
+    params.update(overrides)
+    return FailureRateBreaker(**params)
+
+
+def test_breaker_stays_closed_below_min_samples():
+    breaker = _breaker(FakeClock())
+    for _ in range(3):
+        breaker.record(False)  # 100% failures, too few samples
+    assert breaker.state == "closed"
+    assert breaker.allow() is None
+
+
+def test_breaker_trips_at_failure_threshold_and_sheds_with_hint():
+    clock = FakeClock()
+    breaker = _breaker(clock)
+    for ok in (True, True, False, False):  # 50% of 4 >= threshold
+        breaker.record(ok)
+    assert breaker.state == "open"
+    assert breaker.trips == 1
+    hint = breaker.allow()
+    assert hint == pytest.approx(1.0)
+    clock.advance(0.4)
+    assert breaker.allow() == pytest.approx(0.6)
+
+
+def test_breaker_half_open_admits_exactly_one_probe():
+    clock = FakeClock()
+    breaker = _breaker(clock)
+    for ok in (False, False, False, False):
+        breaker.record(ok)
+    clock.advance(1.0)  # cooldown elapsed
+    assert breaker.allow() is None  # the probe
+    assert breaker.state == "half_open"
+    assert breaker.allow() is not None  # concurrent admission sheds
+    breaker.record(True)  # probe succeeded
+    assert breaker.state == "closed"
+    assert breaker.allow() is None
+
+
+def test_breaker_failed_probe_reopens_with_fresh_cooldown():
+    clock = FakeClock()
+    breaker = _breaker(clock)
+    for ok in (False, False, False, False):
+        breaker.record(ok)
+    clock.advance(1.0)
+    assert breaker.allow() is None
+    breaker.record(False)  # probe failed
+    assert breaker.state == "open"
+    assert breaker.trips == 2
+    assert breaker.allow() == pytest.approx(1.0)
+
+
+def test_breaker_window_slides_old_outcomes_out():
+    breaker = _breaker(FakeClock(), window=4, min_samples=4)
+    for ok in (False, False, True, True):
+        breaker.record(ok)  # exactly at threshold boundary
+    assert breaker.state == "open"  # 2/4 = 0.5 >= 0.5
+
+
+# ----------------------------------------------------------------------
+# AdmissionController
+# ----------------------------------------------------------------------
+
+
+def _controller(clock, max_concurrency=2, **config_overrides):
+    config = AdmissionConfig(**config_overrides) if config_overrides else None
+    return AdmissionController(
+        max_concurrency, config=config, clock=clock
+    )
+
+
+def _request(name="q", **overrides):
+    return AdmissionRequest(name=name, **overrides)
+
+
+def test_admit_dispatch_release_round_trip_counts():
+    clock = FakeClock()
+    controller = _controller(clock)
+    ticket = controller.admit(_request())
+    assert controller.queued == 1
+    ready = controller.next_ready()
+    assert ready is ticket
+    assert controller.running == 1
+    clock.advance(0.25)
+    controller.release(ticket, "ok")
+    assert controller.running == 0
+    stats = controller.stats()
+    assert (stats.submitted, stats.admitted, stats.completed) == (1, 1, 1)
+    assert controller.estimated_service_seconds == pytest.approx(0.25)
+
+
+def test_dispatch_order_is_priority_then_arrival():
+    controller = _controller(FakeClock(), max_concurrency=1)
+    batch = controller.admit(_request("b", priority="batch"))
+    normal = controller.admit(_request("n1"))
+    normal2 = controller.admit(_request("n2"))
+    interactive = controller.admit(_request("i", priority="interactive"))
+    first = controller.next_ready()
+    assert first is interactive
+    assert controller.next_ready() is None  # one slot, occupied
+    controller.release(first, "ok")
+    assert controller.next_ready() is normal
+    controller.release(normal, "ok")
+    assert controller.next_ready() is normal2
+    controller.release(normal2, "ok")
+    assert controller.next_ready() is batch
+
+
+def test_batch_sheds_at_watermark_while_interactive_keeps_headroom():
+    controller = _controller(
+        FakeClock(), max_concurrency=1, queue_capacity=4
+    )
+    running = controller.admit(_request("r"))
+    assert controller.next_ready() is running  # slot saturated
+    controller.admit(_request("b1", priority="batch"))
+    controller.admit(_request("b2", priority="batch"))
+    with pytest.raises(QueryShed) as excinfo:
+        controller.admit(_request("b3", priority="batch"))  # 2 >= 0.5*4
+    assert excinfo.value.reason == "queue"
+    assert excinfo.value.retry_after is not None
+    # Interactive traffic still has the full queue.
+    controller.admit(_request("i1", priority="interactive"))
+    controller.admit(_request("i2", priority="interactive"))
+    assert controller.queued == 4
+    with pytest.raises(QueryShed):
+        controller.admit(_request("i3", priority="interactive"))  # full
+
+
+def test_watermarks_only_bind_when_slots_are_saturated():
+    controller = _controller(
+        FakeClock(), max_concurrency=4, queue_capacity=4
+    )
+    # No query is running: batch may use the whole queue.
+    for i in range(4):
+        controller.admit(_request(f"b{i}", priority="batch"))
+    assert controller.queued == 4
+
+
+def test_quota_sheds_one_client_without_touching_others():
+    clock = FakeClock()
+    controller = _controller(
+        clock, quota_rate=10.0, quota_burst=1.0
+    )
+    controller.admit(_request("a1", client="alice"))
+    with pytest.raises(QueryShed) as excinfo:
+        controller.admit(_request("a2", client="alice"))
+    assert excinfo.value.reason == "quota"
+    assert excinfo.value.retry_after == pytest.approx(0.1)
+    controller.admit(_request("b1", client="bob"))  # separate bucket
+    clock.advance(0.1)
+    controller.admit(_request("a3", client="alice"))  # token accrued
+
+
+def test_client_quotas_override_the_default_rate():
+    controller = _controller(
+        FakeClock(),
+        quota_rate=1000.0,
+        client_quotas={"slow": (1.0, 1.0)},
+    )
+    controller.admit(_request("s1", client="slow"))
+    with pytest.raises(QueryShed) as excinfo:
+        controller.admit(_request("s2", client="slow"))
+    assert excinfo.value.reason == "quota"
+    controller.admit(_request("f1", client="fast"))  # default rate applies
+
+
+def test_queue_refusal_does_not_charge_the_client_quota():
+    clock = FakeClock()
+    controller = _controller(
+        clock, max_concurrency=1, queue_capacity=1,
+        quota_rate=10.0, quota_burst=1.0,
+    )
+    running = controller.admit(_request("r", client="alice"))
+    controller.next_ready()
+    controller.admit(_request("q", client="bob"))
+    with pytest.raises(QueryShed) as excinfo:
+        controller.admit(_request("a2", client="alice"))  # queue full
+    assert excinfo.value.reason == "queue"
+    controller.release(running, "ok")
+    controller.next_ready()
+    # alice's bucket was burst-emptied by "r" only; one token accrues
+    # and the queue shed above must not have taken another.
+    clock.advance(0.1)
+    controller.admit(_request("a3", client="alice"))
+
+
+def test_deadline_shed_on_arrival_uses_the_service_time_estimate():
+    clock = FakeClock()
+    controller = _controller(clock, max_concurrency=1)
+    ticket = controller.admit(_request("warm"))
+    controller.next_ready()
+    clock.advance(2.0)  # observed service time: 2s
+    controller.release(ticket, "ok")
+    with pytest.raises(QueryShed) as excinfo:
+        controller.admit(_request("doomed", deadline=Deadline.after(0.5)))
+    assert excinfo.value.reason == "deadline"
+    assert excinfo.value.retry_after is not None
+    # A deadline that covers the estimate is admitted.
+    controller.admit(_request("fine", deadline=Deadline.after(30.0)))
+
+
+def test_expired_deadline_is_shed_at_dispatch_not_executed():
+    controller = _controller(FakeClock())
+    expired = Deadline(0.001, start=-10.0)  # long past expiry
+    ticket = controller.admit(_request("stale", deadline=expired))
+    ready = controller.next_ready()
+    assert ready is ticket
+    assert isinstance(ready.dequeue_error, QueryShed)
+    assert ready.dequeue_error.reason == "deadline"
+    controller.release(ready, "shed")
+    assert controller.stats().shed_deadline == 1
+
+
+def test_breaker_opens_after_repeated_failures_and_probes_after_cooldown():
+    clock = FakeClock()
+    controller = _controller(
+        clock,
+        breaker_window=4,
+        breaker_min_samples=4,
+        breaker_failure_threshold=0.5,
+        breaker_cooldown_seconds=1.0,
+    )
+    for i in range(4):
+        ticket = controller.admit(_request(f"f{i}", fingerprint="fp"))
+        controller.next_ready()
+        controller.release(ticket, "error")
+    assert controller.breaker_state("fp") == "open"
+    assert controller.stats().breaker_trips == 1
+    with pytest.raises(QueryShed) as excinfo:
+        controller.admit(_request("blocked", fingerprint="fp"))
+    assert excinfo.value.reason == "breaker"
+    controller.admit(_request("other", fingerprint="other"))  # unaffected
+    clock.advance(1.0)
+    probe = controller.admit(_request("probe", fingerprint="fp"))
+    controller.next_ready()
+    controller.release(probe, "ok")
+    assert controller.breaker_state("fp") == "closed"
+    controller.admit(_request("recovered", fingerprint="fp"))
+
+
+def test_shed_release_feeds_neither_breaker_nor_estimate():
+    clock = FakeClock()
+    controller = _controller(
+        clock, breaker_window=4, breaker_min_samples=4
+    )
+    ticket = controller.admit(_request("t", fingerprint="fp"))
+    controller.next_ready()
+    clock.advance(5.0)
+    controller.release(ticket, "shed")
+    assert controller.estimated_service_seconds is None
+    assert controller.breaker_state("fp") == "closed"
+    assert controller.stats().failures == 0
+
+
+def test_close_cancels_queued_tickets_and_refuses_new_admissions():
+    controller = _controller(FakeClock(), max_concurrency=1)
+    running = controller.admit(_request("r"))
+    controller.next_ready()
+    queued = controller.admit(_request("q"))
+    cancelled = controller.close()
+    assert cancelled == [queued]
+    assert queued.state == "cancelled"
+    assert controller.queued == 0
+    with pytest.raises(ServiceClosed):
+        controller.admit(_request("late"))
+    assert controller.close() == []  # idempotent
+    controller.release(running, "ok")  # in-flight work still releases
+    assert controller.running == 0
+    assert controller.stats().cancelled_on_close == 1
+
+
+def test_unknown_priority_is_a_service_error_not_a_shed():
+    controller = _controller(FakeClock())
+    with pytest.raises(ServiceError):
+        controller.admit(_request("bad", priority="urgent"))
+
+
+def test_config_validation_rejects_bad_values():
+    with pytest.raises(ServiceError):
+        AdmissionConfig(queue_capacity=0)
+    with pytest.raises(ServiceError):
+        AdmissionConfig(watermarks={"urgent": 0.5})
+    with pytest.raises(ServiceError):
+        AdmissionConfig(watermarks={"batch": 0.0})
+    with pytest.raises(ServiceError):
+        AdmissionConfig(breaker_failure_threshold=0.0)
+    with pytest.raises(ServiceError):
+        AdmissionConfig(breaker_window=2, breaker_min_samples=4)
+
+
+def test_admit_fault_site_fires_typed():
+    controller = _controller(FakeClock())
+    with inject(FaultPlan(seed=1).raise_at("service.admit", invocation=0)):
+        with pytest.raises(InjectedFault):
+            controller.admit(_request("chaos"))
+
+
+def test_dequeue_fault_lands_in_dequeue_error_not_lost():
+    controller = _controller(FakeClock())
+    ticket = controller.admit(_request("chaos"))
+    with inject(FaultPlan(seed=1).raise_at("service.dequeue", invocation=0)):
+        ready = controller.next_ready()
+    assert ready is ticket
+    assert isinstance(ready.dequeue_error, InjectedFault)
+    controller.release(ready, "shed")
+    assert controller.running == 0

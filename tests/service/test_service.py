@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.errors import ServiceClosed
 from repro.service import QueryService
 from repro.storage.database import Database
 from repro.storage.schema import ForeignKey
@@ -240,10 +241,44 @@ def test_run_many_reuses_persistent_pool(star_db):
     service.close()
     assert service._batch_pool is None
     service.close()  # idempotent
-    # The service stays usable: the pool is recreated lazily.
-    results = service.run_many(sqls, max_workers=2)
-    assert len(results) == len(sqls)
-    service.close()
+    # Close is terminal: later submissions get the typed refusal, not
+    # an opaque dead-pool RuntimeError.
+    with pytest.raises(ServiceClosed):
+        service.run_many(sqls, max_workers=2)
+    with pytest.raises(ServiceClosed):
+        service.execute(sqls[0])
+
+
+def test_close_racing_a_batch_yields_typed_slots_never_runtime_error(star_db):
+    """A close() landing mid-batch must resolve every slot to either a
+    real answer or a typed ServiceClosed error record — never the
+    pool's opaque 'cannot schedule new futures' RuntimeError."""
+    import threading
+
+    sqls = [_count_sql(t) for t in (2, 3, 4, 5, 6, 7, 8, 9)] * 4
+    for _ in range(5):  # several races: the interleaving is timing-dependent
+        service = QueryService(star_db)
+        service.run_many(sqls[:2], max_workers=2)  # warm the pool
+        outcome = {}
+
+        def batch(svc=service, box=outcome):
+            try:
+                box["results"] = svc.run_many(sqls, max_workers=2)
+            except ServiceClosed:
+                pass  # the whole batch arrived after close: typed raise
+
+        runner = threading.Thread(target=batch)
+        runner.start()
+        service.close()
+        runner.join(timeout=30.0)
+        assert not runner.is_alive()
+        if "results" not in outcome:
+            continue  # run_many itself saw the closed service: typed raise
+        for result in outcome["results"]:
+            assert result.ok or isinstance(result.error, ServiceClosed), (
+                f"slot resolved to {type(result.error).__name__}: "
+                f"{result.error}"
+            )
 
 
 def test_service_context_manager_closes_pool(star_db):

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Gate the committed overload artifact's acceptance numbers.
+
+The committed ``BENCH_overload.json`` carries closed-loop measurements
+from a quiet machine; this checker holds it to the admission tier's
+overload contract without re-measuring (CI runners are too noisy to
+regenerate the tight numbers, so a loose re-measurement gate lives in
+``benchmarks/test_overload.py`` instead):
+
+* levels cover at least 1x and 16x capacity, in increasing order;
+* the 1x level admits everything (shed rate ~0) and every overloaded
+  level actually sheds;
+* admitted p99 stays within the deadline (small tolerance for the gap
+  between cooperative checkpoints) at every level;
+* sheds are refusals, not work: shed p99 < 10 ms and every shed
+  carries a retry-after hint;
+* goodput holds under overload — the most-loaded level keeps >= 80%
+  of the 1x level's goodput, and goodput is monotone non-increasing
+  across levels within a noise tolerance (overload must degrade
+  gracefully, never collapse);
+* every admitted answer matched the serial oracle checksum.
+
+Used by CI and runnable standalone::
+
+    python tools/check_overload.py BENCH_overload.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Admitted p99 may exceed the deadline by this factor: cooperative
+#: checkpoints bound enforcement lag, not the artifact's honesty.
+DEADLINE_TOLERANCE = 1.10
+SHED_P99_LIMIT_SECONDS = 0.010
+GOODPUT_FLOOR_FRACTION = 0.80
+#: A later level's goodput may exceed an earlier one's by at most this
+#: factor (closed-loop 1x can idle slightly between completions).
+MONOTONE_TOLERANCE = 1.10
+#: The 1x closed-loop level should admit essentially everything.
+BASELINE_SHED_LIMIT = 0.01
+
+
+def check(path: Path) -> list[str]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    levels = payload["levels"]
+    deadline = payload["deadline_seconds"]
+    errors = []
+
+    factors = [level["factor"] for level in levels]
+    if factors != sorted(factors) or len(factors) < 2:
+        errors.append(f"levels must increase and cover >= 2 factors: {factors}")
+    if factors and factors[0] != 1:
+        errors.append(f"first level must be 1x capacity, got {factors[0]}x")
+    if factors and factors[-1] < 16:
+        errors.append(f"most-loaded level must reach 16x, got {factors[-1]}x")
+
+    for level in levels:
+        factor = level["factor"]
+        if level["attempts"] == 0 or level["successes"] == 0:
+            errors.append(f"{factor}x: no traffic recorded")
+            continue
+        if not level["checksums_identical"]:
+            errors.append(
+                f"{factor}x: {level['checksum_mismatches']} answers "
+                "differed from the serial oracle"
+            )
+        if level["admitted_p99_seconds"] > deadline * DEADLINE_TOLERANCE:
+            errors.append(
+                f"{factor}x: admitted p99 {level['admitted_p99_seconds']:.4f}s "
+                f"exceeds deadline {deadline:.4f}s "
+                f"(x{DEADLINE_TOLERANCE} tolerance)"
+            )
+        if factor == 1 and level["shed_rate"] > BASELINE_SHED_LIMIT:
+            errors.append(
+                f"1x: shed rate {level['shed_rate']:.4f} > "
+                f"{BASELINE_SHED_LIMIT} (capacity traffic must be admitted)"
+            )
+        if factor > 1:
+            if level["sheds"] == 0:
+                errors.append(
+                    f"{factor}x: overloaded level shed nothing — load "
+                    "generation is not exceeding capacity"
+                )
+            if level["shed_p99_seconds"] >= SHED_P99_LIMIT_SECONDS:
+                errors.append(
+                    f"{factor}x: shed p99 "
+                    f"{level['shed_p99_seconds'] * 1e3:.2f} ms >= "
+                    f"{SHED_P99_LIMIT_SECONDS * 1e3:.0f} ms limit"
+                )
+        if level["sheds_without_hint"]:
+            errors.append(
+                f"{factor}x: {level['sheds_without_hint']} sheds carried "
+                "no retry-after hint"
+            )
+
+    goodputs = [level["goodput_qps"] for level in levels]
+    if goodputs and goodputs[0] > 0:
+        floor = GOODPUT_FLOOR_FRACTION * goodputs[0]
+        if goodputs[-1] < floor:
+            errors.append(
+                f"goodput at {factors[-1]}x is {goodputs[-1]:.1f} qps, "
+                f"below {GOODPUT_FLOOR_FRACTION:.0%} of the 1x level "
+                f"({goodputs[0]:.1f} qps)"
+            )
+        for earlier, later, factor in zip(goodputs, goodputs[1:], factors[1:]):
+            if later > earlier * MONOTONE_TOLERANCE:
+                errors.append(
+                    f"goodput rose to {later:.1f} qps at {factor}x "
+                    f"(earlier level {earlier:.1f} qps) — levels are not "
+                    "saturating capacity"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_overload.json")
+    errors = check(path)
+    if errors:
+        for error in errors:
+            print(f"FAIL {path}: {error}")
+        return 1
+    print(
+        f"OK {path}: shed latency, deadline, goodput, and oracle-identity "
+        "gates hold"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
